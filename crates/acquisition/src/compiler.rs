@@ -1,0 +1,69 @@
+//! The compiler-optimization model.
+//!
+//! Section 3.1: "The first modification we made to our trace acquisition
+//! procedure is to activate compiler optimizations, typically by using
+//! the `-O3` flag... Among the optimizations that may help to reduce the
+//! discrepancy in the measured number of instructions are the loop
+//! unrolling, vectorization, and function inlining."
+//!
+//! Two effects matter to the framework:
+//! * fewer instructions for the same work (the trace's compute volumes
+//!   and the run time both shrink);
+//! * fewer *instrumentable function calls* (inlining dissolves the small
+//!   helper routines fine-grain instrumentation would probe).
+
+/// Optimization level of the (emulated) application build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompilerOpt {
+    /// The first implementation's build: no optimization flags.
+    O0,
+    /// The modified acquisition procedure's build.
+    O3,
+}
+
+impl CompilerOpt {
+    /// Multiplier on true instruction volume.
+    pub fn instruction_factor(self) -> f64 {
+        match self {
+            CompilerOpt::O0 => 1.0,
+            // Fitted to the Table 1/2 original-run-time reductions (~15–25%
+            // on compute-bound instances).
+            CompilerOpt::O3 => 0.80,
+        }
+    }
+
+    /// Multiplier on fine-grain-instrumentable call density (inlining).
+    pub fn call_factor(self) -> f64 {
+        match self {
+            CompilerOpt::O0 => 1.0,
+            CompilerOpt::O3 => 0.40,
+        }
+    }
+}
+
+impl std::fmt::Display for CompilerOpt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompilerOpt::O0 => write!(f, "-O0"),
+            CompilerOpt::O3 => write!(f, "-O3"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn o3_reduces_both_factors() {
+        assert!(CompilerOpt::O3.instruction_factor() < CompilerOpt::O0.instruction_factor());
+        assert!(CompilerOpt::O3.call_factor() < CompilerOpt::O0.call_factor());
+        assert_eq!(CompilerOpt::O0.instruction_factor(), 1.0);
+        assert_eq!(CompilerOpt::O0.call_factor(), 1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CompilerOpt::O3.to_string(), "-O3");
+    }
+}

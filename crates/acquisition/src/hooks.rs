@@ -1,0 +1,162 @@
+//! The emulated testbed's local-cost model: cache-aware compute rates
+//! plus instrumentation wall-clock perturbation.
+//!
+//! This is the [`smpi::ExecHooks`] implementation the emulator plugs into
+//! the runtime to reproduce what the paper *measured* on bordereau and
+//! graphene: original runs (`Instrumentation::None`) and instrumented
+//! runs (whose extra time yields the overhead columns of Tables 1–2).
+
+use hwmodel::{CpuModel, ProbeCosts};
+use platform::{HostId, Platform};
+use smpi::{ComputePlan, ExecHooks};
+use workloads::ComputeBlock;
+
+use crate::compiler::CompilerOpt;
+use crate::modes::Instrumentation;
+use crate::params;
+
+/// Cache-aware, instrumentation-aware execution hooks.
+#[derive(Debug, Clone)]
+pub struct InstrumentedHooks {
+    mode: Instrumentation,
+    compiler: CompilerOpt,
+    costs: ProbeCosts,
+    cpus: Vec<CpuModel>,
+    ranks: u32,
+}
+
+impl InstrumentedHooks {
+    /// Builds hooks for ranks placed on `hosts` of `platform`.
+    pub fn new(
+        platform: &Platform,
+        hosts: &[HostId],
+        mode: Instrumentation,
+        compiler: CompilerOpt,
+    ) -> InstrumentedHooks {
+        let cpus = hosts
+            .iter()
+            .map(|h| CpuModel::for_host(platform.host(*h)))
+            .collect::<Vec<_>>();
+        InstrumentedHooks {
+            mode,
+            compiler,
+            costs: ProbeCosts::default(),
+            cpus,
+            ranks: hosts.len() as u32,
+        }
+    }
+
+    /// The instrumentation mode in effect.
+    pub fn mode(&self) -> Instrumentation {
+        self.mode
+    }
+
+    /// The CPU model of one rank (used by calibration consumers).
+    pub fn cpu(&self, rank: u32) -> &CpuModel {
+        &self.cpus[rank as usize]
+    }
+}
+
+impl ExecHooks for InstrumentedHooks {
+    fn plan_compute(&mut self, rank: u32, block: &ComputeBlock) -> ComputePlan {
+        let cpu = &self.cpus[rank as usize];
+        let work = block.instructions * self.compiler.instruction_factor();
+        let rate = cpu.effective_rate(block.working_set);
+        let probe_instr = self
+            .mode
+            .counted_instr_in_block(&self.costs, block, self.compiler);
+        // Probe code retires faster than (possibly memory-bound)
+        // application code.
+        let extra_delay = probe_instr / (params::PROBE_IPC_FACTOR * cpu.base_rate);
+        ComputePlan {
+            work,
+            rate,
+            extra_delay,
+        }
+    }
+
+    fn mpi_call_delay(&mut self, rank: u32) -> f64 {
+        // Wrapper instructions also take time, at probe IPC. In fine
+        // mode the dominant part is the call-path capture (uncounted,
+        // see `params::FINE_MPI_EVENT_INSTR`); in minimal mode it is the
+        // counted PAPI/event-recording work.
+        let wrapper_instr = match self.mode {
+            Instrumentation::TauFine { .. } => params::FINE_MPI_EVENT_INSTR,
+            _ => self.mode.counted_instr_per_mpi_event(&self.costs),
+        };
+        let wrapper_time =
+            wrapper_instr / (params::PROBE_IPC_FACTOR * self.cpus[rank as usize].base_rate);
+        params::MPI_SOFTWARE_SECONDS + wrapper_time + self.mode.mpi_event_seconds(self.ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::clusters::bordereau;
+    use platform::HostId;
+
+    fn hooks(mode: Instrumentation, compiler: CompilerOpt) -> InstrumentedHooks {
+        let p = bordereau();
+        let hosts: Vec<HostId> = (0..8).map(HostId).collect();
+        InstrumentedHooks::new(&p, &hosts, mode, compiler)
+    }
+
+    fn block(ws: u64) -> ComputeBlock {
+        ComputeBlock {
+            instructions: 1e9,
+            fn_calls: 1e5,
+            working_set: ws,
+        }
+    }
+
+    #[test]
+    fn uninstrumented_plan_is_pure_application() {
+        let mut h = hooks(Instrumentation::None, CompilerOpt::O0);
+        let plan = h.plan_compute(0, &block(0));
+        assert_eq!(plan.work, 1e9);
+        assert_eq!(plan.extra_delay, 0.0);
+        assert_eq!(plan.rate, platform::clusters::BORDEREAU_SPEED);
+        // Only the MPI library's own overhead remains on calls.
+        assert!((h.mpi_call_delay(0) - params::MPI_SOFTWARE_SECONDS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_spill_slows_the_rate() {
+        let mut h = hooks(Instrumentation::None, CompilerOpt::O0);
+        let fast = h.plan_compute(0, &block(512 << 10)).rate;
+        let slow = h.plan_compute(0, &block(4 << 20)).rate;
+        assert!(slow < fast);
+    }
+
+    #[test]
+    fn fine_instrumentation_adds_probe_time_and_event_time() {
+        let mut none = hooks(Instrumentation::None, CompilerOpt::O0);
+        let mut fine = hooks(Instrumentation::legacy_default(), CompilerOpt::O0);
+        let b = block(0);
+        assert!(fine.plan_compute(0, &b).extra_delay > 0.0);
+        assert_eq!(none.plan_compute(0, &b).extra_delay, 0.0);
+        assert!(fine.mpi_call_delay(0) > 10.0 * none.mpi_call_delay(0));
+    }
+
+    #[test]
+    fn minimal_event_cost_sits_between_none_and_fine() {
+        let mut none = hooks(Instrumentation::None, CompilerOpt::O0);
+        let mut min = hooks(Instrumentation::Minimal, CompilerOpt::O0);
+        let mut fine = hooks(Instrumentation::legacy_default(), CompilerOpt::O0);
+        let n = none.mpi_call_delay(0);
+        let m = min.mpi_call_delay(0);
+        let f = fine.mpi_call_delay(0);
+        assert!(n < m && m < f, "{n} {m} {f}");
+        // Minimal adds no per-block probe time.
+        assert_eq!(min.plan_compute(0, &block(0)).extra_delay, 0.0);
+    }
+
+    #[test]
+    fn o3_shrinks_work() {
+        let mut o0 = hooks(Instrumentation::None, CompilerOpt::O0);
+        let mut o3 = hooks(Instrumentation::None, CompilerOpt::O3);
+        let b = block(0);
+        assert!(o3.plan_compute(0, &b).work < o0.plan_compute(0, &b).work);
+    }
+}

@@ -1,0 +1,174 @@
+//! Instrumentation modes and their per-section perturbations.
+
+use hwmodel::ProbeCosts;
+use workloads::ComputeBlock;
+
+use crate::compiler::CompilerOpt;
+use crate::params;
+
+/// How the (emulated) application is instrumented during acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instrumentation {
+    /// No instrumentation: the "original" runs of Tables 1–2.
+    None,
+    /// Coarse-grain counters: "we just insert calls to get the value of
+    /// the hardware performance counter... at the beginning and end of
+    /// the studied section" — the reference measurement of Figures 1–5.
+    Coarse,
+    /// Full TAU + PDT instrumentation of every function, with optional
+    /// call-path capture (the first implementation's default; call-path
+    /// on).
+    TauFine {
+        /// Whether the complete call path is maintained per probe.
+        callpath: bool,
+    },
+    /// The paper's fix: selective instrumentation excluding all source
+    /// files, leaving only the MPI wrappers ("the performance hardware
+    /// counter... will be triggered when entering and exiting MPI
+    /// functions").
+    Minimal,
+}
+
+impl Instrumentation {
+    /// The first implementation's acquisition mode.
+    pub fn legacy_default() -> Instrumentation {
+        Instrumentation::TauFine { callpath: true }
+    }
+
+    /// `true` if this mode records a trace (None and Coarse do not).
+    pub fn records_trace(self) -> bool {
+        matches!(
+            self,
+            Instrumentation::TauFine { .. } | Instrumentation::Minimal
+        )
+    }
+
+    /// Extra instructions *counted inside* one compute section, beyond
+    /// the application's own work: per-function-call probes (fine mode
+    /// only; inlining under `-O3` reduces the call density).
+    pub fn counted_instr_in_block(
+        self,
+        costs: &ProbeCosts,
+        block: &ComputeBlock,
+        opt: CompilerOpt,
+    ) -> f64 {
+        match self {
+            Instrumentation::None | Instrumentation::Coarse | Instrumentation::Minimal => 0.0,
+            Instrumentation::TauFine { callpath } => {
+                block.fn_calls * opt.call_factor() * costs.fine_call_instr(callpath)
+            }
+        }
+    }
+
+    /// Extra instructions counted per MPI call (the wrapper runs inside
+    /// the measured window). Zero for uninstrumented/coarse runs.
+    pub fn counted_instr_per_mpi_event(self, costs: &ProbeCosts) -> f64 {
+        match self {
+            Instrumentation::None | Instrumentation::Coarse => 0.0,
+            Instrumentation::TauFine { .. } => costs.fine_mpi_event_counted_instr(),
+            Instrumentation::Minimal => costs.mpi_event_counted_instr(),
+        }
+    }
+
+    /// Wall-clock seconds added per MPI call by event recording,
+    /// including the shared-filesystem amortized flush cost (`ranks`
+    /// concurrent writers).
+    pub fn mpi_event_seconds(self, ranks: u32) -> f64 {
+        let io = params::TRACE_IO_SECONDS_PER_EVENT_PER_RANK * f64::from(ranks);
+        match self {
+            Instrumentation::None | Instrumentation::Coarse => 0.0,
+            Instrumentation::TauFine { .. } => params::FINE_MPI_EVENT_SECONDS + io,
+            Instrumentation::Minimal => params::MINIMAL_MPI_EVENT_SECONDS + io,
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Instrumentation::None => "none",
+            Instrumentation::Coarse => "coarse",
+            Instrumentation::TauFine { callpath: true } => "tau-fine+callpath",
+            Instrumentation::TauFine { callpath: false } => "tau-fine",
+            Instrumentation::Minimal => "minimal",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> ComputeBlock {
+        ComputeBlock {
+            instructions: 1e6,
+            fn_calls: 200.0,
+            working_set: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn only_fine_mode_counts_block_probes() {
+        let c = ProbeCosts::default();
+        let b = block();
+        assert_eq!(
+            Instrumentation::None.counted_instr_in_block(&c, &b, CompilerOpt::O0),
+            0.0
+        );
+        assert_eq!(
+            Instrumentation::Minimal.counted_instr_in_block(&c, &b, CompilerOpt::O0),
+            0.0
+        );
+        let fine =
+            Instrumentation::legacy_default().counted_instr_in_block(&c, &b, CompilerOpt::O0);
+        assert_eq!(fine, 200.0 * c.fine_call_instr(true));
+    }
+
+    #[test]
+    fn o3_inlining_shrinks_fine_probe_count() {
+        let c = ProbeCosts::default();
+        let b = block();
+        let o0 = Instrumentation::legacy_default().counted_instr_in_block(&c, &b, CompilerOpt::O0);
+        let o3 = Instrumentation::legacy_default().counted_instr_in_block(&c, &b, CompilerOpt::O3);
+        assert!((o3 - 0.4 * o0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instrumenting_modes_count_mpi_events() {
+        let c = ProbeCosts::default();
+        assert_eq!(Instrumentation::Coarse.counted_instr_per_mpi_event(&c), 0.0);
+        assert_eq!(
+            Instrumentation::Minimal.counted_instr_per_mpi_event(&c),
+            c.mpi_event_counted_instr()
+        );
+        assert_eq!(
+            Instrumentation::legacy_default().counted_instr_per_mpi_event(&c),
+            c.fine_mpi_event_counted_instr()
+        );
+    }
+
+    #[test]
+    fn event_time_ordering() {
+        // The *fixed* parts are comparable (fine's dominant cost is its
+        // instruction volume, charged by the hooks); both instrumenting
+        // modes cost strictly more than no instrumentation.
+        let fine = Instrumentation::legacy_default().mpi_event_seconds(8);
+        let min = Instrumentation::Minimal.mpi_event_seconds(8);
+        let none = Instrumentation::None.mpi_event_seconds(8);
+        assert!(fine >= min && min > none);
+        assert_eq!(none, 0.0);
+        // IO contention grows with rank count.
+        assert!(
+            Instrumentation::Minimal.mpi_event_seconds(128)
+                > Instrumentation::Minimal.mpi_event_seconds(8)
+        );
+    }
+
+    #[test]
+    fn trace_recording_modes() {
+        assert!(!Instrumentation::None.records_trace());
+        assert!(!Instrumentation::Coarse.records_trace());
+        assert!(Instrumentation::Minimal.records_trace());
+        assert!(Instrumentation::legacy_default().records_trace());
+        assert_eq!(Instrumentation::Minimal.label(), "minimal");
+    }
+}

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the flow-level network model: flow churn under
+//! the fast bottleneck policy vs the exact max-min reference.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tit_replay::netmodel::{FlowNet, SharingPolicy};
+use tit_replay::platform::topology::{flat_cluster, FlatClusterSpec};
+use tit_replay::platform::HostId;
+use tit_replay::simkernel::Kernel;
+
+fn flow_churn(c: &mut Criterion) {
+    let platform = flat_cluster(&FlatClusterSpec {
+        name: "bench".into(),
+        nodes: 64,
+        host_speed: 1e9,
+        cores: 1,
+        cache_bytes: 1 << 20,
+        link_bandwidth: 1.25e8,
+        link_latency: 1e-5,
+        backbone_bandwidth: 1.25e9,
+        backbone_latency: 1e-6,
+    });
+    let mut g = c.benchmark_group("flow_churn");
+    let n = 2_000u64;
+    g.throughput(Throughput::Elements(n));
+    for policy in [SharingPolicy::Bottleneck, SharingPolicy::MaxMin] {
+        g.bench_function(format!("{policy:?}_open_close_2k"), |b| {
+            b.iter_batched(
+                || (Kernel::new(), FlowNet::new(&platform, policy)),
+                |(mut k, mut net)| {
+                    let mut route = Vec::new();
+                    let mut open = Vec::new();
+                    for i in 0..n {
+                        let s = (i % 64) as u32;
+                        let d = ((i * 31 + 7) % 64) as u32;
+                        if s != d {
+                            platform.route(HostId(s), HostId(d), &mut route);
+                            open.push(net.open(&mut k, &route, 1e6, 1e9));
+                        }
+                        if open.len() > 32 {
+                            let f = open.swap_remove((i % 32) as usize);
+                            net.close(&mut k, f);
+                        }
+                    }
+                    for f in open {
+                        net.close(&mut k, f);
+                    }
+                    (k, net)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, flow_churn);
+criterion_main!(benches);

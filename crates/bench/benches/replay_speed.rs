@@ -1,0 +1,74 @@
+//! End-to-end simulator performance: simulated events per second for
+//! both replay back-ends and the emulated testbed (the paper's
+//! "efficiency" axis as it applies to this implementation).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tit_replay::acquisition::{acquire, CompilerOpt, Instrumentation};
+use tit_replay::emulator::Testbed;
+use tit_replay::prelude::*;
+
+fn replay_speed(c: &mut Criterion) {
+    let lu = LuConfig::new(LuClass::S, 16).with_steps(10);
+    let trace = Arc::new(
+        acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace,
+    );
+    let platform = tit_replay::platform::clusters::bordereau();
+    // Measure the event count once per engine for throughput reporting.
+    let events = |engine| {
+        replay(
+            &platform,
+            &trace,
+            &ReplayConfig {
+                engine,
+                rate: 2e9,
+                placement: Placement::OnePerNode,
+                copy_model: None,
+            },
+        )
+        .unwrap()
+        .events
+    };
+    let mut g = c.benchmark_group("replay_speed");
+    g.sample_size(20);
+    for engine in [ReplayEngine::Smpi, ReplayEngine::Msg] {
+        g.throughput(Throughput::Elements(events(engine)));
+        g.bench_with_input(
+            BenchmarkId::new("engine", format!("{engine:?}")),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    replay(
+                        &platform,
+                        &trace,
+                        &ReplayConfig {
+                            engine: *engine,
+                            rate: 2e9,
+                            placement: Placement::OnePerNode,
+                            copy_model: None,
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("emulation_speed");
+    g.sample_size(10);
+    let tb = Testbed::bordereau();
+    let ev = tb
+        .run_lu(&lu, Instrumentation::None, CompilerOpt::O3)
+        .unwrap()
+        .events;
+    g.throughput(Throughput::Elements(ev));
+    g.bench_function("testbed_lu_s16", |b| {
+        b.iter(|| tb.run_lu(&lu, Instrumentation::None, CompilerOpt::O3).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, replay_speed);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation study (beyond the paper): starting from the improved
+//! pipeline, revert each of the four fixes in isolation and measure the
+//! resulting accuracy band over the bordereau grid. Attributes the
+//! accuracy gain to individual fixes.
+
+use bench::{accuracy_figure, bordereau_grid, emit, Options};
+use tit_replay::emulator::Testbed;
+use tit_replay::metrics::ErrorBand;
+use tit_replay::pipeline::AblationKnob;
+use tit_replay::prelude::*;
+
+fn main() {
+    let opts = Options::from_args();
+    let tb = Testbed::bordereau();
+    let grid = bordereau_grid();
+    let mut all = Vec::new();
+    let mut bands: Vec<(String, ErrorBand)> = Vec::new();
+    let mut pipelines = vec![Pipeline::improved(), Pipeline::legacy()];
+    for knob in AblationKnob::all() {
+        pipelines.push(Pipeline::improved_without(knob));
+    }
+    for pipeline in pipelines {
+        let name = pipeline.name.clone();
+        eprintln!("== {name} ==");
+        let records = accuracy_figure(&format!("ablation:{name}"), &tb, &grid, pipeline, &opts);
+        let mut band = ErrorBand::new();
+        for r in &records {
+            band.add(r.value("rel_err_pct").expect("error recorded"));
+        }
+        bands.push((name, band));
+        all.extend(records);
+    }
+    emit(&all, &["real_s", "simulated_s", "rel_err_pct"], &opts);
+    println!();
+    println!("{:<40}{:>12}{:>12}{:>10}", "pipeline", "min_err%", "max_err%", "width");
+    for (name, band) in bands {
+        println!(
+            "{:<40}{:>12.1}{:>12.1}{:>10.1}",
+            name,
+            band.min,
+            band.max,
+            band.width()
+        );
+    }
+}

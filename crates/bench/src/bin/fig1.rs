@@ -1,0 +1,23 @@
+//! Figure 1: distribution across processes of the relative difference
+//! (in %) of measured instruction counts between fine- and coarse-grain
+//! instrumented LU instances on *bordereau* (unoptimized build).
+
+use bench::{bordereau_grid, counter_discrepancy_figure, emit, Options};
+use tit_replay::acquisition::{CompilerOpt, Instrumentation};
+
+fn main() {
+    let opts = Options::from_args();
+    let records = counter_discrepancy_figure(
+        "fig1",
+        "bordereau",
+        &bordereau_grid(),
+        Instrumentation::legacy_default(),
+        CompilerOpt::O0,
+        &opts,
+    );
+    emit(
+        &records,
+        &["min_pct", "q1_pct", "median_pct", "q3_pct", "max_pct", "mean_pct"],
+        &opts,
+    );
+}

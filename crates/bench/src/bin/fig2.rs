@@ -1,0 +1,22 @@
+//! Figure 2: the Figure 1 instruction-count discrepancy study on the
+//! *graphene* cluster, with instances up to 128 processes.
+
+use bench::{counter_discrepancy_figure, emit, graphene_grid, Options};
+use tit_replay::acquisition::{CompilerOpt, Instrumentation};
+
+fn main() {
+    let opts = Options::from_args();
+    let records = counter_discrepancy_figure(
+        "fig2",
+        "graphene",
+        &graphene_grid(),
+        Instrumentation::legacy_default(),
+        CompilerOpt::O0,
+        &opts,
+    );
+    emit(
+        &records,
+        &["min_pct", "q1_pct", "median_pct", "q3_pct", "max_pct", "mean_pct"],
+        &opts,
+    );
+}

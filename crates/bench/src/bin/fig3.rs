@@ -1,0 +1,21 @@
+//! Figure 3: evolution with the number of processes of the relative
+//! error between execution and simulated times for LU under the *first*
+//! implementation (fine-grain -O0 traces, A-4 calibration, MSG replay)
+//! on *bordereau*. The paper's diagnosis: the error grows roughly
+//! linearly with the process count.
+
+use bench::{accuracy_figure, bordereau_grid, emit, Options};
+use tit_replay::emulator::Testbed;
+use tit_replay::prelude::*;
+
+fn main() {
+    let opts = Options::from_args();
+    let records = accuracy_figure(
+        "fig3",
+        &Testbed::bordereau(),
+        &bordereau_grid(),
+        Pipeline::legacy(),
+        &opts,
+    );
+    emit(&records, &["real_s", "simulated_s", "rel_err_pct", "rate_ips"], &opts);
+}

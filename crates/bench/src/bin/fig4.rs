@@ -1,0 +1,23 @@
+//! Figure 4: distribution across processes of the relative difference of
+//! measured instruction counts between *minimal* and coarse
+//! instrumentation of optimized (-O3) LU instances on *bordereau*.
+
+use bench::{bordereau_grid, counter_discrepancy_figure, emit, Options};
+use tit_replay::acquisition::{CompilerOpt, Instrumentation};
+
+fn main() {
+    let opts = Options::from_args();
+    let records = counter_discrepancy_figure(
+        "fig4",
+        "bordereau",
+        &bordereau_grid(),
+        Instrumentation::Minimal,
+        CompilerOpt::O3,
+        &opts,
+    );
+    emit(
+        &records,
+        &["min_pct", "q1_pct", "median_pct", "q3_pct", "max_pct", "mean_pct"],
+        &opts,
+    );
+}

@@ -1,0 +1,22 @@
+//! Figure 5: the Figure 4 minimal-instrumentation discrepancy study on
+//! the *graphene* cluster.
+
+use bench::{counter_discrepancy_figure, emit, graphene_grid, Options};
+use tit_replay::acquisition::{CompilerOpt, Instrumentation};
+
+fn main() {
+    let opts = Options::from_args();
+    let records = counter_discrepancy_figure(
+        "fig5",
+        "graphene",
+        &graphene_grid(),
+        Instrumentation::Minimal,
+        CompilerOpt::O3,
+        &opts,
+    );
+    emit(
+        &records,
+        &["min_pct", "q1_pct", "median_pct", "q3_pct", "max_pct", "mean_pct"],
+        &opts,
+    );
+}

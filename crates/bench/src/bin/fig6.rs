@@ -1,0 +1,21 @@
+//! Figure 6: relative error between execution and simulated times for LU
+//! with the *new* replay framework (-O3, minimal instrumentation,
+//! cache-aware calibration, SMPI back-end) on *bordereau*. The headline
+//! result: the error band narrows drastically and the linear growth with
+//! the process count disappears.
+
+use bench::{accuracy_figure, bordereau_grid, emit, Options};
+use tit_replay::emulator::Testbed;
+use tit_replay::prelude::*;
+
+fn main() {
+    let opts = Options::from_args();
+    let records = accuracy_figure(
+        "fig6",
+        &Testbed::bordereau(),
+        &bordereau_grid(),
+        Pipeline::improved(),
+        &opts,
+    );
+    emit(&records, &["real_s", "simulated_s", "rel_err_pct", "rate_ips"], &opts);
+}

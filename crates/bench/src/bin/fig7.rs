@@ -1,0 +1,19 @@
+//! Figure 7: the Figure 6 accuracy study on the *graphene* cluster. The
+//! paper observes a consistent slight underestimation (the unmodeled
+//! eager memory-copy time) within a narrow band.
+
+use bench::{accuracy_figure, emit, graphene_grid, Options};
+use tit_replay::emulator::Testbed;
+use tit_replay::prelude::*;
+
+fn main() {
+    let opts = Options::from_args();
+    let records = accuracy_figure(
+        "fig7",
+        &Testbed::graphene(),
+        &graphene_grid(),
+        Pipeline::improved(),
+        &opts,
+    );
+    emit(&records, &["real_s", "simulated_s", "rel_err_pct", "rate_ips"], &opts);
+}

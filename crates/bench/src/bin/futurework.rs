@@ -1,0 +1,50 @@
+//! The paper's future work, implemented and evaluated (beyond the
+//! paper): the improved pipeline versus the future-work pipeline that
+//! adds (a) the eager memory-copy model in the replay engine and (b) the
+//! automatic cache-aware calibration. Expectation: the Figures 6-7
+//! residual error collapses further.
+
+use bench::{accuracy_figure, bordereau_grid, emit, graphene_grid, Options};
+use tit_replay::emulator::Testbed;
+use tit_replay::metrics::ErrorBand;
+use tit_replay::prelude::*;
+
+fn main() {
+    let opts = Options::from_args();
+    let mut all = Vec::new();
+    let mut bands = Vec::new();
+    for (testbed, grid) in [
+        (Testbed::bordereau(), bordereau_grid()),
+        (Testbed::graphene(), graphene_grid()),
+    ] {
+        for pipeline in [Pipeline::improved(), Pipeline::future_work()] {
+            let name = format!("{}:{}", testbed.platform.name, pipeline.name);
+            eprintln!("== {name} ==");
+            let records = accuracy_figure(
+                &format!("futurework:{name}"),
+                &testbed,
+                &grid,
+                pipeline,
+                &opts,
+            );
+            let mut band = ErrorBand::new();
+            for r in &records {
+                band.add(r.value("rel_err_pct").expect("recorded"));
+            }
+            bands.push((name, band));
+            all.extend(records);
+        }
+    }
+    emit(&all, &["real_s", "simulated_s", "rel_err_pct"], &opts);
+    println!();
+    println!("{:<34}{:>12}{:>12}{:>10}", "configuration", "min_err%", "max_err%", "width");
+    for (name, band) in bands {
+        println!(
+            "{:<34}{:>12.1}{:>12.1}{:>10.1}",
+            name,
+            band.min,
+            band.max,
+            band.width()
+        );
+    }
+}

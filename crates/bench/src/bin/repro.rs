@@ -1,0 +1,136 @@
+//! `repro` — runs the complete paper reproduction in one shot and emits a
+//! combined markdown report: Tables 1-2, Figures 1-7, the ablation, and
+//! the future-work comparison.
+//!
+//! `cargo run --release -p bench --bin repro -- [--steps N | --full]`
+
+use bench::{
+    accuracy_figure, bordereau_grid, counter_discrepancy_figure, graphene_grid, overhead_table,
+    Options,
+};
+use tit_replay::acquisition::{CompilerOpt, Instrumentation};
+use tit_replay::emulator::Testbed;
+use tit_replay::metrics::{ErrorBand, ExperimentRecord};
+use tit_replay::pipeline::AblationKnob;
+use tit_replay::prelude::*;
+
+fn md_table(records: &[ExperimentRecord], columns: &[(&str, &str)]) {
+    print!("| instance |");
+    for (_, label) in columns {
+        print!(" {label} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in columns {
+        print!("---|");
+    }
+    println!();
+    for r in records {
+        print!("| {} |", r.instance);
+        for (key, _) in columns {
+            match r.value(key) {
+                Some(v) => print!(" {v:.2} |"),
+                None => print!(" - |"),
+            }
+        }
+        println!();
+    }
+    println!();
+}
+
+fn band(records: &[ExperimentRecord], key: &str) -> ErrorBand {
+    let mut b = ErrorBand::new();
+    for r in records {
+        b.add(r.value(key).expect("value recorded"));
+    }
+    b
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let bordereau = Testbed::bordereau();
+    let graphene = Testbed::graphene();
+    println!(
+        "# Paper reproduction report ({} LU time steps; official count 250)\n",
+        opts.steps
+    );
+
+    let overhead_cols: [(&str, &str); 6] = [
+        ("old_orig_s", "orig (old) s"),
+        ("old_instr_s", "instr (old) s"),
+        ("old_overhead_pct", "overhead (old) %"),
+        ("new_orig_s", "orig (new) s"),
+        ("new_instr_s", "instr (new) s"),
+        ("new_overhead_pct", "overhead (new) %"),
+    ];
+    eprintln!("== Table 1 ==");
+    println!("## Table 1 — instrumentation overhead, bordereau\n");
+    md_table(
+        &overhead_table("table1", &bordereau, &bordereau_grid(), &opts),
+        &overhead_cols,
+    );
+    eprintln!("== Table 2 ==");
+    println!("## Table 2 — instrumentation overhead, graphene\n");
+    md_table(
+        &overhead_table("table2", &graphene, &graphene_grid(), &opts),
+        &overhead_cols,
+    );
+
+    let counter_cols: [(&str, &str); 3] =
+        [("min_pct", "min %"), ("median_pct", "median %"), ("max_pct", "max %")];
+    for (fig, cluster, grid, mode, opt) in [
+        ("Figure 1", "bordereau", bordereau_grid(), Instrumentation::legacy_default(), CompilerOpt::O0),
+        ("Figure 2", "graphene", graphene_grid(), Instrumentation::legacy_default(), CompilerOpt::O0),
+        ("Figure 4", "bordereau", bordereau_grid(), Instrumentation::Minimal, CompilerOpt::O3),
+        ("Figure 5", "graphene", graphene_grid(), Instrumentation::Minimal, CompilerOpt::O3),
+    ] {
+        eprintln!("== {fig} ==");
+        println!("## {fig} — counter discrepancy, {} ({})\n", cluster, mode.label());
+        md_table(
+            &counter_discrepancy_figure(fig, cluster, &grid, mode, opt, &opts),
+            &counter_cols,
+        );
+    }
+
+    let acc_cols: [(&str, &str); 3] = [
+        ("real_s", "real s"),
+        ("simulated_s", "simulated s"),
+        ("rel_err_pct", "relative error %"),
+    ];
+    let mut bands: Vec<(String, ErrorBand)> = Vec::new();
+    for (fig, testbed, grid, pipeline) in [
+        ("Figure 3 — legacy accuracy, bordereau", &bordereau, bordereau_grid(), Pipeline::legacy()),
+        ("Figure 6 — improved accuracy, bordereau", &bordereau, bordereau_grid(), Pipeline::improved()),
+        ("Figure 7 — improved accuracy, graphene", &graphene, graphene_grid(), Pipeline::improved()),
+    ] {
+        eprintln!("== {fig} ==");
+        println!("## {fig}\n");
+        let records = accuracy_figure(fig, testbed, &grid, pipeline, &opts);
+        md_table(&records, &acc_cols);
+        bands.push((fig.to_string(), band(&records, "rel_err_pct")));
+    }
+
+    eprintln!("== ablation ==");
+    println!("## Ablation — error bands over the bordereau grid\n");
+    println!("| configuration | min % | max % | width |");
+    println!("|---|---|---|---|");
+    let mut ablation_pipelines = vec![Pipeline::improved(), Pipeline::legacy()];
+    for knob in AblationKnob::all() {
+        ablation_pipelines.push(Pipeline::improved_without(knob));
+    }
+    ablation_pipelines.push(Pipeline::future_work());
+    for pipeline in ablation_pipelines {
+        let name = pipeline.name.clone();
+        eprintln!("  -- {name}");
+        let records = accuracy_figure(&name, &bordereau, &bordereau_grid(), pipeline, &opts);
+        let b = band(&records, "rel_err_pct");
+        println!("| {name} | {:.1} | {:.1} | {:.1} |", b.min, b.max, b.width());
+    }
+    println!();
+    println!("## Accuracy bands\n");
+    println!("| experiment | band |");
+    println!("|---|---|");
+    for (name, b) in bands {
+        println!("| {name} | {b} |");
+    }
+}

@@ -1,0 +1,24 @@
+//! Table 1: evolution on the *bordereau* cluster of the execution time
+//! and overhead of original and instrumented versions of LU instances,
+//! between the former implementation (TAU fine-grain, -O0) and the
+//! modified one (-O3 + minimal instrumentation).
+
+use bench::{bordereau_grid, emit, overhead_table, Options};
+use tit_replay::emulator::Testbed;
+
+fn main() {
+    let opts = Options::from_args();
+    let records = overhead_table("table1", &Testbed::bordereau(), &bordereau_grid(), &opts);
+    emit(
+        &records,
+        &[
+            "old_orig_s",
+            "old_instr_s",
+            "old_overhead_pct",
+            "new_orig_s",
+            "new_instr_s",
+            "new_overhead_pct",
+        ],
+        &opts,
+    );
+}

@@ -1,0 +1,22 @@
+//! Table 2: the same overhead study as Table 1 on the *graphene*
+//! cluster, with instances up to 128 processes.
+
+use bench::{emit, graphene_grid, overhead_table, Options};
+use tit_replay::emulator::Testbed;
+
+fn main() {
+    let opts = Options::from_args();
+    let records = overhead_table("table2", &Testbed::graphene(), &graphene_grid(), &opts);
+    emit(
+        &records,
+        &[
+            "old_orig_s",
+            "old_instr_s",
+            "old_overhead_pct",
+            "new_orig_s",
+            "new_instr_s",
+            "new_overhead_pct",
+        ],
+        &opts,
+    );
+}

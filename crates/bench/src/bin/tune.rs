@@ -1,0 +1,48 @@
+//! Quick tuning probe: prints the key quantities of every experiment at
+//! reduced scale, for model-parameter fitting against the paper.
+
+use bench::{accuracy_figure, bordereau_grid, counter_discrepancy_figure, overhead_table, Options};
+use tit_replay::acquisition::{CompilerOpt, Instrumentation};
+use tit_replay::emulator::Testbed;
+use tit_replay::prelude::*;
+
+fn main() {
+    let opts = Options::from_args();
+    let tb = Testbed::bordereau();
+    eprintln!("== B-8 absolute anchor (x{} of official steps) ==", opts.steps);
+    let b8 = opts.instance(LuClass::B, 8);
+    let orig = tb
+        .run_lu(&b8, Instrumentation::None, CompilerOpt::O0)
+        .unwrap();
+    let scale = 250.0 / opts.steps as f64;
+    eprintln!(
+        "B-8 original (O0): {:.2}s scaled->{:.1}s (paper 93.05s); events {}",
+        orig.time,
+        orig.time * scale,
+        orig.events
+    );
+    eprintln!("== Table 1 (bordereau overheads) ==");
+    overhead_table("t1", &tb, &bordereau_grid(), &opts);
+    eprintln!("== Fig 1 (fine vs coarse counters, O0) ==");
+    counter_discrepancy_figure(
+        "fig1",
+        "bordereau",
+        &bordereau_grid(),
+        Instrumentation::legacy_default(),
+        CompilerOpt::O0,
+        &opts,
+    );
+    eprintln!("== Fig 4 (minimal vs coarse counters, O3) ==");
+    counter_discrepancy_figure(
+        "fig4",
+        "bordereau",
+        &bordereau_grid(),
+        Instrumentation::Minimal,
+        CompilerOpt::O3,
+        &opts,
+    );
+    eprintln!("== Fig 3 (legacy accuracy) ==");
+    accuracy_figure("fig3", &tb, &bordereau_grid(), Pipeline::legacy(), &opts);
+    eprintln!("== Fig 6 (improved accuracy) ==");
+    accuracy_figure("fig6", &tb, &bordereau_grid(), Pipeline::improved(), &opts);
+}

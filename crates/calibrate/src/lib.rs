@@ -1,0 +1,441 @@
+//! Calibration of the replay framework.
+//!
+//! "An essential step to make accurate performance predictions through
+//! trace replay is the calibration of the simulation framework. In our
+//! framework, it consists in determining the number of instructions a
+//! CPU can compute in one second" (Section 2.3). The latency/bandwidth
+//! side of the calibration is carried by the platform description (the
+//! `platform.json` handed to the replay tool); this crate estimates the
+//! instruction rates.
+//!
+//! Two procedures are implemented:
+//!
+//! * [`CalibrationMethod::Simple`] — the first implementation's: run the
+//!   A-4 instance, divide measured instructions by measured compute
+//!   time. Because A-4's working set is cache-resident, the resulting
+//!   rate is too optimistic for instances that spill (Section 2.3).
+//! * [`CalibrationMethod::CacheAware`] — Section 3.4: additionally run
+//!   B-4 and C-4 to obtain one rate per class, and pick per instance:
+//!   "depending on whether the current instance handles data that fit in
+//!   the L2 cache or not, we use the rate coming from the A-4
+//!   calibration or the one that corresponds to the instance class."
+//!
+//! Note the built-in approximation the paper accepts: the class rate is
+//! measured on *4 processes* (large per-rank blocks, heavy spill), then
+//! applied to instances of the same class at any process count, whose
+//! blocks may spill far less. This is what keeps Figure 6's residual
+//! error non-zero, and it emerges here for the same reason.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod network;
+
+pub use network::{calibrate_network, LinkEstimate, NetworkCalibration};
+
+use std::collections::BTreeMap;
+
+use acquisition::{acquire, CompilerOpt, Instrumentation};
+use emulator::Testbed;
+use hwmodel::CpuModel;
+use platform::HostId;
+use workloads::lu::{LuClass, LuConfig};
+
+/// Which calibration procedure to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationMethod {
+    /// A-4 only (the first implementation).
+    Simple,
+    /// A-4 plus one run per studied class (the paper's fix).
+    CacheAware,
+    /// The paper's future work, implemented here: "improving our
+    /// calibration method to automatically take cache usage into account
+    /// and better estimate the instruction rate used by the simulator."
+    /// A synthetic compute micro-benchmark sweeps working-set sizes
+    /// around the cache capacity and fits a rate-vs-working-set curve;
+    /// the replay rate is then interpolated at each instance's *own*
+    /// per-rank working set instead of a class-4 proxy's.
+    Automatic,
+}
+
+/// The product of a calibration: instruction rates for the replay
+/// engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The procedure used.
+    pub method: CalibrationMethod,
+    /// Rate measured on the cache-resident reference instance (A-4),
+    /// instructions/second.
+    pub base_rate: f64,
+    /// Per-class rates measured on `<class>-4` runs.
+    pub class_rates: BTreeMap<LuClass, f64>,
+    /// Rate-vs-working-set curve measured by the automatic method,
+    /// sorted by working set (bytes → instructions/second).
+    pub rate_curve: Vec<(u64, f64)>,
+    /// Per-core cache capacity of the calibrated cluster, bytes.
+    pub cache_bytes: u64,
+}
+
+impl Calibration {
+    /// The rate the replay engine should use for `instance`.
+    pub fn rate_for(&self, instance: &LuConfig) -> f64 {
+        match self.method {
+            CalibrationMethod::Simple => self.base_rate,
+            CalibrationMethod::CacheAware => {
+                if instance.max_working_set() <= self.cache_bytes {
+                    self.base_rate
+                } else {
+                    *self
+                        .class_rates
+                        .get(&instance.class)
+                        .unwrap_or(&self.base_rate)
+                }
+            }
+            CalibrationMethod::Automatic => self.rate_at_working_set(instance.max_working_set()),
+        }
+    }
+
+    /// Interpolates the measured rate curve at a working-set size
+    /// (piece-wise linear; clamped at the measured extremes). Falls back
+    /// to the base rate when no curve was measured.
+    pub fn rate_at_working_set(&self, ws: u64) -> f64 {
+        if self.rate_curve.is_empty() {
+            return self.base_rate;
+        }
+        let first = self.rate_curve[0];
+        if ws <= first.0 {
+            return first.1;
+        }
+        let last = self.rate_curve[self.rate_curve.len() - 1];
+        if ws >= last.0 {
+            return last.1;
+        }
+        for w in self.rate_curve.windows(2) {
+            let ((w0, r0), (w1, r1)) = (w[0], w[1]);
+            if ws >= w0 && ws <= w1 {
+                let f = (ws - w0) as f64 / (w1 - w0) as f64;
+                return r0 + f * (r1 - r0);
+            }
+        }
+        last.1
+    }
+
+    /// A hand-built calibration (tests, what-if studies).
+    pub fn synthetic(base_rate: f64, cache_bytes: u64) -> Calibration {
+        Calibration {
+            method: CalibrationMethod::Simple,
+            base_rate,
+            class_rates: BTreeMap::new(),
+            rate_curve: Vec::new(),
+            cache_bytes,
+        }
+    }
+}
+
+/// Number of time steps used for calibration runs. Rates are intensive
+/// quantities (instructions per second), so a short run measures the
+/// same rate as the official 250-step instance.
+pub const CALIBRATION_STEPS: u32 = 20;
+
+/// Runs the calibration procedure on `testbed` for traces acquired at
+/// `compiler`. `classes` lists the classes the cache-aware method will
+/// measure (the paper uses B and C).
+///
+/// `mode` is the instrumentation under which the calibration run's
+/// counters are read. This matters: the old framework calibrated with
+/// the *same* TAU instrumentation that produced its traces, so the
+/// counter inflation largely cancelled between calibration and replay —
+/// which is why the paper's legacy accuracy (Figure 3) is dominated by
+/// the communication model, not by issue #2. Pass
+/// [`Instrumentation::Coarse`] for an idealized uninflated calibration.
+///
+/// # Errors
+/// Propagates emulation failures.
+pub fn calibrate(
+    testbed: &Testbed,
+    method: CalibrationMethod,
+    compiler: CompilerOpt,
+    classes: &[LuClass],
+    mode: Instrumentation,
+    seed: u64,
+) -> Result<Calibration, String> {
+    let base_rate = measure_rate(testbed, LuClass::A, compiler, mode, seed)?;
+    let mut class_rates = BTreeMap::new();
+    let mut rate_curve = Vec::new();
+    match method {
+        CalibrationMethod::Simple => {}
+        CalibrationMethod::CacheAware => {
+            class_rates.insert(LuClass::A, base_rate);
+            for class in classes {
+                if *class == LuClass::A {
+                    continue;
+                }
+                class_rates.insert(*class, measure_rate(testbed, *class, compiler, mode, seed)?);
+            }
+        }
+        CalibrationMethod::Automatic => {
+            rate_curve = measure_rate_curve(testbed, compiler, seed)?;
+        }
+    }
+    let hosts = testbed.hosts(4)?;
+    let cache_bytes = CpuModel::for_host(testbed.platform.host(hosts[0])).cache_bytes;
+    Ok(Calibration {
+        method,
+        base_rate,
+        class_rates,
+        rate_curve,
+        cache_bytes,
+    })
+}
+
+/// Working-set multipliers (relative to the cache capacity) swept by the
+/// automatic calibration.
+const AUTO_SWEEP: [f64; 9] = [0.25, 0.5, 1.0, 1.25, 1.6, 2.0, 3.0, 4.5, 7.0];
+
+/// Runs the synthetic micro-benchmark sweep: a single-rank compute-only
+/// program per working-set size, rate measured exactly as for the LU
+/// calibration runs.
+fn measure_rate_curve(
+    testbed: &Testbed,
+    compiler: CompilerOpt,
+    seed: u64,
+) -> Result<Vec<(u64, f64)>, String> {
+    use workloads::{ComputeBlock, MpiOp, OpSource, VecSource};
+    let hosts = testbed.hosts(1)?;
+    let cache = testbed.platform.host(hosts[0]).cache_bytes as f64;
+    let mut curve = Vec::with_capacity(AUTO_SWEEP.len());
+    for (i, mult) in AUTO_SWEEP.iter().enumerate() {
+        let ws = (cache * mult) as u64;
+        let instructions = 2.0e9;
+        let prog = vec![
+            MpiOp::Init,
+            MpiOp::Compute(ComputeBlock {
+                instructions,
+                fn_calls: 0.0,
+                working_set: ws,
+            }),
+            MpiOp::Finalize,
+        ];
+        let sources: Vec<Box<dyn OpSource>> = vec![Box::new(VecSource::new(prog.clone()))];
+        let run = testbed.run(sources, Instrumentation::Coarse, compiler)?;
+        let counters = acquire(
+            vec![Box::new(VecSource::new(prog)) as Box<dyn OpSource>],
+            Instrumentation::Coarse,
+            compiler,
+            seed.wrapping_add(i as u64),
+        )
+        .rank_counters;
+        let compute = run.compute_seconds[0];
+        if compute <= 0.0 {
+            return Err(format!("micro-benchmark at ws={ws} recorded no compute time"));
+        }
+        curve.push((ws, counters[0] / compute));
+    }
+    curve.sort_by_key(|(ws, _)| *ws);
+    Ok(curve)
+}
+
+/// Measures the instruction rate of one `<class>-4` run: coarse-grain
+/// counters over an emulated execution, instructions divided by compute
+/// time.
+fn measure_rate(
+    testbed: &Testbed,
+    class: LuClass,
+    compiler: CompilerOpt,
+    mode: Instrumentation,
+    seed: u64,
+) -> Result<f64, String> {
+    let lu = LuConfig::new(class, 4).with_steps(CALIBRATION_STEPS);
+    let run = testbed.run_lu(&lu, mode, compiler)?;
+    let counters = acquire(lu.sources(), mode, compiler, seed).rank_counters;
+    let total_instr: f64 = counters.iter().sum();
+    let total_compute: f64 = run.compute_seconds.iter().sum();
+    if total_compute <= 0.0 {
+        return Err(format!("calibration run {class}-4 recorded no compute time"));
+    }
+    Ok(total_instr / total_compute)
+}
+
+/// Convenience: the placement-resolved host list for a 4-rank
+/// calibration run (exposed for diagnostics).
+pub fn calibration_hosts(testbed: &Testbed) -> Result<Vec<HostId>, String> {
+    testbed.hosts(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_calibration_measures_cache_resident_rate() {
+        let tb = Testbed::bordereau();
+        let cal = calibrate(&tb, CalibrationMethod::Simple, CompilerOpt::O0, &[], Instrumentation::Coarse, 1).unwrap();
+        // A-4 (32×32 blocks) is cache-resident on bordereau, so the rate
+        // must be close to the host's base speed.
+        let base = platform::clusters::BORDEREAU_SPEED;
+        assert!(
+            (cal.base_rate - base).abs() / base < 0.02,
+            "A-4 rate {} vs base {}",
+            cal.base_rate,
+            base
+        );
+        assert!(cal.class_rates.is_empty());
+    }
+
+    #[test]
+    fn cache_aware_rates_are_lower_for_spilling_classes() {
+        let tb = Testbed::bordereau();
+        let cal = calibrate(
+            &tb,
+            CalibrationMethod::CacheAware,
+            CompilerOpt::O3,
+            &[LuClass::B, LuClass::C],
+            Instrumentation::Coarse,
+            1,
+        )
+        .unwrap();
+        let b = cal.class_rates[&LuClass::B];
+        let c = cal.class_rates[&LuClass::C];
+        assert!(b < cal.base_rate, "B-4 rate {} !< A-4 rate {}", b, cal.base_rate);
+        assert!(c < b, "C-4 rate {c} !< B-4 rate {b}");
+    }
+
+    #[test]
+    fn rate_selection_follows_the_cache_predicate() {
+        let tb = Testbed::bordereau();
+        let cal = calibrate(
+            &tb,
+            CalibrationMethod::CacheAware,
+            CompilerOpt::O3,
+            &[LuClass::B, LuClass::C],
+            Instrumentation::Coarse,
+            1,
+        )
+        .unwrap();
+        // B-8 spills the 1 MiB cache -> class rate; B-64 fits -> A rate.
+        let b8 = LuConfig::new(LuClass::B, 8);
+        let b64 = LuConfig::new(LuClass::B, 64);
+        assert_eq!(cal.rate_for(&b8), cal.class_rates[&LuClass::B]);
+        assert_eq!(cal.rate_for(&b64), cal.base_rate);
+    }
+
+    #[test]
+    fn simple_method_ignores_instance() {
+        let tb = Testbed::bordereau();
+        let cal = calibrate(&tb, CalibrationMethod::Simple, CompilerOpt::O3, &[], Instrumentation::Coarse, 1).unwrap();
+        let b8 = LuConfig::new(LuClass::B, 8);
+        let c64 = LuConfig::new(LuClass::C, 64);
+        assert_eq!(cal.rate_for(&b8), cal.base_rate);
+        assert_eq!(cal.rate_for(&c64), cal.base_rate);
+    }
+
+    #[test]
+    fn graphene_needs_no_class_rates() {
+        // On graphene every studied instance is cache-resident, so the
+        // cache-aware method still always selects the A-4 rate
+        // (Section 3.4: "calibrating the simulator with a run of the A-4
+        // instance is then enough").
+        let tb = Testbed::graphene();
+        let cal = calibrate(
+            &tb,
+            CalibrationMethod::CacheAware,
+            CompilerOpt::O3,
+            &[LuClass::B, LuClass::C],
+            Instrumentation::Coarse,
+            1,
+        )
+        .unwrap();
+        for class in [LuClass::B, LuClass::C] {
+            for procs in [8u32, 16, 32, 64, 128] {
+                let inst = LuConfig::new(class, procs);
+                assert_eq!(
+                    cal.rate_for(&inst),
+                    cal.base_rate,
+                    "{} unexpectedly used a class rate",
+                    inst.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_calibration() {
+        let cal = Calibration::synthetic(2e9, 1 << 20);
+        assert_eq!(cal.rate_for(&LuConfig::new(LuClass::C, 8)), 2e9);
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let tb = Testbed::bordereau();
+        let a = calibrate(&tb, CalibrationMethod::Simple, CompilerOpt::O0, &[], Instrumentation::Coarse, 9).unwrap();
+        let b = calibrate(&tb, CalibrationMethod::Simple, CompilerOpt::O0, &[], Instrumentation::Coarse, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod automatic_tests {
+    use super::*;
+
+    #[test]
+    fn automatic_curve_is_monotone_decreasing() {
+        let tb = Testbed::bordereau();
+        let cal = calibrate(
+            &tb,
+            CalibrationMethod::Automatic,
+            CompilerOpt::O3,
+            &[],
+            Instrumentation::Coarse,
+            1,
+        )
+        .unwrap();
+        assert!(cal.rate_curve.len() >= 5);
+        for w in cal.rate_curve.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 * 1.01,
+                "rate curve not decreasing: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Cache-resident end of the sweep sits near the base speed.
+        let top = cal.rate_curve[0].1;
+        let base = platform::clusters::BORDEREAU_SPEED;
+        assert!((top - base).abs() / base < 0.02, "{top} vs {base}");
+    }
+
+    #[test]
+    fn automatic_rate_tracks_instance_working_set() {
+        let tb = Testbed::bordereau();
+        let cal = calibrate(
+            &tb,
+            CalibrationMethod::Automatic,
+            CompilerOpt::O3,
+            &[],
+            Instrumentation::Coarse,
+            1,
+        )
+        .unwrap();
+        // B-8 spills mildly; B-4 spills heavily. The automatic method
+        // must give B-8 a HIGHER rate than a B-4-sized working set would
+        // receive — the precision the class-based method lacks.
+        let b8 = LuConfig::new(LuClass::B, 8);
+        let b4 = LuConfig::new(LuClass::B, 4);
+        let r8 = cal.rate_for(&b8);
+        let r4 = cal.rate_for(&b4);
+        assert!(r8 > r4 * 1.05, "B-8 {r8} should beat B-4 {r4}");
+        // Cache-resident instances run at the top of the curve.
+        let b64 = LuConfig::new(LuClass::B, 64);
+        assert!((cal.rate_for(&b64) - cal.rate_curve[0].1).abs() < 1e-6 * cal.rate_curve[0].1);
+    }
+
+    #[test]
+    fn interpolation_clamps_at_extremes() {
+        let mut cal = Calibration::synthetic(1e9, 1 << 20);
+        cal.method = CalibrationMethod::Automatic;
+        cal.rate_curve = vec![(1000, 2e9), (2000, 1e9)];
+        assert_eq!(cal.rate_at_working_set(10), 2e9);
+        assert_eq!(cal.rate_at_working_set(1_000_000), 1e9);
+        assert_eq!(cal.rate_at_working_set(1500), 1.5e9);
+    }
+}

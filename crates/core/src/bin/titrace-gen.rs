@@ -1,0 +1,100 @@
+//! `titrace-gen` — acquire a time-independent trace of a synthetic NPB-LU
+//! instance and write it (and a matching platform spec) to disk, so the
+//! full file-based workflow can be driven end to end:
+//!
+//! ```text
+//! titrace-gen --class B --procs 8 --steps 25 --out trace.txt
+//! titreplay --platform bordereau.json --trace trace.txt --ranks 8 --rate 1.9e9
+//! ```
+
+use tit_replay::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: titrace-gen --class S|W|A|B|C|D --procs <2^k> [--steps N] \
+         [--mode minimal|fine|coarse] [--opt O0|O3] [--seed N] --out <file>\n\
+         also writes <file>.platform.json with the bordereau model"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut class = None;
+    let mut procs = None;
+    let mut steps = None;
+    let mut out = None;
+    let mut seed = 42u64;
+    let mut mode = Instrumentation::Minimal;
+    let mut opt = CompilerOpt::O3;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--class" => class = args.next().and_then(|v| LuClass::parse(&v)),
+            "--procs" => procs = args.next().and_then(|v| v.parse().ok()),
+            "--steps" => steps = args.next().and_then(|v| v.parse().ok()),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+            "--mode" => {
+                mode = match args.next().as_deref() {
+                    Some("minimal") => Instrumentation::Minimal,
+                    Some("fine") => Instrumentation::legacy_default(),
+                    Some("coarse") => Instrumentation::Coarse,
+                    _ => usage(),
+                }
+            }
+            "--opt" => {
+                opt = match args.next().as_deref() {
+                    Some("O0") => CompilerOpt::O0,
+                    Some("O3") => CompilerOpt::O3,
+                    _ => usage(),
+                }
+            }
+            "--out" => out = args.next(),
+            _ => usage(),
+        }
+    }
+    let (Some(class), Some(procs), Some(out)) = (class, procs, out) else {
+        usage()
+    };
+    let mut lu = LuConfig::new(class, procs);
+    if let Some(steps) = steps {
+        lu = lu.with_steps(steps);
+    }
+    eprintln!(
+        "acquiring {} ({} steps) with {} instrumentation, {} build",
+        lu.label(),
+        lu.steps,
+        mode.label(),
+        opt
+    );
+    let acq = acquire(lu.sources(), mode, opt, seed);
+    let text = tit_replay::titrace::write::to_string(&acq.trace);
+    std::fs::write(&out, &text).unwrap_or_else(|e| {
+        eprintln!("titrace-gen: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    let stats = tit_replay::titrace::TraceStats::of(&acq.trace);
+    eprintln!(
+        "wrote {} ({} actions, {} messages, {:.3e} instr/rank)",
+        out,
+        acq.trace.len(),
+        stats.total_messages(),
+        stats.mean_instructions_per_rank()
+    );
+    // A companion platform spec so titreplay can run immediately.
+    let spec = tit_replay::platform::PlatformSpec {
+        name: "bordereau".into(),
+        kind: tit_replay::platform::spec::SpecKind::Flat {
+            nodes: 93,
+            host_speed: tit_replay::platform::clusters::BORDEREAU_SPEED,
+            cores: 4,
+            cache_bytes: 1 << 20,
+            link_bandwidth: 1.21e8,
+            link_latency: 12e-6,
+            backbone_bandwidth: 1.2e9,
+            backbone_latency: 4e-6,
+        },
+    };
+    let spec_path = format!("{out}.platform.json");
+    std::fs::write(&spec_path, spec.to_json()).ok();
+    eprintln!("wrote {spec_path}");
+}

@@ -1,0 +1,114 @@
+//! `titreplay` — replay a time-independent trace file on a platform
+//! description, mirroring the paper's `smpirun ... ./smpi_replay
+//! trace_description` workflow.
+//!
+//! ```text
+//! titreplay --platform platform.json --trace trace.txt --ranks 8 \
+//!           --rate 2.05e9 [--engine smpi|msg] [--validate]
+//! ```
+//!
+//! Prints the simulated execution time.
+
+use std::sync::Arc;
+
+use tit_replay::prelude::*;
+
+struct Args {
+    platform: String,
+    trace: String,
+    ranks: u32,
+    rate: f64,
+    engine: ReplayEngine,
+    validate: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: titreplay --platform <platform.json> --trace <trace.txt> \
+         --ranks <N> --rate <instr/s> [--engine smpi|msg] [--validate]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut platform = None;
+    let mut trace = None;
+    let mut ranks = None;
+    let mut rate = None;
+    let mut engine = ReplayEngine::Smpi;
+    let mut validate = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--platform" => platform = args.next(),
+            "--trace" => trace = args.next(),
+            "--ranks" => ranks = args.next().and_then(|v| v.parse().ok()),
+            "--rate" => rate = args.next().and_then(|v| v.parse().ok()),
+            "--engine" => match args.next().as_deref() {
+                Some("smpi") => engine = ReplayEngine::Smpi,
+                Some("msg") => engine = ReplayEngine::Msg,
+                _ => usage(),
+            },
+            "--validate" => validate = true,
+            _ => usage(),
+        }
+    }
+    match (platform, trace, ranks, rate) {
+        (Some(platform), Some(trace), Some(ranks), Some(rate)) => Args {
+            platform,
+            trace,
+            ranks,
+            rate,
+            engine,
+            validate,
+        },
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let spec_json = std::fs::read_to_string(&args.platform)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", args.platform)));
+    let platform = PlatformSpec::from_json(&spec_json)
+        .unwrap_or_else(|e| fail(&format!("bad platform spec: {e}")))
+        .build();
+    let trace_text = std::fs::read_to_string(&args.trace)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", args.trace)));
+    let trace = tit_replay::titrace::parse::parse_merged(&trace_text, args.ranks)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    if args.validate {
+        let problems = tit_replay::titrace::validate::validate(&trace);
+        if !problems.is_empty() {
+            eprintln!("trace validation found {} issue(s):", problems.len());
+            for p in problems.iter().take(20) {
+                eprintln!("  - {p}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("trace validation: ok");
+    }
+    let config = ReplayConfig {
+        engine: args.engine,
+        rate: args.rate,
+        placement: Placement::OnePerNode,
+        copy_model: None,
+    };
+    match replay(&platform, &Arc::new(trace), &config) {
+        Ok(result) => {
+            println!("simulated_time_s {:.9}", result.time);
+            eprintln!(
+                "({} messages, {} simulation events, makespan over {} ranks)",
+                result.messages,
+                result.events,
+                result.rank_times.len()
+            );
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("titreplay: {msg}");
+    std::process::exit(1);
+}

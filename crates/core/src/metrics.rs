@@ -1,0 +1,166 @@
+//! Experiment records and error-band bookkeeping.
+//!
+//! The bench harness emits one [`ExperimentRecord`] per table row or
+//! figure point, serializable to JSON so EXPERIMENTS.md's
+//! paper-vs-measured comparison can be regenerated mechanically.
+//! [`ErrorBand`] captures the min/max envelope the paper quotes for each
+//! figure ("the error is comprised between -9.5% and 11.5%").
+
+use serde::{Deserialize, Serialize};
+
+/// One measured data point of a reproduced experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id: "table1", "fig6", ...
+    pub experiment: String,
+    /// Cluster name.
+    pub cluster: String,
+    /// Instance label ("B-64").
+    pub instance: String,
+    /// Named values of the point (e.g. "orig_s", "instr_s",
+    /// "overhead_pct", "rel_err_pct").
+    pub values: Vec<(String, f64)>,
+}
+
+impl ExperimentRecord {
+    /// Builds a record.
+    pub fn new(
+        experiment: impl Into<String>,
+        cluster: impl Into<String>,
+        instance: impl Into<String>,
+    ) -> ExperimentRecord {
+        ExperimentRecord {
+            experiment: experiment.into(),
+            cluster: cluster.into(),
+            instance: instance.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Adds one named value (builder style).
+    #[must_use]
+    pub fn with(mut self, name: impl Into<String>, value: f64) -> ExperimentRecord {
+        self.values.push((name.into(), value));
+        self
+    }
+
+    /// Looks a value up by name.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serializes a batch of records to pretty JSON.
+    pub fn to_json(records: &[ExperimentRecord]) -> String {
+        serde_json::to_string_pretty(records).expect("records always serialize")
+    }
+
+    /// Parses a batch back.
+    ///
+    /// # Errors
+    /// Propagates JSON errors.
+    pub fn from_json(json: &str) -> Result<Vec<ExperimentRecord>, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// A min/max envelope with its population.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ErrorBand {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl ErrorBand {
+    /// An empty band.
+    pub fn new() -> ErrorBand {
+        ErrorBand {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        }
+    }
+
+    /// Extends the band with one observation.
+    pub fn add(&mut self, value: f64) {
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.count += 1;
+    }
+
+    /// Width of the band (`max - min`); the paper's "stability" notion —
+    /// a narrow band means the framework predicts within a usable
+    /// confidence interval.
+    pub fn width(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// `true` when every observation fell inside `[lo, hi]`.
+    pub fn within(&self, lo: f64, hi: f64) -> bool {
+        self.count == 0 || (self.min >= lo && self.max <= hi)
+    }
+}
+
+impl std::fmt::Display for ErrorBand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.count == 0 {
+            write!(f, "[empty]")
+        } else {
+            write!(f, "[{:+.1}%, {:+.1}%] (n={})", self.min, self.max, self.count)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let records = vec![
+            ExperimentRecord::new("table1", "bordereau", "B-8")
+                .with("orig_s", 93.05)
+                .with("instr_s", 98.64)
+                .with("overhead_pct", 6.0),
+            ExperimentRecord::new("fig6", "bordereau", "C-64").with("rel_err_pct", 8.1),
+        ];
+        let json = ExperimentRecord::to_json(&records);
+        let back = ExperimentRecord::from_json(&json).unwrap();
+        assert_eq!(records, back);
+        assert_eq!(back[0].value("orig_s"), Some(93.05));
+        assert_eq!(back[0].value("missing"), None);
+    }
+
+    #[test]
+    fn error_band_tracks_envelope() {
+        let mut band = ErrorBand::new();
+        for v in [-2.7, 10.0, 38.9, -1.0] {
+            band.add(v);
+        }
+        assert_eq!(band.min, -2.7);
+        assert_eq!(band.max, 38.9);
+        assert_eq!(band.count, 4);
+        assert!((band.width() - 41.6).abs() < 1e-12);
+        assert!(band.within(-5.0, 40.0));
+        assert!(!band.within(0.0, 40.0));
+        assert_eq!(format!("{band}"), "[-2.7%, +38.9%] (n=4)");
+    }
+
+    #[test]
+    fn empty_band_behaviour() {
+        let band = ErrorBand::new();
+        assert_eq!(band.width(), 0.0);
+        assert!(band.within(-1.0, 1.0));
+        assert_eq!(format!("{band}"), "[empty]");
+    }
+}

@@ -1,0 +1,169 @@
+//! Cache-aware effective instruction rate.
+//!
+//! The paper's observation (Section 2.3): "as soon as the share of the
+//! matrix owned by each process exceeds the capacity of the L2 cache, the
+//! performance drops, with a direct impact on the instruction rate."
+//!
+//! We model the effective rate of a core as
+//!
+//! ```text
+//! rate(ws) = base_rate / (1 + penalty(ws))
+//! penalty(ws) = penalty_max * sqrt(x) / (sqrt(x) + S),   x = max(0, (ws - C) / C)
+//! ```
+//!
+//! where `C` is the per-core cache capacity and `ws` the active working
+//! set. The square-root form has a *sharp onset* — spilling at all
+//! immediately costs a noticeable fraction — followed by slow saturation
+//! towards the memory-bound asymptote. This shape is fitted to the
+//! per-instance rates implied by the paper's Section 2 measurements
+//! (B-8 runs ≈9% below the A-4 rate with a barely-spilling working set,
+//! C-4 ≈30% below with a 5× spill).
+
+use platform::Host;
+
+/// Default asymptotic slowdown of a fully memory-bound phase relative to a
+/// cache-resident one (fitted to the spread between the paper's class A
+/// and class C per-process rates on bordereau).
+pub const DEFAULT_PENALTY_MAX: f64 = 0.35;
+
+/// Shape parameter of the penalty curve (see the module docs): larger
+/// values soften the onset.
+pub const PENALTY_SHAPE: f64 = 0.93;
+
+/// Effective instruction rate of a core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Instruction rate with a cache-resident working set, instr/s.
+    pub base_rate: f64,
+    /// Per-core cache capacity, bytes.
+    pub cache_bytes: u64,
+    /// Asymptotic fractional slowdown when fully memory-bound.
+    pub penalty_max: f64,
+}
+
+impl CpuModel {
+    /// Builds the model for a platform host with the default penalty.
+    pub fn for_host(host: &Host) -> CpuModel {
+        CpuModel {
+            base_rate: host.speed,
+            cache_bytes: host.cache_bytes,
+            penalty_max: DEFAULT_PENALTY_MAX,
+        }
+    }
+
+    /// The cache-spill penalty for a working set of `ws` bytes
+    /// (0 = cache-resident, → `penalty_max` as `ws → ∞`).
+    pub fn penalty(&self, ws: u64) -> f64 {
+        let cap = self.cache_bytes as f64;
+        if ws as f64 <= cap {
+            return 0.0;
+        }
+        let x = (ws as f64 - cap) / cap;
+        let r = x.sqrt();
+        self.penalty_max * r / (r + PENALTY_SHAPE)
+    }
+
+    /// Effective rate (instructions/second) with working set `ws`.
+    pub fn effective_rate(&self, ws: u64) -> f64 {
+        self.base_rate / (1.0 + self.penalty(ws))
+    }
+
+    /// `true` when a working set of `ws` bytes is cache-resident — the
+    /// predicate the cache-aware calibration uses to pick a rate
+    /// (Section 3.4: "depending on whether the current instance handles
+    /// data that fit in the L2 cache").
+    pub fn fits_in_cache(&self, ws: u64) -> bool {
+        ws <= self.cache_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CpuModel {
+        CpuModel {
+            base_rate: 1e9,
+            cache_bytes: 1 << 20, // 1 MiB
+            penalty_max: 0.8,
+        }
+    }
+
+    #[test]
+    fn cache_resident_runs_at_base_rate() {
+        let m = model();
+        assert_eq!(m.effective_rate(0), 1e9);
+        assert_eq!(m.effective_rate(1 << 20), 1e9);
+        assert_eq!(m.penalty(512 * 1024), 0.0);
+        assert!(m.fits_in_cache(1 << 20));
+        assert!(!m.fits_in_cache((1 << 20) + 1));
+    }
+
+    #[test]
+    fn penalty_grows_then_saturates() {
+        let m = model();
+        // x = 1 -> p_max * 1/(1+S); x = 3 -> p_max * sqrt(3)/(sqrt(3)+S)
+        let p2 = m.penalty(2 << 20);
+        let p4 = m.penalty(4 << 20);
+        let p_huge = m.penalty(1 << 40);
+        assert!((p2 - 0.8 / (1.0 + PENALTY_SHAPE)).abs() < 1e-12, "{p2}");
+        let s3 = 3.0f64.sqrt();
+        assert!((p4 - 0.8 * s3 / (s3 + PENALTY_SHAPE)).abs() < 1e-12);
+        assert!(p2 < p4 && p4 < p_huge);
+        assert!(p_huge < m.penalty_max);
+        assert!(p_huge > 0.99 * m.penalty_max);
+    }
+
+    #[test]
+    fn effective_rate_is_monotone_decreasing_in_ws() {
+        let m = model();
+        let mut last = f64::INFINITY;
+        for ws in [0u64, 1 << 19, 1 << 20, 3 << 19, 1 << 21, 1 << 22, 1 << 25] {
+            let r = m.effective_rate(ws);
+            assert!(r <= last, "rate increased at ws={ws}");
+            assert!(r > 0.0);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn onset_is_sharp_but_bounded() {
+        let m = model();
+        // 6% above cache: sqrt(0.06)=0.245 -> p = 0.8*0.245/1.175 ≈ 17%
+        // of p_max's 0.8 => a noticeable but bounded hit.
+        let r = m.effective_rate((1.06 * (1u64 << 20) as f64) as u64);
+        assert!(r < 0.95e9, "onset should be noticeable: {r}");
+        assert!(r > 0.80e9, "onset should not be catastrophic: {r}");
+    }
+
+    #[test]
+    fn for_host_copies_platform_values() {
+        let p = platform::clusters::bordereau();
+        let m = CpuModel::for_host(p.host(platform::HostId(0)));
+        assert_eq!(m.cache_bytes, 1 << 20);
+        assert_eq!(m.base_rate, platform::clusters::BORDEREAU_SPEED);
+        assert_eq!(m.penalty_max, DEFAULT_PENALTY_MAX);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Rate stays within [base/(1+penalty_max), base] for any working
+        /// set, and penalty is monotone in ws.
+        #[test]
+        fn rate_bounds(ws_a in 0u64..1 << 40, ws_b in 0u64..1 << 40) {
+            let m = CpuModel { base_rate: 2.5e9, cache_bytes: 1 << 20, penalty_max: 0.82 };
+            for ws in [ws_a, ws_b] {
+                let r = m.effective_rate(ws);
+                prop_assert!(r <= m.base_rate * (1.0 + 1e-12));
+                prop_assert!(r >= m.base_rate / (1.0 + m.penalty_max) - 1.0);
+            }
+            let (lo, hi) = if ws_a <= ws_b { (ws_a, ws_b) } else { (ws_b, ws_a) };
+            prop_assert!(m.penalty(lo) <= m.penalty(hi) + 1e-15);
+        }
+    }
+}

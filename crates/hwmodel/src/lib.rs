@@ -1,0 +1,28 @@
+//! Microarchitecture models: the part of "reality" that the paper's
+//! replay framework tries to calibrate against.
+//!
+//! Three models live here:
+//!
+//! * [`cpu::CpuModel`] — the effective instruction rate of a core as a
+//!   function of the active working set: full speed while the set is
+//!   cache-resident, smoothly degrading once it spills (the phenomenon
+//!   behind the paper's cache-aware calibration, Section 2.3/3.4).
+//! * [`counters::CounterModel`] — the hardware instruction counter: true
+//!   work instructions plus whatever the instrumentation probes execute,
+//!   with small deterministic per-measurement jitter (real PAPI readings
+//!   vary run to run; the paper averages ten runs).
+//! * [`probes::ProbeCosts`] — cost constants of the tracing toolchain
+//!   (counter reads, per-probe bookkeeping, call-path maintenance, buffer
+//!   flushes), consumed by the `acquisition` crate's instrumentation
+//!   modes.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod counters;
+pub mod cpu;
+pub mod probes;
+
+pub use counters::CounterModel;
+pub use cpu::CpuModel;
+pub use probes::ProbeCosts;

@@ -1,0 +1,129 @@
+//! Cost constants of the tracing toolchain (TAU + PAPI analogue).
+//!
+//! The acquisition layer composes these primitive costs into
+//! instrumentation modes. Two observables emerge:
+//!
+//! * extra **instructions** executed inside measured sections — inflating
+//!   the hardware counter readings (Figures 1/2/4/5);
+//! * extra **wall time** — probe execution plus periodic trace-buffer
+//!   flushes (Tables 1/2).
+//!
+//! The constants are fitted so the emulated LU runs land in the paper's
+//! measured overhead ranges; each is documented with its real-world
+//! counterpart.
+
+/// Probe/flush cost table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeCosts {
+    /// Instructions for one hardware-counter read (PAPI_read and friends
+    /// cost a few thousand cycles on the era's hardware).
+    pub counter_read_instr: f64,
+    /// Instructions for the enter/exit bookkeeping of one instrumented
+    /// function call (timer lookup, stack push/pop), excluding counter
+    /// reads. Fine-grain TAU instrumentation pays this on *every* call of
+    /// every non-excluded function.
+    pub function_probe_instr: f64,
+    /// Extra instructions per call for building the complete call path —
+    /// the paper's identified "main source of this overhead"
+    /// (Section 3.2). Only fine-grain instrumentation pays it.
+    pub callpath_instr: f64,
+    /// Instructions for recording one MPI event (name + parameters) into
+    /// the trace buffer with standalone counter management — the
+    /// *minimal* mode's wrapper (PAPI start/stop pair per event).
+    pub mpi_event_instr: f64,
+    /// Instructions counted per MPI event under *fine-grain*
+    /// instrumentation, where the probe infrastructure is already active
+    /// and the wrapper shares its warm timer/counter state. Fitted
+    /// jointly with `mpi_event_instr` against Figures 1 and 4 (the two
+    /// modes' B-64 worst cases, 16% and 12%).
+    pub fine_mpi_event_instr: f64,
+    /// Trace-buffer capacity in events; when full, the buffer is flushed
+    /// to disk.
+    pub flush_interval_events: u64,
+    /// Wall-clock seconds per buffer flush ("flushing the trace on disk"
+    /// is one of the overhead sources the paper cites from its reference
+    /// \[11\]).
+    pub flush_seconds: f64,
+}
+
+impl ProbeCosts {
+    /// Costs modeled after TAU 2.x with PAPI on the paper's clusters.
+    ///
+    /// The values are fitted so that the emulated LU runs land in the
+    /// paper's measured ranges: the per-function-call cost reproduces the
+    /// 10–13% fine-grain counter inflation of Figures 1–2, and the
+    /// per-MPI-event cost reproduces the minimal-instrumentation residual
+    /// of Figures 4–5 (mostly <6%, B-64 ≈ 12%).
+    pub fn tau_era_defaults() -> ProbeCosts {
+        ProbeCosts {
+            counter_read_instr: 110.0,
+            function_probe_instr: 130.0,
+            callpath_instr: 53.0,
+            mpi_event_instr: 10070.0,
+            fine_mpi_event_instr: 4300.0,
+            flush_interval_events: 1 << 20,
+            flush_seconds: 2.1e-3,
+        }
+    }
+
+    /// Instructions added inside measured sections by one *fine-grain*
+    /// instrumented function call: enter+exit counter reads, probe
+    /// bookkeeping, and call-path maintenance.
+    pub fn fine_call_instr(&self, with_callpath: bool) -> f64 {
+        let base = 2.0 * self.counter_read_instr + self.function_probe_instr;
+        if with_callpath {
+            base + self.callpath_instr
+        } else {
+            base
+        }
+    }
+
+    /// Instructions added around one MPI call by any instrumenting mode
+    /// and *counted* by the hardware counter: the TAU MPI wrapper runs
+    /// inside the measured window (the counter reads close the window
+    /// from within the wrapper, after event recording), so one counter
+    /// read plus the event-recording instructions inflate the adjacent
+    /// compute section's measurement.
+    pub fn mpi_event_counted_instr(&self) -> f64 {
+        self.counter_read_instr + self.mpi_event_instr
+    }
+
+    /// Instructions counted per MPI event in fine-grain mode.
+    pub fn fine_mpi_event_counted_instr(&self) -> f64 {
+        self.fine_mpi_event_instr
+    }
+}
+
+impl Default for ProbeCosts {
+    fn default() -> Self {
+        ProbeCosts::tau_era_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fine_call_costs_compose() {
+        let c = ProbeCosts::tau_era_defaults();
+        assert_eq!(c.fine_call_instr(false), 2.0 * 110.0 + 130.0);
+        assert_eq!(c.fine_call_instr(true), 2.0 * 110.0 + 130.0 + 53.0);
+    }
+
+    #[test]
+    fn per_event_costs_have_the_right_granularity() {
+        let c = ProbeCosts::tau_era_defaults();
+        // Fine-grain probes fire on (near) per-grid-point helper calls, so
+        // each must be far cheaper than the heavyweight MPI wrapper event,
+        // of which there are only a few hundred per solver step.
+        assert!(c.fine_call_instr(true) * 10.0 < c.mpi_event_counted_instr());
+        assert!(c.mpi_event_counted_instr() == 110.0 + 10070.0);
+        assert!(c.fine_mpi_event_counted_instr() < c.mpi_event_counted_instr());
+    }
+
+    #[test]
+    fn default_is_tau_era() {
+        assert_eq!(ProbeCosts::default(), ProbeCosts::tau_era_defaults());
+    }
+}

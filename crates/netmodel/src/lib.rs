@@ -1,0 +1,498 @@
+//! Flow-level network models.
+//!
+//! A network transfer is a kernel activity whose work is the message size
+//! in bytes and whose rate is the bandwidth currently allotted to the
+//! flow. This crate maintains that allotment as flows come and go:
+//!
+//! * [`SharingPolicy::Bottleneck`] — each flow receives
+//!   `min_over_route(capacity / flows_on_link)`, capped by its own
+//!   protocol ceiling. This is the fast model used for large simulations;
+//!   it guarantees no link is oversubscribed but does not redistribute
+//!   head-room (same family of approximation as SimGrid's fast default
+//!   without cross-traffic).
+//! * [`SharingPolicy::MaxMin`] — exact progressive-filling max-min
+//!   fairness, recomputed globally on every change. The reference model:
+//!   slower, used in tests and small studies to bound the error of the
+//!   fast model.
+//!
+//! [`piecewise::PiecewiseFactors`] implements SMPI's piece-wise linear
+//! correction of nominal latency/bandwidth by message size — the paper's
+//! "original piece-wise linear model to take into account the specifics of
+//! the cluster interconnect".
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod piecewise;
+pub mod sharing;
+
+pub use piecewise::PiecewiseFactors;
+pub use sharing::SharingPolicy;
+
+use platform::{LinkId, Platform};
+use simkernel::{ActivityId, Kernel};
+
+const NO_FREE: u32 = u32::MAX;
+
+/// Handle to an open flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId {
+    index: u32,
+    generation: u32,
+}
+
+#[derive(Debug)]
+struct Flow {
+    route: Vec<LinkId>,
+    activity: ActivityId,
+    /// Per-flow rate ceiling (protocol-corrected nominal bandwidth).
+    cap: f64,
+    generation: u32,
+    live: bool,
+    next_free: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LinkState {
+    capacity: f64,
+    nflows: u32,
+}
+
+/// The live network: link occupancies and flow allotments.
+#[derive(Debug)]
+pub struct FlowNet {
+    links: Vec<LinkState>,
+    flows: Vec<Flow>,
+    free_head: u32,
+    /// Flows crossing each link.
+    per_link: Vec<Vec<u32>>,
+    policy: SharingPolicy,
+    scratch: Vec<u32>,
+    live_count: usize,
+}
+
+impl FlowNet {
+    /// Builds the network state from a platform's links.
+    pub fn new(platform: &Platform, policy: SharingPolicy) -> FlowNet {
+        let links = platform
+            .links()
+            .iter()
+            .map(|l| LinkState {
+                capacity: l.bandwidth,
+                nflows: 0,
+            })
+            .collect::<Vec<_>>();
+        let per_link = links.iter().map(|_| Vec::new()).collect();
+        FlowNet {
+            links,
+            flows: Vec::new(),
+            free_head: NO_FREE,
+            per_link,
+            policy,
+            scratch: Vec::new(),
+            live_count: 0,
+        }
+    }
+
+    /// The sharing policy in effect.
+    pub fn policy(&self) -> SharingPolicy {
+        self.policy
+    }
+
+    /// Number of currently open flows.
+    pub fn live_flows(&self) -> usize {
+        self.live_count
+    }
+
+    /// Opens a flow of `bytes` over `route`, with a per-flow bandwidth
+    /// ceiling `cap` (bytes/s; pass the protocol-corrected nominal
+    /// bandwidth). Returns the flow handle; the underlying activity
+    /// completes when the last byte is transferred.
+    ///
+    /// # Panics
+    /// Panics if `route` is empty — loopback transfers never reach the
+    /// network layer.
+    pub fn open(&mut self, kernel: &mut Kernel, route: &[LinkId], bytes: f64, cap: f64) -> FlowId {
+        assert!(!route.is_empty(), "cannot open a flow over an empty route");
+        assert!(cap > 0.0 && cap.is_finite(), "invalid flow cap: {cap}");
+        let activity = kernel.start_activity(bytes, 0.0);
+        let index = if self.free_head != NO_FREE {
+            let index = self.free_head;
+            let f = &mut self.flows[index as usize];
+            self.free_head = f.next_free;
+            f.route.clear();
+            f.route.extend_from_slice(route);
+            f.activity = activity;
+            f.cap = cap;
+            f.generation = f.generation.wrapping_add(1);
+            f.live = true;
+            f.next_free = NO_FREE;
+            index
+        } else {
+            let index = u32::try_from(self.flows.len()).expect("too many flows");
+            self.flows.push(Flow {
+                route: route.to_vec(),
+                activity,
+                cap,
+                generation: 0,
+                live: true,
+                next_free: NO_FREE,
+            });
+            index
+        };
+        for l in route {
+            self.links[l.as_usize()].nflows += 1;
+            self.per_link[l.as_usize()].push(index);
+        }
+        self.live_count += 1;
+        let id = FlowId {
+            index,
+            generation: self.flows[index as usize].generation,
+        };
+        self.reshare_after_change(kernel, index);
+        id
+    }
+
+    /// The kernel activity carrying this flow's progress (subscribe to it
+    /// to learn of completion).
+    pub fn activity(&self, id: FlowId) -> ActivityId {
+        let f = &self.flows[id.index as usize];
+        assert_eq!(f.generation, id.generation, "stale FlowId");
+        f.activity
+    }
+
+    /// Closes a flow (after its activity completed, or to abort it) and
+    /// redistributes bandwidth. Closing an already-closed flow is an
+    /// error.
+    pub fn close(&mut self, kernel: &mut Kernel, id: FlowId) {
+        let f = &mut self.flows[id.index as usize];
+        assert_eq!(f.generation, id.generation, "stale FlowId");
+        assert!(f.live, "double close of flow {id:?}");
+        f.live = false;
+        kernel.cancel(f.activity); // no-op when already completed
+        let route = std::mem::take(&mut f.route);
+        for l in &route {
+            let ls = &mut self.links[l.as_usize()];
+            ls.nflows -= 1;
+            let v = &mut self.per_link[l.as_usize()];
+            let pos = v
+                .iter()
+                .position(|x| *x == id.index)
+                .expect("flow missing from link index");
+            v.swap_remove(pos);
+        }
+        self.live_count -= 1;
+        let f = &mut self.flows[id.index as usize];
+        f.route = route; // keep the allocation for reuse
+        f.next_free = self.free_head;
+        self.free_head = id.index;
+        self.reshare_after_close(kernel, &id);
+    }
+
+    fn reshare_after_change(&mut self, kernel: &mut Kernel, new_flow: u32) {
+        match self.policy {
+            SharingPolicy::Bottleneck => {
+                // Affected flows: every flow sharing a link with the new one.
+                self.collect_neighbors(new_flow);
+                let mut scratch = std::mem::take(&mut self.scratch);
+                for idx in &scratch {
+                    let rate = self.bottleneck_rate(*idx);
+                    kernel.set_rate(self.flows[*idx as usize].activity, rate);
+                }
+                scratch.clear();
+                self.scratch = scratch;
+            }
+            SharingPolicy::MaxMin => self.reshare_maxmin(kernel),
+        }
+    }
+
+    fn reshare_after_close(&mut self, kernel: &mut Kernel, closed: &FlowId) {
+        match self.policy {
+            SharingPolicy::Bottleneck => {
+                // The closed flow's former route links gained head-room.
+                // Its neighbors are exactly the remaining flows on those
+                // links.
+                let route = self.flows[closed.index as usize].route.clone();
+                self.scratch.clear();
+                for l in &route {
+                    self.scratch.extend(self.per_link[l.as_usize()].iter());
+                }
+                self.scratch.sort_unstable();
+                self.scratch.dedup();
+                let mut scratch = std::mem::take(&mut self.scratch);
+                for idx in &scratch {
+                    let rate = self.bottleneck_rate(*idx);
+                    kernel.set_rate(self.flows[*idx as usize].activity, rate);
+                }
+                scratch.clear();
+                self.scratch = scratch;
+            }
+            SharingPolicy::MaxMin => self.reshare_maxmin(kernel),
+        }
+    }
+
+    fn collect_neighbors(&mut self, flow: u32) {
+        self.scratch.clear();
+        for l in &self.flows[flow as usize].route {
+            self.scratch.extend(self.per_link[l.as_usize()].iter());
+        }
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+    }
+
+    fn bottleneck_rate(&self, flow: u32) -> f64 {
+        let f = &self.flows[flow as usize];
+        let mut rate = f.cap;
+        for l in &f.route {
+            let ls = &self.links[l.as_usize()];
+            debug_assert!(ls.nflows > 0);
+            rate = rate.min(ls.capacity / ls.nflows as f64);
+        }
+        rate
+    }
+
+    /// Exact progressive-filling max-min allocation over all live flows.
+    fn reshare_maxmin(&mut self, kernel: &mut Kernel) {
+        let rates = sharing::maxmin_rates(
+            self.links.iter().map(|l| l.capacity).collect::<Vec<_>>(),
+            self.flows
+                .iter()
+                .map(|f| {
+                    if f.live {
+                        Some((f.route.as_slice(), f.cap))
+                    } else {
+                        None
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        for (idx, rate) in rates.into_iter().enumerate() {
+            if let Some(rate) = rate {
+                kernel.set_rate(self.flows[idx].activity, rate);
+            }
+        }
+    }
+
+    /// The rate each live flow currently receives (diagnostics/tests).
+    pub fn current_rates(&self) -> Vec<(FlowId, f64)> {
+        let mut out = Vec::new();
+        for (idx, f) in self.flows.iter().enumerate() {
+            if f.live {
+                let id = FlowId {
+                    index: idx as u32,
+                    generation: f.generation,
+                };
+                let rate = match self.policy {
+                    SharingPolicy::Bottleneck => self.bottleneck_rate(idx as u32),
+                    SharingPolicy::MaxMin => {
+                        // Recompute from scratch (test-only path).
+                        let rates = sharing::maxmin_rates(
+                            self.links.iter().map(|l| l.capacity).collect::<Vec<_>>(),
+                            self.flows
+                                .iter()
+                                .map(|f| {
+                                    if f.live {
+                                        Some((f.route.as_slice(), f.cap))
+                                    } else {
+                                        None
+                                    }
+                                })
+                                .collect::<Vec<_>>(),
+                        );
+                        rates[idx].expect("live flow has a rate")
+                    }
+                };
+                out.push((id, rate));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::topology::{flat_cluster, FlatClusterSpec};
+    use platform::HostId;
+
+    fn net(policy: SharingPolicy) -> (Platform, FlowNet, Kernel) {
+        let p = flat_cluster(&FlatClusterSpec {
+            name: "t".into(),
+            nodes: 4,
+            host_speed: 1e9,
+            cores: 1,
+            cache_bytes: 1 << 20,
+            link_bandwidth: 100.0,
+            link_latency: 0.0,
+            backbone_bandwidth: 150.0,
+            backbone_latency: 0.0,
+        });
+        let f = FlowNet::new(&p, policy);
+        (p, f, Kernel::new())
+    }
+
+    fn route(p: &Platform, s: u32, d: u32) -> Vec<LinkId> {
+        let mut r = Vec::new();
+        p.route(HostId(s), HostId(d), &mut r);
+        r
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_bandwidth() {
+        let (p, mut net, mut k) = net(SharingPolicy::Bottleneck);
+        let r = route(&p, 0, 1);
+        let f = net.open(&mut k, &r, 1000.0, 1e9);
+        let rates = net.current_rates();
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, f);
+        assert_eq!(rates[0].1, 100.0); // NIC limits, not the 150 backbone
+    }
+
+    #[test]
+    fn cap_limits_flow_rate() {
+        let (p, mut net, mut k) = net(SharingPolicy::Bottleneck);
+        let r = route(&p, 0, 1);
+        let _f = net.open(&mut k, &r, 1000.0, 42.0);
+        assert_eq!(net.current_rates()[0].1, 42.0);
+    }
+
+    #[test]
+    fn backbone_contention_shares_fairly() {
+        let (p, mut net, mut k) = net(SharingPolicy::Bottleneck);
+        // Two flows from different sources to different destinations: they
+        // only share the 150-capacity backbone => 75 each.
+        let f1 = net.open(&mut k, &route(&p, 0, 1), 1e6, 1e9);
+        let f2 = net.open(&mut k, &route(&p, 2, 3), 1e6, 1e9);
+        let rates = net.current_rates();
+        assert_eq!(rates.len(), 2);
+        for (id, rate) in rates {
+            assert!(id == f1 || id == f2);
+            assert_eq!(rate, 75.0);
+        }
+    }
+
+    #[test]
+    fn closing_a_flow_restores_bandwidth() {
+        let (p, mut net, mut k) = net(SharingPolicy::Bottleneck);
+        let f1 = net.open(&mut k, &route(&p, 0, 1), 1e6, 1e9);
+        let f2 = net.open(&mut k, &route(&p, 2, 3), 1e6, 1e9);
+        net.close(&mut k, f1);
+        let rates = net.current_rates();
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, f2);
+        assert_eq!(rates[0].1, 100.0);
+        assert_eq!(net.live_flows(), 1);
+    }
+
+    #[test]
+    fn flow_completion_time_under_contention() {
+        // Two flows on the same NIC uplink (50 each), one finishes, the
+        // survivor speeds up to 100.
+        let (p, mut net, mut k) = net(SharingPolicy::Bottleneck);
+        let r1 = route(&p, 0, 1);
+        let r2 = route(&p, 0, 2);
+        let f1 = net.open(&mut k, &r1, 100.0, 1e9); // shares uplink of host 0
+        let f2 = net.open(&mut k, &r2, 1000.0, 1e9);
+        let a1 = net.activity(f1);
+        let a2 = net.activity(f2);
+        k.subscribe(a1, simkernel::ActorId(0));
+        k.subscribe(a2, simkernel::ActorId(1));
+        // f1: 100 bytes at 50 B/s => done at t=2. f2 then has 1000-100=900
+        // left at 100 B/s => done at 2 + 9 = 11.
+        let (actor, _) = k.next_wake().unwrap();
+        assert_eq!(actor, simkernel::ActorId(0));
+        assert_eq!(k.now().as_secs(), 2.0);
+        net.close(&mut k, f1);
+        let (actor, _) = k.next_wake().unwrap();
+        assert_eq!(actor, simkernel::ActorId(1));
+        assert!((k.now().as_secs() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxmin_redistributes_headroom() {
+        let (p, mut net, mut k) = net(SharingPolicy::MaxMin);
+        // f1 capped at 20 on the shared backbone; f2 should receive the
+        // rest of its NIC capacity (100), not the naive 75 share.
+        let _f1 = net.open(&mut k, &route(&p, 0, 1), 1e6, 20.0);
+        let f2 = net.open(&mut k, &route(&p, 2, 3), 1e6, 1e9);
+        let rates = net.current_rates();
+        let r2 = rates.iter().find(|(id, _)| *id == f2).unwrap().1;
+        assert_eq!(r2, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty route")]
+    fn empty_route_rejected() {
+        let (_p, mut net, mut k) = net(SharingPolicy::Bottleneck);
+        let _ = net.open(&mut k, &[], 10.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double close")]
+    fn double_close_rejected() {
+        let (p, mut net, mut k) = net(SharingPolicy::Bottleneck);
+        let f = net.open(&mut k, &route(&p, 0, 1), 10.0, 1.0);
+        net.close(&mut k, f);
+        net.close(&mut k, f);
+    }
+
+    #[test]
+    fn slot_reuse_yields_fresh_generation() {
+        let (p, mut net, mut k) = net(SharingPolicy::Bottleneck);
+        let f1 = net.open(&mut k, &route(&p, 0, 1), 10.0, 1.0);
+        net.close(&mut k, f1);
+        let f2 = net.open(&mut k, &route(&p, 0, 1), 10.0, 1.0);
+        assert_ne!(f1, f2);
+        let _ = net.activity(f2); // must not panic
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use platform::topology::{flat_cluster, FlatClusterSpec};
+    use platform::HostId;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Under the bottleneck policy, no link's aggregate allotment ever
+        /// exceeds its capacity, for any pattern of opened flows.
+        #[test]
+        fn no_link_oversubscription(pairs in proptest::collection::vec((0u32..6, 0u32..6), 1..40)) {
+            let p = flat_cluster(&FlatClusterSpec {
+                name: "pp".into(),
+                nodes: 6,
+                host_speed: 1e9,
+                cores: 1,
+                cache_bytes: 1,
+                link_bandwidth: 100.0,
+                link_latency: 0.0,
+                backbone_bandwidth: 130.0,
+                backbone_latency: 0.0,
+            });
+            let mut k = Kernel::new();
+            let mut net = FlowNet::new(&p, SharingPolicy::Bottleneck);
+            let mut r = Vec::new();
+            for (s, d) in pairs {
+                if s == d { continue; }
+                p.route(HostId(s), HostId(d), &mut r);
+                let _ = net.open(&mut k, &r, 1e6, 1e9);
+            }
+            // Sum allotments per link.
+            let mut per_link = vec![0.0f64; p.links().len()];
+            for (id, rate) in net.current_rates() {
+                let f = &net.flows[id.index as usize];
+                for l in &f.route {
+                    per_link[l.as_usize()] += rate;
+                }
+            }
+            for (i, used) in per_link.iter().enumerate() {
+                let cap = p.links()[i].bandwidth;
+                prop_assert!(*used <= cap * (1.0 + 1e-9),
+                    "link {i} oversubscribed: {used} > {cap}");
+            }
+        }
+    }
+}

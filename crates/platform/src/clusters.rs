@@ -1,0 +1,97 @@
+//! Models of the two Grid'5000 clusters used in the paper's evaluation.
+//!
+//! The hardware figures come from the paper (Section 2) and public
+//! Grid'5000 documentation of the era; rates are *effective* per-core
+//! instruction rates fitted so that the emulated NPB-LU runs land near the
+//! execution times reported in Tables 1 and 2 (see `EXPERIMENTS.md`).
+//!
+//! A note on caches: the paper describes graphene's per-core cache as "two
+//! times larger" than bordereau's 1 MB L2 and states that *all* evaluated
+//! instances fit in it. The Xeon X3440 actually exposes an 8 MB shared L3;
+//! we model an effective per-core capacity of 4 MB, which reproduces the
+//! paper's qualitative statement (every instance cache-resident on
+//! graphene, only class A cache-resident on bordereau).
+
+use crate::topology::{cabinet_cluster, flat_cluster, CabinetClusterSpec, FlatClusterSpec};
+use crate::Platform;
+
+/// Effective peak instruction rate of a bordereau core (2.6 GHz dual-core
+/// Opteron 2218), instructions per second.
+pub const BORDEREAU_SPEED: f64 = 2.05e9;
+
+/// Effective peak instruction rate of a graphene core (2.53 GHz Xeon
+/// X3440), instructions per second.
+pub const GRAPHENE_SPEED: f64 = 3.45e9;
+
+/// bordereau: 93 nodes × 2 dual-core Opteron 2218 @ 2.6 GHz, 1 MB L2 per
+/// core, GigE NICs on a single 10G switch.
+pub fn bordereau() -> Platform {
+    flat_cluster(&FlatClusterSpec {
+        name: "bordereau".into(),
+        nodes: 93,
+        host_speed: BORDEREAU_SPEED,
+        cores: 4,
+        cache_bytes: 1 << 20, // 1 MiB per core
+        link_bandwidth: 1.21e8, // ~GigE effective (TCP) payload rate
+        link_latency: 12e-6,
+        backbone_bandwidth: 1.2e9, // 10G fabric
+        backbone_latency: 4e-6,
+    })
+}
+
+/// graphene: 144 nodes × quad-core Xeon X3440 @ 2.53 GHz, large effective
+/// per-core cache, GigE NICs, four cabinets with 10G uplinks.
+pub fn graphene() -> Platform {
+    cabinet_cluster(&CabinetClusterSpec {
+        name: "graphene".into(),
+        cabinets: 4,
+        nodes_per_cabinet: 36,
+        host_speed: GRAPHENE_SPEED,
+        cores: 4,
+        cache_bytes: 4 << 20, // effective 4 MiB per core (see module docs)
+        link_bandwidth: 1.21e8,
+        link_latency: 15e-6,
+        cabinet_bandwidth: 1.2e9,
+        cabinet_latency: 2.5e-6,
+        backbone_bandwidth: 2.4e9,
+        backbone_latency: 2.5e-6,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HostId;
+
+    #[test]
+    fn bordereau_shape() {
+        let p = bordereau();
+        assert_eq!(p.host_count(), 93);
+        assert_eq!(p.host(HostId(0)).cache_bytes, 1 << 20);
+        assert!(matches!(p.topology(), crate::Topology::Flat { .. }));
+    }
+
+    #[test]
+    fn graphene_shape() {
+        let p = graphene();
+        assert_eq!(p.host_count(), 144);
+        assert_eq!(p.host(HostId(0)).cache_bytes, 4 << 20);
+        assert!(matches!(p.topology(), crate::Topology::Cabinets { .. }));
+    }
+
+    #[test]
+    fn graphene_cores_are_faster_than_bordereau() {
+        // The paper's graphene runs are roughly 1.4–1.9x faster than the
+        // bordereau ones at equal instance; the per-core rates must
+        // preserve that ordering.
+        assert!(GRAPHENE_SPEED > BORDEREAU_SPEED);
+    }
+
+    #[test]
+    fn inter_cabinet_latency_exceeds_intra() {
+        let p = graphene();
+        let intra = p.route_latency(HostId(0), HostId(1)); // same cabinet
+        let inter = p.route_latency(HostId(0), HostId(36)); // cabinet 0 -> 1
+        assert!(inter > intra);
+    }
+}

@@ -1,0 +1,117 @@
+//! Rank-to-host placement policies.
+//!
+//! The paper's experiments place one MPI process per node (the usual NPB
+//! configuration on Grid'5000 at the time, avoiding intra-node memory
+//! contention); [`Placement::OnePerNode`] is therefore the default
+//! everywhere. The other policies exist for the capacity-planning example
+//! and for tests.
+
+use crate::{HostId, Platform};
+
+/// A policy deciding which host runs each MPI rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Rank `i` on host `i`. Fails if there are more ranks than hosts.
+    OnePerNode,
+    /// Fill each node's cores before moving to the next node.
+    PackCores,
+    /// Round-robin over hosts, allowing several ranks per host up to the
+    /// core count (rank `i` on host `i % nodes`).
+    RoundRobin,
+}
+
+impl Placement {
+    /// Computes the host of every rank.
+    ///
+    /// # Errors
+    /// Returns a descriptive error when the platform lacks capacity
+    /// (hosts × cores < ranks, or hosts < ranks for [`Placement::OnePerNode`]).
+    pub fn assign(&self, platform: &Platform, ranks: u32) -> Result<Vec<HostId>, String> {
+        let hosts = platform.host_count() as u32;
+        match self {
+            Placement::OnePerNode => {
+                if ranks > hosts {
+                    return Err(format!(
+                        "OnePerNode needs {ranks} hosts, platform {} has {hosts}",
+                        platform.name
+                    ));
+                }
+                Ok((0..ranks).map(HostId).collect())
+            }
+            Placement::PackCores => {
+                let mut out = Vec::with_capacity(ranks as usize);
+                let mut host = 0u32;
+                let mut used = 0u32;
+                for _ in 0..ranks {
+                    if host >= hosts {
+                        return Err(format!(
+                            "PackCores exhausted {} hosts before placing {ranks} ranks",
+                            hosts
+                        ));
+                    }
+                    out.push(HostId(host));
+                    used += 1;
+                    if used == platform.host(HostId(host)).cores {
+                        host += 1;
+                        used = 0;
+                    }
+                }
+                Ok(out)
+            }
+            Placement::RoundRobin => {
+                let total_cores: u32 = platform.hosts().iter().map(|h| h.cores).sum();
+                if ranks > total_cores {
+                    return Err(format!(
+                        "RoundRobin needs {ranks} cores, platform {} has {total_cores}",
+                        platform.name
+                    ));
+                }
+                Ok((0..ranks).map(|r| HostId(r % hosts)).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clusters::bordereau;
+
+    #[test]
+    fn one_per_node() {
+        let p = bordereau();
+        let m = Placement::OnePerNode.assign(&p, 8).unwrap();
+        assert_eq!(m, (0..8).map(HostId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_per_node_capacity_error() {
+        let p = bordereau();
+        let err = Placement::OnePerNode.assign(&p, 128).unwrap_err();
+        assert!(err.contains("needs 128 hosts"));
+    }
+
+    #[test]
+    fn pack_cores_fills_nodes() {
+        let p = bordereau(); // 4 cores per node
+        let m = Placement::PackCores.assign(&p, 10).unwrap();
+        assert_eq!(
+            m.iter().map(|h| h.0).collect::<Vec<_>>(),
+            vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+        );
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let p = bordereau();
+        let m = Placement::RoundRobin.assign(&p, 95).unwrap();
+        assert_eq!(m[93], HostId(0));
+        assert_eq!(m[94], HostId(1));
+    }
+
+    #[test]
+    fn round_robin_capacity_error() {
+        let p = bordereau();
+        assert!(Placement::RoundRobin.assign(&p, 93 * 4 + 1).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! JSON platform specifications — the analogue of SimGrid's
+//! `platform.xml` input file.
+//!
+//! The replay tool is launched, as in the paper, with a platform
+//! description file; this module defines that format and the conversion to
+//! a live [`Platform`].
+//!
+//! ```
+//! use platform::PlatformSpec;
+//! let json = r#"{
+//!   "name": "mini",
+//!   "kind": { "Flat": {
+//!       "nodes": 4, "host_speed": 1e9, "cores": 2, "cache_bytes": 1048576,
+//!       "link_bandwidth": 1.25e8, "link_latency": 2.5e-5,
+//!       "backbone_bandwidth": 1.25e9, "backbone_latency": 5e-6 } }
+//! }"#;
+//! let spec: PlatformSpec = serde_json::from_str(json).unwrap();
+//! let platform = spec.build();
+//! assert_eq!(platform.host_count(), 4);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{cabinet_cluster, flat_cluster, CabinetClusterSpec, FlatClusterSpec};
+use crate::Platform;
+
+/// Serializable description of a cluster platform.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PlatformSpec {
+    /// Cluster name.
+    pub name: String,
+    /// Topology family and parameters.
+    pub kind: SpecKind,
+}
+
+/// The topology families expressible in a spec file.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum SpecKind {
+    /// Single-switch cluster.
+    Flat {
+        /// Number of nodes.
+        nodes: u32,
+        /// Peak per-core instruction rate (instructions/s).
+        host_speed: f64,
+        /// Cores per node.
+        cores: u32,
+        /// Per-core cache in bytes.
+        cache_bytes: u64,
+        /// NIC bandwidth, bytes/s.
+        link_bandwidth: f64,
+        /// NIC latency, seconds.
+        link_latency: f64,
+        /// Fabric bandwidth, bytes/s.
+        backbone_bandwidth: f64,
+        /// Fabric latency, seconds.
+        backbone_latency: f64,
+    },
+    /// Cabinet hierarchy.
+    Cabinets {
+        /// Number of cabinets.
+        cabinets: u32,
+        /// Nodes per cabinet.
+        nodes_per_cabinet: u32,
+        /// Peak per-core instruction rate (instructions/s).
+        host_speed: f64,
+        /// Cores per node.
+        cores: u32,
+        /// Per-core cache in bytes.
+        cache_bytes: u64,
+        /// NIC bandwidth, bytes/s.
+        link_bandwidth: f64,
+        /// NIC latency, seconds.
+        link_latency: f64,
+        /// Cabinet uplink bandwidth, bytes/s.
+        cabinet_bandwidth: f64,
+        /// Cabinet switch latency, seconds.
+        cabinet_latency: f64,
+        /// Backbone bandwidth, bytes/s.
+        backbone_bandwidth: f64,
+        /// Backbone latency, seconds.
+        backbone_latency: f64,
+    },
+}
+
+impl PlatformSpec {
+    /// Instantiates the platform this spec describes.
+    pub fn build(&self) -> Platform {
+        match &self.kind {
+            SpecKind::Flat {
+                nodes,
+                host_speed,
+                cores,
+                cache_bytes,
+                link_bandwidth,
+                link_latency,
+                backbone_bandwidth,
+                backbone_latency,
+            } => flat_cluster(&FlatClusterSpec {
+                name: self.name.clone(),
+                nodes: *nodes,
+                host_speed: *host_speed,
+                cores: *cores,
+                cache_bytes: *cache_bytes,
+                link_bandwidth: *link_bandwidth,
+                link_latency: *link_latency,
+                backbone_bandwidth: *backbone_bandwidth,
+                backbone_latency: *backbone_latency,
+            }),
+            SpecKind::Cabinets {
+                cabinets,
+                nodes_per_cabinet,
+                host_speed,
+                cores,
+                cache_bytes,
+                link_bandwidth,
+                link_latency,
+                cabinet_bandwidth,
+                cabinet_latency,
+                backbone_bandwidth,
+                backbone_latency,
+            } => cabinet_cluster(&CabinetClusterSpec {
+                name: self.name.clone(),
+                cabinets: *cabinets,
+                nodes_per_cabinet: *nodes_per_cabinet,
+                host_speed: *host_speed,
+                cores: *cores,
+                cache_bytes: *cache_bytes,
+                link_bandwidth: *link_bandwidth,
+                link_latency: *link_latency,
+                cabinet_bandwidth: *cabinet_bandwidth,
+                cabinet_latency: *cabinet_latency,
+                backbone_bandwidth: *backbone_bandwidth,
+                backbone_latency: *backbone_latency,
+            }),
+        }
+    }
+
+    /// Parses a spec from JSON.
+    pub fn from_json(json: &str) -> Result<PlatformSpec, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes the spec to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("PlatformSpec always serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_spec() -> PlatformSpec {
+        PlatformSpec {
+            name: "mini".into(),
+            kind: SpecKind::Flat {
+                nodes: 4,
+                host_speed: 1e9,
+                cores: 2,
+                cache_bytes: 1 << 20,
+                link_bandwidth: 1.25e8,
+                link_latency: 25e-6,
+                backbone_bandwidth: 1.25e9,
+                backbone_latency: 5e-6,
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let spec = flat_spec();
+        let json = spec.to_json();
+        let back = PlatformSpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn build_matches_spec() {
+        let p = flat_spec().build();
+        assert_eq!(p.host_count(), 4);
+        assert_eq!(p.name, "mini");
+    }
+
+    #[test]
+    fn cabinets_spec_builds() {
+        let spec = PlatformSpec {
+            name: "hier".into(),
+            kind: SpecKind::Cabinets {
+                cabinets: 2,
+                nodes_per_cabinet: 4,
+                host_speed: 2e9,
+                cores: 4,
+                cache_bytes: 2 << 20,
+                link_bandwidth: 1.25e8,
+                link_latency: 20e-6,
+                cabinet_bandwidth: 1.25e9,
+                cabinet_latency: 2e-6,
+                backbone_bandwidth: 2.5e9,
+                backbone_latency: 2e-6,
+            },
+        };
+        let p = spec.build();
+        assert_eq!(p.host_count(), 8);
+        let back = PlatformSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(PlatformSpec::from_json("{ not json").is_err());
+    }
+}

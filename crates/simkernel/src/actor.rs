@@ -1,0 +1,79 @@
+//! Actors: cooperative state machines driven by the event loop.
+//!
+//! Rust has no stable stackful coroutines, so simulated processes are
+//! explicit state machines: the scheduler calls [`Actor::resume`] with the
+//! reason for the wake-up, the actor performs as much work as it can
+//! (starting activities, sending messages through a runtime held in the
+//! shared world `W`), and returns whether it is blocked or finished.
+//!
+//! The world type `W` carries all cross-actor state — network model, MPI
+//! matching queues, statistics — and is passed `&mut` alongside the kernel,
+//! which keeps the whole simulator free of interior mutability.
+
+use crate::kernel::Kernel;
+use crate::activity::ActivityId;
+
+/// Identifier of an actor within a [`crate::sim::Sim`]. Dense, assigned in
+/// spawn order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub u32);
+
+impl ActorId {
+    /// The actor index as a usize (for indexing per-actor tables).
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Why an actor was resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// First resume after spawn.
+    Start,
+    /// An activity the actor subscribed to has completed.
+    Activity(ActivityId),
+    /// A timer set via [`Kernel::set_timer`] fired; carries the user key.
+    Timer(u64),
+    /// Another actor (through the world/runtime) requested a wake with an
+    /// opaque payload.
+    Signal(u64),
+}
+
+/// Result of a resume step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The actor is waiting for a subscription, timer, or signal.
+    Blocked,
+    /// The actor is done and will never be resumed again.
+    Finished,
+}
+
+/// A simulated process.
+///
+/// Implementations must be *run-to-block*: `resume` performs every
+/// non-blocking step available and only returns [`Status::Blocked`] after
+/// registering (via subscriptions, timers, or world-level queues) for the
+/// wake-up that will unblock it. Returning `Blocked` without a registered
+/// wake-up deadlocks the actor, which [`crate::sim::Sim::run`] reports.
+pub trait Actor<W> {
+    /// Advances the actor until it blocks or finishes.
+    fn resume(&mut self, kernel: &mut Kernel, world: &mut W, wake: Wake) -> Status;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_id_roundtrip() {
+        assert_eq!(ActorId(5).as_usize(), 5);
+        assert!(ActorId(1) < ActorId(2));
+    }
+
+    #[test]
+    fn wake_equality() {
+        assert_eq!(Wake::Timer(3), Wake::Timer(3));
+        assert_ne!(Wake::Timer(3), Wake::Signal(3));
+        assert_eq!(Wake::Start, Wake::Start);
+    }
+}

@@ -1,0 +1,474 @@
+//! The kernel: simulated clock, future event list, activity table, and the
+//! actor ready-queue.
+//!
+//! The kernel is deliberately domain-free. Network models and MPI runtimes
+//! manipulate activities (creating flows, re-sharing rates) and wake actors;
+//! the kernel only guarantees exact work accounting and deterministic event
+//! delivery.
+
+use std::collections::VecDeque;
+
+use crate::activity::{ActivityId, ActivityState, Slot};
+use crate::actor::{ActorId, Wake};
+use crate::queue::{EventKind, EventQueue};
+use crate::time::{Duration, Time};
+
+const NO_FREE: u32 = u32::MAX;
+
+/// The simulation kernel. See the [module documentation](self).
+#[derive(Debug)]
+pub struct Kernel {
+    now: Time,
+    queue: EventQueue,
+    slots: Vec<Slot>,
+    free_head: u32,
+    ready: VecDeque<(ActorId, Wake)>,
+    live_activities: usize,
+    events_processed: u64,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        Kernel {
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            slots: Vec::new(),
+            free_head: NO_FREE,
+            ready: VecDeque::new(),
+            live_activities: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events delivered so far (a cheap progress/performance
+    /// metric for the bench harness).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of live (running) activities.
+    pub fn live_activities(&self) -> usize {
+        self.live_activities
+    }
+
+    // ------------------------------------------------------------------
+    // Activities
+    // ------------------------------------------------------------------
+
+    /// Starts an activity with `work` units remaining, progressing at
+    /// `rate` units/second (zero suspends it until [`Kernel::set_rate`]).
+    ///
+    /// # Panics
+    /// Panics if `work` or `rate` is negative or non-finite.
+    pub fn start_activity(&mut self, work: f64, rate: f64) -> ActivityId {
+        assert!(work.is_finite() && work >= 0.0, "invalid work: {work}");
+        assert!(rate.is_finite() && rate >= 0.0, "invalid rate: {rate}");
+        let index = if self.free_head != NO_FREE {
+            let index = self.free_head;
+            let slot = &mut self.slots[index as usize];
+            self.free_head = slot.next_free;
+            slot.remaining = work;
+            slot.rate = rate;
+            slot.settled_at = self.now;
+            slot.generation = slot.generation.wrapping_add(1);
+            slot.sched = 0;
+            slot.state = ActivityState::Running;
+            slot.waiters.clear();
+            slot.next_free = NO_FREE;
+            index
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("too many activities");
+            self.slots.push(Slot {
+                remaining: work,
+                rate,
+                settled_at: self.now,
+                generation: 0,
+                sched: 0,
+                state: ActivityState::Running,
+                waiters: Vec::new(),
+                next_free: NO_FREE,
+            });
+            index
+        };
+        self.live_activities += 1;
+        let generation = self.slots[index as usize].generation;
+        let id = ActivityId { index, generation };
+        self.schedule_completion(id);
+        id
+    }
+
+    /// Changes the rate of a running activity, settling its remaining work
+    /// at the current instant first. A rate of zero suspends the activity.
+    ///
+    /// Calling this on a completed or cancelled activity is a no-op, since
+    /// resource re-sharing commonly races with completions within the same
+    /// instant.
+    pub fn set_rate(&mut self, id: ActivityId, rate: f64) {
+        assert!(rate.is_finite() && rate >= 0.0, "invalid rate: {rate}");
+        let Some(slot) = self.slot_mut(id) else {
+            return;
+        };
+        if slot.state != ActivityState::Running {
+            return;
+        }
+        let now = self.now;
+        let slot = &mut self.slots[id.index as usize];
+        slot.settle(now);
+        if slot.rate == rate {
+            return;
+        }
+        slot.rate = rate;
+        slot.sched = slot.sched.wrapping_add(1);
+        self.schedule_completion(id);
+    }
+
+    /// Adds `extra` work units to a running activity (used to model
+    /// perturbations injected while an activity is already in flight).
+    pub fn add_work(&mut self, id: ActivityId, extra: f64) {
+        assert!(extra.is_finite() && extra >= 0.0, "invalid work: {extra}");
+        if self.slot_mut(id).is_none() {
+            return;
+        }
+        let now = self.now;
+        let slot = &mut self.slots[id.index as usize];
+        if slot.state != ActivityState::Running {
+            return;
+        }
+        slot.settle(now);
+        slot.remaining += extra;
+        slot.sched = slot.sched.wrapping_add(1);
+        self.schedule_completion(id);
+    }
+
+    /// Cancels a running activity; its waiters are *not* woken. No-op when
+    /// already finished.
+    pub fn cancel(&mut self, id: ActivityId) {
+        let now = self.now;
+        let Some(slot) = self.slot_mut(id) else {
+            return;
+        };
+        if slot.state == ActivityState::Running {
+            slot.settle(now);
+            slot.state = ActivityState::Cancelled;
+            slot.waiters.clear();
+            let index = id.index;
+            self.live_activities -= 1;
+            self.release(index);
+        }
+    }
+
+    /// Registers `actor` to be woken with [`Wake::Activity`] when `id`
+    /// completes. If the activity already completed, the actor is woken
+    /// immediately (same instant, after currently queued wakes).
+    pub fn subscribe(&mut self, id: ActivityId, actor: ActorId) {
+        // Completed-and-recycled slots are gone; id mismatch means "already
+        // completed" from the subscriber's point of view.
+        let index = id.index as usize;
+        let matches = self
+            .slots
+            .get(index)
+            .is_some_and(|s| s.next_free == NO_FREE && s.generation == id.generation);
+        if matches && self.slots[index].state == ActivityState::Running {
+            self.slots[index].waiters.push(actor.0);
+        } else {
+            self.ready.push_back((actor, Wake::Activity(id)));
+        }
+    }
+
+    /// Current state of an activity, or `None` when the handle is stale
+    /// (slot recycled). A completed activity whose slot has been recycled
+    /// reports `None`, so callers that need completion notifications should
+    /// use [`Kernel::subscribe`].
+    pub fn activity_state(&self, id: ActivityId) -> Option<ActivityState> {
+        let slot = self.slots.get(id.index as usize)?;
+        if slot.next_free != NO_FREE || slot.generation != id.generation {
+            return None;
+        }
+        Some(slot.state)
+    }
+
+    /// Remaining work units of a running activity, settled to "now".
+    pub fn remaining_work(&self, id: ActivityId) -> Option<f64> {
+        let slot = self.slots.get(id.index as usize)?;
+        if slot.next_free != NO_FREE
+            || slot.generation != id.generation
+            || slot.state != ActivityState::Running
+        {
+            return None;
+        }
+        let elapsed = self.now.since(slot.settled_at);
+        Some((slot.remaining - elapsed.work_at(slot.rate)).max(0.0))
+    }
+
+    // ------------------------------------------------------------------
+    // Timers and wakes
+    // ------------------------------------------------------------------
+
+    /// Wakes `actor` after `delay` with [`Wake::Timer`] carrying `key`.
+    pub fn set_timer(&mut self, actor: ActorId, delay: Duration, key: u64) {
+        self.queue.push(
+            self.now + delay,
+            EventKind::Timer {
+                actor: actor.0,
+                key,
+            },
+        );
+    }
+
+    /// Immediately enqueues a wake for `actor` (delivered at the current
+    /// instant, in FIFO order with other pending wakes).
+    pub fn wake(&mut self, actor: ActorId, wake: Wake) {
+        self.ready.push_back((actor, wake));
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop plumbing (driven by `sim::Sim`)
+    // ------------------------------------------------------------------
+
+    /// Pops the next actor wake-up. Drains same-instant wakes first, then
+    /// advances the clock to the next event. Returns `None` when the
+    /// simulation has quiesced (no wakes, no events).
+    ///
+    /// [`crate::sim::Sim::run`] drives this loop; it is public so that
+    /// embedders (tests, custom drivers) can step a kernel manually.
+    pub fn next_wake(&mut self) -> Option<(ActorId, Wake)> {
+        loop {
+            if let Some(w) = self.ready.pop_front() {
+                return Some(w);
+            }
+            let (at, kind) = self.queue.pop()?;
+            debug_assert!(at >= self.now, "event list went backwards");
+            self.now = at;
+            self.events_processed += 1;
+            match kind {
+                EventKind::Timer { actor, key } => {
+                    return Some((ActorId(actor), Wake::Timer(key)));
+                }
+                EventKind::ActivityComplete {
+                    index,
+                    generation,
+                    sched,
+                } => {
+                    if let Some(w) = self.complete_activity(index, generation, sched) {
+                        return Some(w);
+                    }
+                    // Stale event; keep looping.
+                }
+            }
+        }
+    }
+
+    fn complete_activity(
+        &mut self,
+        index: u32,
+        generation: u32,
+        sched: u32,
+    ) -> Option<(ActorId, Wake)> {
+        let slot = &mut self.slots[index as usize];
+        if slot.generation != generation
+            || slot.sched != sched
+            || slot.state != ActivityState::Running
+            || slot.next_free != NO_FREE
+        {
+            return None;
+        }
+        let now = self.now;
+        slot.settle(now);
+        debug_assert!(slot.remaining <= 1e-6 * (1.0 + slot.rate));
+        slot.remaining = 0.0;
+        slot.state = ActivityState::Done;
+        let id = ActivityId { index, generation };
+        let waiters = std::mem::take(&mut slot.waiters);
+        self.live_activities -= 1;
+        self.release(index);
+        let mut first = None;
+        for (i, w) in waiters.into_iter().enumerate() {
+            if i == 0 {
+                first = Some((ActorId(w), Wake::Activity(id)));
+            } else {
+                self.ready.push_back((ActorId(w), Wake::Activity(id)));
+            }
+        }
+        first.or_else(|| self.ready.pop_front())
+    }
+
+    fn schedule_completion(&mut self, id: ActivityId) {
+        let slot = &self.slots[id.index as usize];
+        let eta = slot.eta();
+        if !eta.is_never() {
+            self.queue.push(
+                eta,
+                EventKind::ActivityComplete {
+                    index: id.index,
+                    generation: id.generation,
+                    sched: slot.sched,
+                },
+            );
+        }
+    }
+
+    fn slot_mut(&mut self, id: ActivityId) -> Option<&mut Slot> {
+        let slot = self.slots.get_mut(id.index as usize)?;
+        if slot.next_free != NO_FREE
+            || slot.generation != id.generation
+            || slot.state != ActivityState::Running
+        {
+            return None;
+        }
+        Some(slot)
+    }
+
+    fn release(&mut self, index: u32) {
+        let slot = &mut self.slots[index as usize];
+        slot.next_free = self.free_head;
+        self.free_head = index;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_completes_at_expected_time() {
+        let mut k = Kernel::new();
+        let a = k.start_activity(100.0, 10.0);
+        k.subscribe(a, ActorId(7));
+        let (actor, wake) = k.next_wake().unwrap();
+        assert_eq!(actor, ActorId(7));
+        assert_eq!(wake, Wake::Activity(a));
+        assert_eq!(k.now(), Time::from_secs(10.0));
+    }
+
+    #[test]
+    fn rate_change_reschedules_exactly() {
+        let mut k = Kernel::new();
+        let a = k.start_activity(100.0, 10.0);
+        k.subscribe(a, ActorId(0));
+        // Let 2 seconds pass via a timer, then double the rate.
+        k.set_timer(ActorId(1), Duration::from_secs(2.0), 0);
+        let (actor, _) = k.next_wake().unwrap();
+        assert_eq!(actor, ActorId(1));
+        assert_eq!(k.now(), Time::from_secs(2.0));
+        k.set_rate(a, 20.0); // 80 units left at 20/s => completes at t=6.
+        let (actor, wake) = k.next_wake().unwrap();
+        assert_eq!(actor, ActorId(0));
+        assert_eq!(wake, Wake::Activity(a));
+        assert_eq!(k.now(), Time::from_secs(6.0));
+    }
+
+    #[test]
+    fn suspend_and_resume() {
+        let mut k = Kernel::new();
+        let a = k.start_activity(10.0, 10.0);
+        k.subscribe(a, ActorId(0));
+        k.set_timer(ActorId(9), Duration::from_secs(0.5), 0);
+        let _ = k.next_wake().unwrap(); // timer at 0.5, 5 units remain
+        k.set_rate(a, 0.0); // suspend
+        k.set_timer(ActorId(9), Duration::from_secs(10.0), 1);
+        let (actor, _) = k.next_wake().unwrap();
+        assert_eq!(actor, ActorId(9)); // completion did NOT fire while suspended
+        assert_eq!(k.now(), Time::from_secs(10.5));
+        k.set_rate(a, 5.0); // 5 units at 5/s => completes at 11.5
+        let (actor, wake) = k.next_wake().unwrap();
+        assert_eq!(actor, ActorId(0));
+        assert_eq!(wake, Wake::Activity(a));
+        assert_eq!(k.now(), Time::from_secs(11.5));
+    }
+
+    #[test]
+    fn subscribe_after_completion_wakes_immediately() {
+        let mut k = Kernel::new();
+        let a = k.start_activity(1.0, 1.0);
+        // Drain the completion without a subscriber.
+        assert!(k.next_wake().is_none());
+        assert_eq!(k.now(), Time::from_secs(1.0));
+        k.subscribe(a, ActorId(3));
+        let (actor, wake) = k.next_wake().unwrap();
+        assert_eq!(actor, ActorId(3));
+        assert_eq!(wake, Wake::Activity(a));
+        assert_eq!(k.now(), Time::from_secs(1.0)); // no time passed
+    }
+
+    #[test]
+    fn cancelled_activity_never_fires() {
+        let mut k = Kernel::new();
+        let a = k.start_activity(1.0, 1.0);
+        k.subscribe(a, ActorId(0));
+        k.cancel(a);
+        assert!(k.next_wake().is_none());
+        assert_eq!(k.live_activities(), 0);
+    }
+
+    #[test]
+    fn slot_recycling_does_not_alias() {
+        let mut k = Kernel::new();
+        let a = k.start_activity(1.0, 1.0);
+        k.cancel(a);
+        let b = k.start_activity(5.0, 1.0);
+        assert_eq!(a.index, b.index, "slot should be recycled");
+        assert_ne!(a.generation, b.generation);
+        assert!(k.activity_state(a).is_none() || a != b);
+        k.subscribe(b, ActorId(1));
+        let (actor, wake) = k.next_wake().unwrap();
+        assert_eq!(actor, ActorId(1));
+        assert_eq!(wake, Wake::Activity(b));
+        assert_eq!(k.now(), Time::from_secs(5.0));
+    }
+
+    #[test]
+    fn add_work_extends_completion() {
+        let mut k = Kernel::new();
+        let a = k.start_activity(10.0, 1.0);
+        k.subscribe(a, ActorId(0));
+        k.add_work(a, 5.0);
+        let (_, _) = k.next_wake().unwrap();
+        assert_eq!(k.now(), Time::from_secs(15.0));
+    }
+
+    #[test]
+    fn zero_work_completes_immediately() {
+        let mut k = Kernel::new();
+        let a = k.start_activity(0.0, 1.0);
+        k.subscribe(a, ActorId(0));
+        let (_, wake) = k.next_wake().unwrap();
+        assert_eq!(wake, Wake::Activity(a));
+        assert_eq!(k.now(), Time::ZERO);
+    }
+
+    #[test]
+    fn multiple_waiters_all_wake() {
+        let mut k = Kernel::new();
+        let a = k.start_activity(1.0, 1.0);
+        k.subscribe(a, ActorId(0));
+        k.subscribe(a, ActorId(1));
+        k.subscribe(a, ActorId(2));
+        let mut woken = Vec::new();
+        while let Some((actor, _)) = k.next_wake() {
+            woken.push(actor.0);
+        }
+        assert_eq!(woken, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn remaining_work_settles_to_now() {
+        let mut k = Kernel::new();
+        let a = k.start_activity(100.0, 10.0);
+        k.set_timer(ActorId(0), Duration::from_secs(3.0), 0);
+        let _ = k.next_wake();
+        assert_eq!(k.remaining_work(a), Some(70.0));
+    }
+}

@@ -1,0 +1,226 @@
+//! The future event list: a deterministic priority queue of timestamped
+//! events with lazy cancellation.
+//!
+//! Events are ordered by `(time, sequence)`: the sequence number is assigned
+//! at insertion, so simultaneous events fire in insertion order. Cancellation
+//! is *lazy*: cancelled entries stay in the heap and are skipped when popped,
+//! identified by a generation counter stored alongside the target. This is
+//! the standard technique for activities whose completion time is
+//! rescheduled every time resource sharing changes.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// What an event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An activity (see [`crate::activity`]) has exhausted its work.
+    /// Carries the activity index and the generation the schedule was made
+    /// for; a mismatch with the activity's current generation means the
+    /// event was superseded by a rate change and must be ignored.
+    ActivityComplete {
+        /// Activity slot index.
+        index: u32,
+        /// Slot generation (instance identity) at scheduling time.
+        generation: u32,
+        /// Schedule counter at scheduling time; a mismatch means the
+        /// completion was superseded by a rate or work change.
+        sched: u32,
+    },
+    /// A timer set by an actor; wakes the actor with the given user key.
+    Timer {
+        /// Actor to wake.
+        actor: u32,
+        /// Opaque key handed back to the actor.
+        key: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Entry {
+    at: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` to fire at `at`. Events scheduled for the same
+    /// instant fire in the order they were pushed.
+    pub fn push(&mut self, at: Time, kind: EventKind) {
+        debug_assert!(!at.is_never(), "cannot schedule an event at NEVER");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty.
+    pub fn pop(&mut self) -> Option<(Time, EventKind)> {
+        self.heap.pop().map(|e| (e.at, e.kind))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending entries, including superseded (stale) ones.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(actor: u32, key: u64) -> EventKind {
+        EventKind::Timer { actor, key }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(3.0), timer(0, 3));
+        q.push(Time::from_secs(1.0), timer(0, 1));
+        q.push(Time::from_secs(2.0), timer(0, 2));
+        let keys: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { key, .. } => key,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_secs(5.0);
+        for key in 0..10u64 {
+            q.push(t, timer(0, key));
+        }
+        let keys: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { key, .. } => key,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(2.0), timer(0, 0));
+        q.push(Time::from_secs(1.0), timer(0, 1));
+        assert_eq!(q.peek_time(), Some(Time::from_secs(1.0)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::from_secs(1.0));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.peek_time().is_none());
+        assert!(q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping yields a non-decreasing sequence of times regardless of
+        /// insertion order.
+        #[test]
+        fn pop_order_is_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(Time::from_secs(*t), EventKind::Timer { actor: 0, key: i as u64 });
+            }
+            let mut last = Time::ZERO;
+            let mut n = 0;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                n += 1;
+            }
+            prop_assert_eq!(n, times.len());
+        }
+
+        /// FIFO among equal timestamps holds for any partition of keys into
+        /// timestamp groups.
+        #[test]
+        fn fifo_within_groups(groups in proptest::collection::vec(0u8..4, 1..100)) {
+            let mut q = EventQueue::new();
+            for (i, g) in groups.iter().enumerate() {
+                q.push(Time::from_secs(*g as f64), EventKind::Timer { actor: 0, key: i as u64 });
+            }
+            let mut seen_per_group: [Option<u64>; 4] = [None; 4];
+            while let Some((t, EventKind::Timer { key, .. })) = q.pop() {
+                let g = t.as_secs() as usize;
+                if let Some(prev) = seen_per_group[g] {
+                    prop_assert!(key > prev, "FIFO violated in group {}", g);
+                }
+                seen_per_group[g] = Some(key);
+            }
+        }
+    }
+}

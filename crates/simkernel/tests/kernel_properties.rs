@@ -1,0 +1,118 @@
+//! Property tests of the kernel's central invariant: work accounting is
+//! exact under arbitrary interleavings of rate changes, suspensions and
+//! completions.
+
+use proptest::prelude::*;
+use simkernel::{ActorId, Duration, Kernel};
+
+/// A random schedule: an activity with `work` units, subjected to `ops`
+/// rate changes at increasing instants, must complete exactly when the
+/// integral of its rate reaches `work`.
+#[derive(Debug, Clone)]
+struct RateStep {
+    delay: f64,
+    rate: f64,
+}
+
+fn arb_schedule() -> impl Strategy<Value = (f64, Vec<RateStep>)> {
+    (
+        1.0f64..1e6,
+        proptest::collection::vec(
+            (1e-3f64..10.0, 0.0f64..1e4).prop_map(|(delay, rate)| RateStep { delay, rate }),
+            0..20,
+        ),
+    )
+}
+
+/// Replays the same schedule analytically.
+fn analytic_completion(work: f64, initial_rate: f64, steps: &[RateStep]) -> Option<f64> {
+    let mut t = 0.0;
+    let mut remaining = work;
+    let mut rate = initial_rate;
+    for s in steps {
+        let done = remaining.min(rate * s.delay);
+        if (remaining - done) <= 1e-12 * work && rate > 0.0 {
+            return Some(t + remaining / rate);
+        }
+        remaining -= done;
+        t += s.delay;
+        rate = s.rate;
+    }
+    if rate > 0.0 {
+        Some(t + remaining / rate)
+    } else {
+        None
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn completion_matches_analytic_integral((work, steps) in arb_schedule(), initial_rate in 1.0f64..1e4) {
+        let mut k = Kernel::new();
+        let act = k.start_activity(work, initial_rate);
+        k.subscribe(act, ActorId(0));
+        // Interleave timers driving the rate changes.
+        for (i, s) in steps.iter().enumerate() {
+            // Timer for the cumulative instant of this step.
+            let at: f64 = steps[..=i].iter().map(|x| x.delay).sum();
+            k.set_timer(ActorId(1), Duration::from_secs(at), i as u64);
+        }
+        let mut applied = 0usize;
+        let mut completed_at: Option<f64> = None;
+        while let Some((actor, wake)) = k.next_wake() {
+            match (actor, wake) {
+                (ActorId(0), simkernel::Wake::Activity(_)) => {
+                    completed_at = Some(k.now().as_secs());
+                }
+                (ActorId(1), simkernel::Wake::Timer(i)) => {
+                    // Apply the rate change scheduled at this instant —
+                    // unless the activity already completed.
+                    prop_assert_eq!(i as usize, applied);
+                    k.set_rate(act, steps[applied].rate);
+                    applied += 1;
+                }
+                other => prop_assert!(false, "unexpected wake {other:?}"),
+            }
+        }
+        let expect = analytic_completion(work, initial_rate, &steps);
+        match (completed_at, expect) {
+            (Some(got), Some(want)) => {
+                prop_assert!(
+                    (got - want).abs() <= 1e-6 * want.max(1.0),
+                    "completed at {got}, analytic {want}"
+                );
+            }
+            (None, None) => {} // suspended forever: consistent
+            (got, want) => prop_assert!(false, "kernel {got:?} vs analytic {want:?}"),
+        }
+    }
+
+    /// Starting N independent activities, the completion order matches
+    /// the sort order of work/rate, and the final clock is their max.
+    #[test]
+    fn independent_activities_complete_in_duration_order(
+        jobs in proptest::collection::vec((1.0f64..1e5, 1.0f64..1e3), 1..40),
+    ) {
+        let mut k = Kernel::new();
+        let mut expected: Vec<(f64, usize)> = Vec::new();
+        for (i, (work, rate)) in jobs.iter().enumerate() {
+            let a = k.start_activity(*work, *rate);
+            k.subscribe(a, ActorId(i as u32));
+            expected.push((work / rate, i));
+        }
+        expected.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut order = Vec::new();
+        let mut last_t = 0.0;
+        while let Some((actor, _)) = k.next_wake() {
+            prop_assert!(k.now().as_secs() >= last_t);
+            last_t = k.now().as_secs();
+            order.push(actor.as_usize());
+        }
+        let expected_order: Vec<usize> = expected.iter().map(|(_, i)| *i).collect();
+        prop_assert_eq!(order, expected_order);
+        let max_dur = expected.last().unwrap().0;
+        prop_assert!((last_t - max_dur).abs() <= 1e-9 * max_dur.max(1.0));
+    }
+}

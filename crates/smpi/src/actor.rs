@@ -1,0 +1,284 @@
+//! The per-rank executor and the transport daemon.
+//!
+//! A [`RankActor`] walks its op stream run-to-block: each operation is
+//! (1) optionally delayed by the hook-provided fixed cost (probe time,
+//! eager copy), then (2) performed against the world, then (3) awaited if
+//! it blocks. Collectives are expanded into point-to-point sub-programs
+//! executed on the collective channel before the main stream resumes.
+//!
+//! The [`TransportActor`] is a daemon owning every transfer-completion
+//! subscription and arrival timer; it only mutates world state and wakes
+//! rank actors.
+
+use std::collections::VecDeque;
+
+use simkernel::{Actor, ActorId, Duration, Kernel, Status, Wake};
+use workloads::{MpiOp, OpSource};
+
+use crate::collectives;
+use crate::hooks::ComputePlan;
+use crate::timeline::SegmentKind;
+use crate::world::{
+    MsgId, PostId, RecvResult, ReqId, SendResult, SmpiWorld, CH_APP, CH_COLL,
+};
+
+/// Timer key used for pre-op delays (distinct per actor, so no global
+/// uniqueness needed).
+const DELAY_KEY: u64 = u64::MAX;
+
+#[derive(Debug)]
+enum Waiting {
+    Ready,
+    Delay,
+    Compute(simkernel::ActivityId),
+    Msg(MsgId),
+    Post(PostId),
+    Reqs(Vec<ReqId>),
+}
+
+#[derive(Debug)]
+struct Staged {
+    op: MpiOp,
+    channel: u8,
+    plan: Option<ComputePlan>,
+}
+
+/// Executes one rank's op stream.
+pub struct RankActor {
+    rank: u32,
+    me: ActorId,
+    source: Box<dyn OpSource>,
+    subops: VecDeque<MpiOp>,
+    pending: [VecDeque<ReqId>; 2],
+    waiting: Waiting,
+    staged: Option<Staged>,
+    /// Instant at which the current blocking condition began (timeline).
+    blocked_at: f64,
+}
+
+impl RankActor {
+    /// Creates the actor for `rank`; `me` must equal the id it will be
+    /// spawned under (ranks are spawned in order, so `ActorId(rank)`).
+    pub fn new(rank: u32, me: ActorId, source: Box<dyn OpSource>) -> RankActor {
+        RankActor {
+            rank,
+            me,
+            source,
+            subops: VecDeque::new(),
+            pending: [VecDeque::new(), VecDeque::new()],
+            waiting: Waiting::Ready,
+            staged: None,
+            blocked_at: 0.0,
+        }
+    }
+
+    /// Timeline classification of the condition just resolved.
+    fn segment_kind(waiting: &Waiting) -> Option<SegmentKind> {
+        match waiting {
+            Waiting::Ready => None,
+            Waiting::Delay => Some(SegmentKind::Overhead),
+            Waiting::Compute(_) => Some(SegmentKind::Compute),
+            Waiting::Msg(_) | Waiting::Post(_) | Waiting::Reqs(_) => Some(SegmentKind::Wait),
+        }
+    }
+
+    /// Re-evaluates the blocking condition after a wake-up, recording a
+    /// timeline segment when one resolves.
+    fn absorb_wake(&mut self, world: &mut SmpiWorld, now: f64, wake: Wake) {
+        let kind = Self::segment_kind(&self.waiting);
+        match (&mut self.waiting, wake) {
+            (Waiting::Ready, _) => {}
+            (Waiting::Delay, Wake::Timer(DELAY_KEY)) => {
+                self.waiting = Waiting::Ready;
+            }
+            (Waiting::Compute(a), Wake::Activity(b)) if *a == b => {
+                self.waiting = Waiting::Ready;
+                self.staged = None;
+            }
+            (Waiting::Msg(id), _)
+                if world.msg_arrived(*id) => {
+                    self.waiting = Waiting::Ready;
+                    self.staged = None;
+                }
+            (Waiting::Post(id), _)
+                if world.post_complete(*id) => {
+                    self.waiting = Waiting::Ready;
+                    self.staged = None;
+                }
+            (Waiting::Reqs(reqs), _) => {
+                let me = self.me;
+                reqs.retain(|r| !world.take_req(*r, me));
+                if reqs.is_empty() {
+                    self.waiting = Waiting::Ready;
+                    self.staged = None;
+                }
+            }
+            _ => {} // spurious wake for a superseded condition
+        }
+        if matches!(self.waiting, Waiting::Ready) {
+            if let Some(kind) = kind {
+                world.record_segment(self.rank, self.blocked_at, now, kind);
+            }
+        }
+    }
+
+    /// Fixed pre-delay of an op: instrumentation/MPI-call overhead plus,
+    /// for eager sends, the sender-side memory copy.
+    fn pre_delay(&mut self, world: &mut SmpiWorld, op: &MpiOp, plan: &Option<ComputePlan>) -> f64 {
+        match op {
+            MpiOp::Compute(_) => plan.as_ref().map_or(0.0, |p| p.extra_delay),
+            MpiOp::Send { bytes, .. } | MpiOp::Isend { bytes, .. } => {
+                let mut d = world.hooks.mpi_call_delay(self.rank);
+                if world.cfg.is_eager(*bytes) {
+                    if let Some(copy) = world.cfg.copy {
+                        d += copy.seconds(*bytes);
+                    }
+                }
+                d
+            }
+            MpiOp::Init | MpiOp::Finalize => 0.0,
+            _ => world.hooks.mpi_call_delay(self.rank),
+        }
+    }
+
+    fn perform(&mut self, kernel: &mut Kernel, world: &mut SmpiWorld, staged: Staged) {
+        let Staged { op, channel, plan } = staged;
+        match op {
+            MpiOp::Init | MpiOp::Finalize => {}
+            MpiOp::Compute(_) => {
+                let plan = plan.expect("compute staged without plan");
+                world.account_compute(self.rank, plan.seconds());
+                if plan.work > 0.0 {
+                    let act = kernel.start_activity(plan.work, plan.rate);
+                    kernel.subscribe(act, self.me);
+                    self.waiting = Waiting::Compute(act);
+                    self.staged = Some(Staged {
+                        op,
+                        channel,
+                        plan: Some(plan),
+                    });
+                }
+            }
+            MpiOp::Send { dst, bytes } => {
+                let (res, _) = world.send(kernel, self.rank, dst, bytes, channel, true, self.me);
+                match res {
+                    SendResult::Done => {}
+                    SendResult::Wait(m) => self.waiting = Waiting::Msg(m),
+                }
+            }
+            MpiOp::Isend { dst, bytes } => {
+                let (_, req) = world.send(kernel, self.rank, dst, bytes, channel, false, self.me);
+                self.pending[channel as usize]
+                    .push_back(req.expect("non-blocking send yields a request"));
+            }
+            MpiOp::Recv { src, bytes } => {
+                let (res, _) = world.recv(kernel, self.rank, src, bytes, channel, true, self.me);
+                match res {
+                    RecvResult::Done => {}
+                    RecvResult::WaitMsg(m) => self.waiting = Waiting::Msg(m),
+                    RecvResult::WaitPost(p) => self.waiting = Waiting::Post(p),
+                }
+            }
+            MpiOp::Irecv { src, bytes } => {
+                let (_, req) = world.recv(kernel, self.rank, src, bytes, channel, false, self.me);
+                self.pending[channel as usize]
+                    .push_back(req.expect("non-blocking recv yields a request"));
+            }
+            MpiOp::Wait => {
+                let req = self.pending[channel as usize]
+                    .pop_front()
+                    .unwrap_or_else(|| panic!("rank {}: wait with no pending request", self.rank));
+                if !world.take_req(req, self.me) {
+                    self.waiting = Waiting::Reqs(vec![req]);
+                }
+            }
+            MpiOp::WaitAll => {
+                let me = self.me;
+                let mut incomplete: Vec<ReqId> = Vec::new();
+                while let Some(req) = self.pending[channel as usize].pop_front() {
+                    if !world.take_req(req, me) {
+                        incomplete.push(req);
+                    }
+                }
+                if !incomplete.is_empty() {
+                    self.waiting = Waiting::Reqs(incomplete);
+                }
+            }
+            collective => {
+                debug_assert!(collectives::is_decomposable(&collective));
+                debug_assert!(
+                    self.subops.is_empty(),
+                    "collective while a sub-program is active"
+                );
+                world.account_collective();
+                let expansion = collectives::expand(&collective, self.rank, world.ranks());
+                self.subops.extend(expansion);
+            }
+        }
+    }
+
+    fn fetch(&mut self, world: &mut SmpiWorld) -> Option<Staged> {
+        if let Some(op) = self.subops.pop_front() {
+            return Some(Staged {
+                op,
+                channel: CH_COLL,
+                plan: None,
+            });
+        }
+        let op = self.source.next_op()?;
+        let plan = match &op {
+            MpiOp::Compute(block) => Some(world.hooks.plan_compute(self.rank, block)),
+            _ => None,
+        };
+        Some(Staged {
+            op,
+            channel: CH_APP,
+            plan,
+        })
+    }
+}
+
+impl Actor<SmpiWorld> for RankActor {
+    fn resume(&mut self, kernel: &mut Kernel, world: &mut SmpiWorld, wake: Wake) -> Status {
+        self.absorb_wake(world, kernel.now().as_secs(), wake);
+        loop {
+            if !matches!(self.waiting, Waiting::Ready) {
+                self.blocked_at = kernel.now().as_secs();
+                return Status::Blocked;
+            }
+            // A staged op whose pre-delay just elapsed executes now.
+            if let Some(staged) = self.staged.take() {
+                self.perform(kernel, world, staged);
+                continue;
+            }
+            let Some(staged) = self.fetch(world) else {
+                debug_assert!(
+                    self.pending.iter().all(VecDeque::is_empty),
+                    "rank {} finished with pending requests",
+                    self.rank
+                );
+                return Status::Finished;
+            };
+            let delay = self.pre_delay(world, &staged.op, &staged.plan);
+            if delay > 0.0 {
+                kernel.set_timer(self.me, Duration::from_secs(delay), DELAY_KEY);
+                self.staged = Some(staged);
+                self.waiting = Waiting::Delay;
+                self.blocked_at = kernel.now().as_secs();
+                return Status::Blocked;
+            }
+            self.staged = Some(staged);
+        }
+    }
+}
+
+/// The transport daemon: forwards flow completions and arrival timers
+/// into the world.
+pub struct TransportActor;
+
+impl Actor<SmpiWorld> for TransportActor {
+    fn resume(&mut self, kernel: &mut Kernel, world: &mut SmpiWorld, wake: Wake) -> Status {
+        world.on_transport_wake(kernel, wake);
+        Status::Blocked
+    }
+}

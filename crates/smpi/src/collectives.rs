@@ -1,0 +1,467 @@
+//! Collective algorithms, decomposed into point-to-point operations.
+//!
+//! The paper contrasts its old back-end's "monolithic performance models
+//! of collective communications" with SMPI's approach of simulating them
+//! "as sets of point-to-point communications"; this module implements the
+//! latter. Every function returns the per-rank op sequence; taken over
+//! all ranks, the sequences match pairwise (validated by tests) and are
+//! deadlock-free under the runtime's protocols (exchange phases use
+//! isend/recv/wait rather than symmetric blocking sends).
+//!
+//! Algorithms:
+//! * broadcast / reduce — binomial tree,
+//! * allreduce — recursive doubling (power-of-two ranks) or
+//!   reduce-then-broadcast,
+//! * barrier — dissemination,
+//! * all-to-all — pairwise exchange rounds,
+//! * gather — linear to root,
+//! * allgather — ring.
+
+use workloads::MpiOp;
+
+/// Expands one collective into this rank's point-to-point sub-program.
+/// Non-collective ops are returned unchanged as a singleton (callers
+/// should only pass collectives, but the total function keeps call sites
+/// simple).
+pub fn expand(op: &MpiOp, rank: u32, ranks: u32) -> Vec<MpiOp> {
+    match *op {
+        MpiOp::Barrier => barrier(rank, ranks),
+        MpiOp::Bcast { bytes, root } => bcast(rank, ranks, root, bytes),
+        MpiOp::Reduce { bytes, root } => reduce(rank, ranks, root, bytes),
+        MpiOp::Allreduce { bytes } => allreduce(rank, ranks, bytes),
+        MpiOp::Alltoall { bytes } => alltoall(rank, ranks, bytes),
+        MpiOp::Gather { bytes, root } => gather(rank, ranks, root, bytes),
+        MpiOp::Allgather { bytes } => allgather(rank, ranks, bytes),
+        other => vec![other],
+    }
+}
+
+/// `true` for ops [`expand`] decomposes.
+pub fn is_decomposable(op: &MpiOp) -> bool {
+    matches!(
+        op,
+        MpiOp::Barrier
+            | MpiOp::Bcast { .. }
+            | MpiOp::Reduce { .. }
+            | MpiOp::Allreduce { .. }
+            | MpiOp::Alltoall { .. }
+            | MpiOp::Gather { .. }
+            | MpiOp::Allgather { .. }
+    )
+}
+
+/// Binomial-tree broadcast. Ranks are renumbered relative to the root;
+/// in phase `mask`, ranks `< mask` forward to `rank + mask`.
+pub fn bcast(rank: u32, ranks: u32, root: u32, bytes: u64) -> Vec<MpiOp> {
+    assert!(root < ranks);
+    let vrank = (rank + ranks - root) % ranks;
+    let mut ops = Vec::new();
+    let mut mask = 1u32;
+    // Receive once, in the phase that covers this vrank.
+    while mask < ranks {
+        if vrank >= mask && vrank < 2 * mask {
+            let vsrc = vrank - mask;
+            ops.push(MpiOp::Recv {
+                src: (vsrc + root) % ranks,
+                bytes,
+            });
+        }
+        if vrank < mask && vrank + mask < ranks {
+            ops.push(MpiOp::Send {
+                dst: (vrank + mask + root) % ranks,
+                bytes,
+            });
+        }
+        mask <<= 1;
+    }
+    ops
+}
+
+/// Binomial-tree reduce: the mirror image of [`bcast`] — leaves send
+/// first, the root receives last.
+pub fn reduce(rank: u32, ranks: u32, root: u32, bytes: u64) -> Vec<MpiOp> {
+    assert!(root < ranks);
+    if ranks == 1 {
+        return Vec::new();
+    }
+    let vrank = (rank + ranks - root) % ranks;
+    let mut ops = Vec::new();
+    let mut mask = highest_pow2_below(ranks);
+    while mask >= 1 {
+        if vrank < mask && vrank + mask < ranks {
+            ops.push(MpiOp::Recv {
+                src: (vrank + mask + root) % ranks,
+                bytes,
+            });
+        }
+        if vrank >= mask && vrank < 2 * mask {
+            ops.push(MpiOp::Send {
+                dst: (vrank - mask + root) % ranks,
+                bytes,
+            });
+        }
+        mask >>= 1;
+    }
+    ops
+}
+
+/// Payload size above which allreduce switches from recursive doubling
+/// to the bandwidth-optimal ring algorithm, as real MPI runtimes do
+/// (latency-bound small reductions vs bandwidth-bound large ones).
+pub const ALLREDUCE_RING_THRESHOLD: u64 = 32 * 1024;
+
+/// Allreduce: recursive doubling for small payloads on power-of-two rank
+/// counts, ring (reduce-scatter + allgather) for large payloads, and
+/// reduce-to-0 followed by broadcast otherwise.
+pub fn allreduce(rank: u32, ranks: u32, bytes: u64) -> Vec<MpiOp> {
+    if ranks == 1 {
+        return Vec::new();
+    }
+    if bytes >= ALLREDUCE_RING_THRESHOLD && ranks > 2 {
+        return ring_allreduce(rank, ranks, bytes);
+    }
+    if ranks.is_power_of_two() {
+        let mut ops = Vec::new();
+        let mut mask = 1u32;
+        while mask < ranks {
+            let peer = rank ^ mask;
+            // Symmetric exchange: isend/recv/wait is deadlock-free under
+            // both protocols.
+            ops.push(MpiOp::Isend { dst: peer, bytes });
+            ops.push(MpiOp::Recv { src: peer, bytes });
+            ops.push(MpiOp::Wait);
+            mask <<= 1;
+        }
+        ops
+    } else {
+        let mut ops = reduce(rank, ranks, 0, bytes);
+        ops.extend(bcast(rank, ranks, 0, bytes));
+        ops
+    }
+}
+
+/// Ring allreduce: a reduce-scatter phase (`P-1` steps, each moving a
+/// `bytes/P` chunk to the right neighbour) followed by an allgather phase
+/// (`P-1` more steps). Total traffic per rank ≈ `2·bytes·(P-1)/P` —
+/// bandwidth-optimal, which is why runtimes pick it for large payloads.
+pub fn ring_allreduce(rank: u32, ranks: u32, bytes: u64) -> Vec<MpiOp> {
+    debug_assert!(ranks > 1);
+    let right = (rank + 1) % ranks;
+    let left = (rank + ranks - 1) % ranks;
+    let chunk = (bytes / u64::from(ranks)).max(1);
+    let mut ops = Vec::with_capacity(6 * (ranks as usize - 1));
+    for _phase in 0..2 {
+        for _step in 1..ranks {
+            ops.push(MpiOp::Isend { dst: right, bytes: chunk });
+            ops.push(MpiOp::Recv { src: left, bytes: chunk });
+            ops.push(MpiOp::Wait);
+        }
+    }
+    ops
+}
+
+/// Dissemination barrier: `⌈log2 P⌉` rounds of 1-byte tokens.
+pub fn barrier(rank: u32, ranks: u32) -> Vec<MpiOp> {
+    if ranks == 1 {
+        return Vec::new();
+    }
+    let mut ops = Vec::new();
+    let mut step = 1u32;
+    while step < ranks {
+        let dst = (rank + step) % ranks;
+        let src = (rank + ranks - step % ranks) % ranks;
+        ops.push(MpiOp::Isend { dst, bytes: 1 });
+        ops.push(MpiOp::Recv { src, bytes: 1 });
+        ops.push(MpiOp::Wait);
+        step <<= 1;
+    }
+    ops
+}
+
+/// Pairwise-exchange all-to-all: `P-1` rounds, round `s` exchanging with
+/// `rank ± s`.
+pub fn alltoall(rank: u32, ranks: u32, bytes: u64) -> Vec<MpiOp> {
+    let mut ops = Vec::new();
+    for s in 1..ranks {
+        let dst = (rank + s) % ranks;
+        let src = (rank + ranks - s) % ranks;
+        ops.push(MpiOp::Isend { dst, bytes });
+        ops.push(MpiOp::Recv { src, bytes });
+        ops.push(MpiOp::Wait);
+    }
+    ops
+}
+
+/// Linear gather: every non-root rank sends its contribution to the
+/// root, which receives them in rank order.
+pub fn gather(rank: u32, ranks: u32, root: u32, bytes: u64) -> Vec<MpiOp> {
+    assert!(root < ranks);
+    if ranks == 1 {
+        return Vec::new();
+    }
+    if rank == root {
+        (0..ranks)
+            .filter(|r| *r != root)
+            .map(|src| MpiOp::Recv { src, bytes })
+            .collect()
+    } else {
+        vec![MpiOp::Send { dst: root, bytes }]
+    }
+}
+
+/// Ring allgather: `P-1` rounds, each rank forwarding the block received
+/// in the previous round to its right neighbour.
+pub fn allgather(rank: u32, ranks: u32, bytes: u64) -> Vec<MpiOp> {
+    if ranks == 1 {
+        return Vec::new();
+    }
+    let right = (rank + 1) % ranks;
+    let left = (rank + ranks - 1) % ranks;
+    let mut ops = Vec::new();
+    for _ in 1..ranks {
+        ops.push(MpiOp::Isend { dst: right, bytes });
+        ops.push(MpiOp::Recv { src: left, bytes });
+        ops.push(MpiOp::Wait);
+    }
+    ops
+}
+
+fn highest_pow2_below(n: u32) -> u32 {
+    debug_assert!(n >= 2);
+    1 << (31 - (n - 1).leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks that, over all ranks, the send multiset equals the receive
+    /// multiset per ordered channel, sizes included.
+    fn assert_globally_matched(per_rank: &[Vec<MpiOp>]) {
+        let n = per_rank.len();
+        let mut sent = vec![Vec::<u64>::new(); n * n];
+        let mut received = vec![Vec::<u64>::new(); n * n];
+        for (r, ops) in per_rank.iter().enumerate() {
+            for op in ops {
+                match *op {
+                    MpiOp::Send { dst, bytes } | MpiOp::Isend { dst, bytes } => {
+                        sent[r * n + dst as usize].push(bytes);
+                    }
+                    MpiOp::Recv { src, bytes } | MpiOp::Irecv { src, bytes } => {
+                        received[src as usize * n + r].push(bytes);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for s in 0..n {
+            for d in 0..n {
+                assert_eq!(
+                    sent[s * n + d],
+                    received[s * n + d],
+                    "channel {s}->{d} mismatched"
+                );
+            }
+        }
+    }
+
+    fn all_ranks(ranks: u32, f: impl Fn(u32) -> Vec<MpiOp>) -> Vec<Vec<MpiOp>> {
+        (0..ranks).map(f).collect()
+    }
+
+    /// Simulates the dependency structure with unbounded buffering to
+    /// prove absence of matching-order deadlock: repeatedly run every
+    /// rank forward; a recv blocks until the matching send was executed.
+    /// (isend/wait pairs complete immediately under eager buffering,
+    /// which is the runtime's behaviour for these sub-programs.)
+    fn assert_deadlock_free(per_rank: &[Vec<MpiOp>]) {
+        let n = per_rank.len();
+        let mut pc = vec![0usize; n];
+        let mut sent_counts = vec![0usize; n * n];
+        let mut recvd_counts = vec![0usize; n * n];
+        loop {
+            let mut progress = false;
+            for r in 0..n {
+                while pc[r] < per_rank[r].len() {
+                    match per_rank[r][pc[r]] {
+                        MpiOp::Send { dst, .. } | MpiOp::Isend { dst, .. } => {
+                            sent_counts[r * n + dst as usize] += 1;
+                        }
+                        MpiOp::Recv { src, .. } | MpiOp::Irecv { src, .. } => {
+                            let c = src as usize * n + r;
+                            if recvd_counts[c] < sent_counts[c] {
+                                recvd_counts[c] += 1;
+                            } else {
+                                break; // blocked
+                            }
+                        }
+                        _ => {}
+                    }
+                    pc[r] += 1;
+                    progress = true;
+                }
+            }
+            if pc.iter().enumerate().all(|(r, p)| *p == per_rank[r].len()) {
+                return;
+            }
+            assert!(progress, "collective sub-programs deadlocked: pc={pc:?}");
+        }
+    }
+
+    #[test]
+    fn bcast_matches_and_progresses() {
+        for ranks in [1u32, 2, 3, 4, 7, 8, 16, 33] {
+            for root in [0, ranks - 1, ranks / 2] {
+                let ops = all_ranks(ranks, |r| bcast(r, ranks, root, 4096));
+                assert_globally_matched(&ops);
+                assert_deadlock_free(&ops);
+                // Everyone except the root receives exactly once.
+                for (r, o) in ops.iter().enumerate() {
+                    let recvs = o.iter().filter(|x| matches!(x, MpiOp::Recv { .. })).count();
+                    assert_eq!(recvs, usize::from(r as u32 != root), "rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_matches_and_progresses() {
+        for ranks in [1u32, 2, 3, 4, 5, 8, 16] {
+            let ops = all_ranks(ranks, |r| reduce(r, ranks, 0, 100));
+            assert_globally_matched(&ops);
+            assert_deadlock_free(&ops);
+            // Everyone except the root sends exactly once.
+            for (r, o) in ops.iter().enumerate() {
+                let sends = o.iter().filter(|x| x.is_send_like()).count();
+                assert_eq!(sends, usize::from(r != 0), "rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_pow2_uses_recursive_doubling() {
+        let ranks = 8;
+        let ops = all_ranks(ranks, |r| allreduce(r, ranks, 40)); // small payload
+        assert_globally_matched(&ops);
+        assert_deadlock_free(&ops);
+        // log2(8) = 3 exchange rounds per rank.
+        for o in &ops {
+            let sends = o.iter().filter(|x| x.is_send_like()).count();
+            assert_eq!(sends, 3);
+        }
+    }
+
+    #[test]
+    fn large_allreduce_uses_the_ring() {
+        let ranks = 8;
+        let bytes = 1 << 20;
+        let ops = all_ranks(ranks, |r| allreduce(r, ranks, bytes));
+        assert_globally_matched(&ops);
+        assert_deadlock_free(&ops);
+        // Ring: 2*(P-1) sends of bytes/P chunks per rank.
+        for o in &ops {
+            let sends = o.iter().filter(|x| x.is_send_like()).count();
+            assert_eq!(sends, 2 * (ranks as usize - 1));
+            for op in o.iter() {
+                if let MpiOp::Isend { bytes: b, .. } = op {
+                    assert_eq!(*b, bytes / u64::from(ranks));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_moves_less_total_traffic_than_doubling_for_large_payloads() {
+        let ranks = 16u32;
+        let bytes = 1u64 << 20;
+        let ring_traffic: u64 = ring_allreduce(0, ranks, bytes)
+            .iter()
+            .filter_map(|o| match o {
+                MpiOp::Isend { bytes, .. } | MpiOp::Send { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        // Recursive doubling would send log2(P) full payloads.
+        let doubling_traffic = u64::from(ranks.trailing_zeros()) * bytes;
+        assert!(
+            ring_traffic < doubling_traffic / 2,
+            "ring {ring_traffic} !< doubling {doubling_traffic}/2"
+        );
+    }
+
+    #[test]
+    fn allreduce_non_pow2_falls_back() {
+        for ranks in [3u32, 6, 12] {
+            let ops = all_ranks(ranks, |r| allreduce(r, ranks, 64));
+            assert_globally_matched(&ops);
+            assert_deadlock_free(&ops);
+        }
+    }
+
+    #[test]
+    fn allreduce_single_rank_is_empty() {
+        assert!(allreduce(0, 1, 8).is_empty());
+        assert!(barrier(0, 1).is_empty());
+    }
+
+    #[test]
+    fn barrier_matches() {
+        for ranks in [2u32, 3, 4, 5, 8, 9, 16] {
+            let ops = all_ranks(ranks, |r| barrier(r, ranks));
+            assert_globally_matched(&ops);
+            assert_deadlock_free(&ops);
+        }
+    }
+
+    #[test]
+    fn alltoall_exchanges_with_everyone() {
+        let ranks = 5;
+        let ops = all_ranks(ranks, |r| alltoall(r, ranks, 256));
+        assert_globally_matched(&ops);
+        assert_deadlock_free(&ops);
+        for o in &ops {
+            let sends = o.iter().filter(|x| x.is_send_like()).count();
+            assert_eq!(sends, 4);
+        }
+    }
+
+    #[test]
+    fn gather_is_linear() {
+        for ranks in [2u32, 4, 7] {
+            let ops = all_ranks(ranks, |r| gather(r, ranks, 1 % ranks, 64));
+            assert_globally_matched(&ops);
+            assert_deadlock_free(&ops);
+        }
+        assert!(gather(0, 1, 0, 8).is_empty());
+    }
+
+    #[test]
+    fn allgather_ring_matches() {
+        for ranks in [2u32, 3, 8] {
+            let ops = all_ranks(ranks, |r| allgather(r, ranks, 128));
+            assert_globally_matched(&ops);
+            assert_deadlock_free(&ops);
+        }
+        assert!(allgather(0, 1, 8).is_empty());
+    }
+
+    #[test]
+    fn expand_dispatches() {
+        let ops = expand(&MpiOp::Barrier, 0, 4);
+        assert!(!ops.is_empty());
+        assert!(is_decomposable(&MpiOp::Barrier));
+        assert!(!is_decomposable(&MpiOp::Wait));
+        // Non-collectives pass through.
+        let passthrough = expand(&MpiOp::Wait, 0, 4);
+        assert_eq!(passthrough, vec![MpiOp::Wait]);
+    }
+
+    trait SendLike {
+        fn is_send_like(&self) -> bool;
+    }
+    impl SendLike for MpiOp {
+        fn is_send_like(&self) -> bool {
+            matches!(self, MpiOp::Send { .. } | MpiOp::Isend { .. })
+        }
+    }
+}

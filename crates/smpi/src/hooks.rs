@@ -1,0 +1,124 @@
+//! Execution hooks: how compute blocks and MPI calls consume time.
+//!
+//! The *protocol* semantics (matching, eager/rendezvous, collectives) are
+//! shared between the emulated testbed and the improved replay engine;
+//! what differs is how local costs are modeled. Hooks abstract that:
+//!
+//! * the emulator plugs in a cache-aware CPU model plus instrumentation
+//!   perturbation (probe time, trace-buffer flushes, per-call MPI
+//!   software overhead);
+//! * the replay engines plug in a flat calibrated instruction rate and no
+//!   per-call overhead (the replay tool knows nothing the trace and the
+//!   calibration do not tell it).
+
+use workloads::ComputeBlock;
+
+/// How one compute block executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputePlan {
+    /// Work units handed to the kernel activity.
+    pub work: f64,
+    /// Processing rate, work units per second.
+    pub rate: f64,
+    /// Fixed extra delay (seconds) paid before the activity starts
+    /// (instrumentation probes, perturbations).
+    pub extra_delay: f64,
+}
+
+impl ComputePlan {
+    /// Total seconds this plan will take.
+    pub fn seconds(&self) -> f64 {
+        self.extra_delay + if self.work > 0.0 { self.work / self.rate } else { 0.0 }
+    }
+}
+
+/// Local-cost model of one simulated execution.
+pub trait ExecHooks {
+    /// Plans the execution of `block` on `rank`.
+    fn plan_compute(&mut self, rank: u32, block: &ComputeBlock) -> ComputePlan;
+
+    /// Fixed delay (seconds) injected at every MPI call entry on `rank`
+    /// (instrumentation probes, event recording, trace-buffer flushes,
+    /// MPI software stack). Return 0.0 for "not modeled".
+    fn mpi_call_delay(&mut self, rank: u32) -> f64;
+}
+
+/// The replay-side hook: a flat calibrated rate per rank, no per-call
+/// overhead.
+#[derive(Debug, Clone)]
+pub struct FixedRateHooks {
+    rates: Vec<f64>,
+}
+
+impl FixedRateHooks {
+    /// One rate per rank.
+    pub fn per_rank(rates: Vec<f64>) -> FixedRateHooks {
+        assert!(!rates.is_empty());
+        assert!(rates.iter().all(|r| *r > 0.0 && r.is_finite()));
+        FixedRateHooks { rates }
+    }
+
+    /// The same rate for every rank (homogeneous cluster calibration).
+    pub fn uniform(rate: f64, ranks: u32) -> FixedRateHooks {
+        FixedRateHooks::per_rank(vec![rate; ranks as usize])
+    }
+}
+
+impl ExecHooks for FixedRateHooks {
+    fn plan_compute(&mut self, rank: u32, block: &ComputeBlock) -> ComputePlan {
+        ComputePlan {
+            work: block.instructions,
+            rate: self.rates[rank as usize],
+            extra_delay: 0.0,
+        }
+    }
+
+    fn mpi_call_delay(&mut self, _rank: u32) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_plans_are_flat() {
+        let mut h = FixedRateHooks::uniform(2e9, 4);
+        let block = ComputeBlock {
+            instructions: 4e9,
+            fn_calls: 100.0,
+            working_set: 1 << 30,
+        };
+        let plan = h.plan_compute(3, &block);
+        assert_eq!(plan.rate, 2e9);
+        assert_eq!(plan.work, 4e9);
+        assert_eq!(plan.extra_delay, 0.0);
+        assert!((plan.seconds() - 2.0).abs() < 1e-12);
+        assert_eq!(h.mpi_call_delay(0), 0.0);
+    }
+
+    #[test]
+    fn per_rank_rates() {
+        let mut h = FixedRateHooks::per_rank(vec![1e9, 2e9]);
+        let block = ComputeBlock::plain(1e9);
+        assert_eq!(h.plan_compute(0, &block).rate, 1e9);
+        assert_eq!(h.plan_compute(1, &block).rate, 2e9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        let _ = FixedRateHooks::uniform(0.0, 2);
+    }
+
+    #[test]
+    fn zero_work_plan_seconds() {
+        let p = ComputePlan {
+            work: 0.0,
+            rate: 1.0,
+            extra_delay: 0.25,
+        };
+        assert_eq!(p.seconds(), 0.25);
+    }
+}

@@ -1,0 +1,480 @@
+//! Assembling and running a complete SMPI simulation.
+
+use platform::{HostId, Platform};
+use simkernel::{ActorId, Sim, SimOutcome};
+use workloads::OpSource;
+
+use crate::actor::{RankActor, TransportActor};
+use crate::hooks::ExecHooks;
+use crate::world::{SmpiWorld, WorldStats};
+use crate::SmpiConfig;
+
+/// Outcome of one simulated execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmpiResult {
+    /// Application makespan: the latest rank finish time, in seconds.
+    pub total_time: f64,
+    /// Per-rank finish times, seconds.
+    pub rank_times: Vec<f64>,
+    /// Per-rank seconds spent in compute (planned durations; calibration
+    /// input).
+    pub compute_seconds: Vec<f64>,
+    /// Message/volume counters.
+    pub stats: WorldStats,
+    /// Kernel events processed (simulator performance metric).
+    pub events: u64,
+}
+
+impl SmpiResult {
+    /// Mean per-rank compute time.
+    pub fn mean_compute_seconds(&self) -> f64 {
+        self.compute_seconds.iter().sum::<f64>() / self.compute_seconds.len() as f64
+    }
+}
+
+/// Runs `sources` (one op stream per rank) placed on `hosts` of
+/// `platform`, under protocol `cfg` and local-cost `hooks`.
+///
+/// # Errors
+/// Returns the list of blocked ranks if the execution deadlocks (which,
+/// for validated traces, indicates a runtime bug rather than bad input).
+pub fn run_smpi(
+    platform: &Platform,
+    hosts: &[HostId],
+    sources: Vec<Box<dyn OpSource>>,
+    cfg: SmpiConfig,
+    hooks: Box<dyn ExecHooks>,
+) -> Result<SmpiResult, String> {
+    run_inner(platform, hosts, sources, cfg, hooks, false).map(|(r, _)| r)
+}
+
+/// Like [`run_smpi`], with per-rank timeline recording enabled; returns
+/// the Gantt data alongside the result.
+///
+/// # Errors
+/// See [`run_smpi`].
+pub fn run_smpi_traced(
+    platform: &Platform,
+    hosts: &[HostId],
+    sources: Vec<Box<dyn OpSource>>,
+    cfg: SmpiConfig,
+    hooks: Box<dyn ExecHooks>,
+) -> Result<(SmpiResult, crate::timeline::Timeline), String> {
+    run_inner(platform, hosts, sources, cfg, hooks, true)
+        .map(|(r, t)| (r, t.expect("timeline was enabled")))
+}
+
+fn run_inner(
+    platform: &Platform,
+    hosts: &[HostId],
+    sources: Vec<Box<dyn OpSource>>,
+    cfg: SmpiConfig,
+    hooks: Box<dyn ExecHooks>,
+    record_timeline: bool,
+) -> Result<(SmpiResult, Option<crate::timeline::Timeline>), String> {
+    let ranks = sources.len();
+    assert!(ranks > 0, "no ranks to run");
+    assert_eq!(hosts.len(), ranks, "one host per rank required");
+    let transport = ActorId(ranks as u32);
+    let mut world = SmpiWorld::new(platform, hosts, cfg, hooks, transport);
+    if record_timeline {
+        world.enable_timeline();
+    }
+    let mut sim = Sim::new(world);
+    for (r, source) in sources.into_iter().enumerate() {
+        let me = ActorId(r as u32);
+        let id = sim.spawn(Box::new(RankActor::new(r as u32, me, source)));
+        assert_eq!(id, me);
+    }
+    let t = sim.spawn_daemon(Box::new(TransportActor));
+    assert_eq!(t, transport);
+    match sim.run() {
+        SimOutcome::AllFinished => {}
+        SimOutcome::Deadlock(blocked) => {
+            return Err(format!(
+                "simulated execution deadlocked; blocked ranks: {:?}",
+                blocked.iter().map(|a| a.0).collect::<Vec<_>>()
+            ));
+        }
+    }
+    let rank_times: Vec<f64> = (0..ranks)
+        .map(|r| sim.finish_time(ActorId(r as u32)).as_secs())
+        .collect();
+    let (live_msgs, live_posts, live_reqs) = sim.world.live_records();
+    debug_assert_eq!(
+        (live_msgs, live_posts, live_reqs),
+        (0, 0, 0),
+        "protocol records leaked"
+    );
+    Ok((
+        SmpiResult {
+            total_time: rank_times.iter().copied().fold(0.0, f64::max),
+            rank_times,
+            compute_seconds: sim.world.compute_seconds.clone(),
+            stats: sim.world.stats,
+            events: sim.kernel.events_processed(),
+        },
+        sim.world.timeline.take(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::FixedRateHooks;
+    use platform::topology::{flat_cluster, FlatClusterSpec};
+    use workloads::{ComputeBlock, MpiOp, VecSource};
+
+    fn tiny_platform(nodes: u32) -> Platform {
+        flat_cluster(&FlatClusterSpec {
+            name: "t".into(),
+            nodes,
+            host_speed: 1e9,
+            cores: 1,
+            cache_bytes: 1 << 20,
+            link_bandwidth: 1e8,
+            link_latency: 10e-6,
+            backbone_bandwidth: 1e9,
+            backbone_latency: 0.0,
+        })
+    }
+
+    fn hosts(n: u32) -> Vec<HostId> {
+        (0..n).map(HostId).collect()
+    }
+
+    fn run(
+        nodes: u32,
+        progs: Vec<Vec<MpiOp>>,
+        cfg: SmpiConfig,
+    ) -> SmpiResult {
+        let p = tiny_platform(nodes);
+        let n = progs.len() as u32;
+        let sources: Vec<Box<dyn workloads::OpSource>> = progs
+            .into_iter()
+            .map(|ops| Box::new(VecSource::new(ops)) as Box<dyn workloads::OpSource>)
+            .collect();
+        run_smpi(
+            &p,
+            &hosts(n),
+            sources,
+            cfg,
+            Box::new(FixedRateHooks::uniform(1e9, n)),
+        )
+        .expect("run failed")
+    }
+
+    fn cfg_no_copy() -> SmpiConfig {
+        SmpiConfig {
+            copy: None,
+            factors: netmodel::PiecewiseFactors::raw(),
+            ..SmpiConfig::ground_truth()
+        }
+    }
+
+    #[test]
+    fn compute_only() {
+        let r = run(
+            1,
+            vec![vec![
+                MpiOp::Init,
+                MpiOp::Compute(ComputeBlock::plain(2e9)),
+                MpiOp::Finalize,
+            ]],
+            cfg_no_copy(),
+        );
+        assert!((r.total_time - 2.0).abs() < 1e-9, "{}", r.total_time);
+        assert!((r.compute_seconds[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eager_message_timing_is_latency_plus_transfer() {
+        // 1000 bytes over 1e8 B/s with 20µs path latency (2 NIC hops at
+        // 10µs; raw factors).
+        let progs = vec![
+            vec![MpiOp::Send { dst: 1, bytes: 1000 }],
+            vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+        ];
+        let r = run(2, progs, cfg_no_copy());
+        let expect = 1000.0 / 1e8 + 20e-6;
+        assert!(
+            (r.rank_times[1] - expect).abs() < 1e-9,
+            "recv done at {} expected {expect}",
+            r.rank_times[1]
+        );
+        // Detached: the sender finished immediately (no copy cost here).
+        assert!(r.rank_times[0] < 1e-12);
+        assert_eq!(r.stats.messages, 1);
+        assert_eq!(r.stats.eager_messages, 1);
+    }
+
+    #[test]
+    fn eager_sender_pays_copy_when_modeled() {
+        let mut cfg = cfg_no_copy();
+        cfg.copy = Some(crate::CopyCost {
+            base_seconds: 1e-6,
+            bytes_per_second: 1e9,
+        });
+        let progs = vec![
+            vec![MpiOp::Send { dst: 1, bytes: 1000 }],
+            vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+        ];
+        let r = run(2, progs, cfg);
+        let copy = 1e-6 + 1000.0 / 1e9;
+        assert!((r.rank_times[0] - copy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_receiver_of_eager_message_returns_instantly() {
+        // Receiver computes 1s first; the 1000-byte message has long
+        // arrived; its recv completes with no extra delay.
+        let progs = vec![
+            vec![MpiOp::Send { dst: 1, bytes: 1000 }],
+            vec![
+                MpiOp::Compute(ComputeBlock::plain(1e9)),
+                MpiOp::Recv { src: 0, bytes: 1000 },
+            ],
+        ];
+        let r = run(2, progs, cfg_no_copy());
+        assert!((r.rank_times[1] - 1.0).abs() < 1e-9, "{}", r.rank_times[1]);
+    }
+
+    #[test]
+    fn rendezvous_sender_blocks_for_late_receiver() {
+        let bytes = 256 * 1024; // > threshold
+        let progs = vec![
+            vec![MpiOp::Send { dst: 1, bytes }],
+            vec![
+                MpiOp::Compute(ComputeBlock::plain(1e9)),
+                MpiOp::Recv { src: 0, bytes },
+            ],
+        ];
+        let r = run(2, progs, cfg_no_copy());
+        let transfer = bytes as f64 / 1e8 + 20e-6;
+        // Transfer starts at t=1 when the recv posts; sender completes at
+        // arrival.
+        assert!(
+            (r.rank_times[0] - (1.0 + transfer)).abs() < 1e-9,
+            "{} vs {}",
+            r.rank_times[0],
+            1.0 + transfer
+        );
+        assert_eq!(r.stats.eager_messages, 0);
+    }
+
+    #[test]
+    fn isend_wait_semantics() {
+        let bytes = 256 * 1024;
+        let progs = vec![
+            vec![
+                MpiOp::Isend { dst: 1, bytes },
+                MpiOp::Compute(ComputeBlock::plain(5e8)),
+                MpiOp::Wait,
+            ],
+            vec![MpiOp::Recv { src: 0, bytes }],
+        ];
+        let r = run(2, progs, cfg_no_copy());
+        let transfer = bytes as f64 / 1e8 + 20e-6;
+        // The transfer overlaps the sender's 0.5s of compute.
+        assert!((r.rank_times[1] - transfer).abs() < 1e-9);
+        assert!((r.rank_times[0] - 0.5f64.max(transfer)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irecv_waitall_overlap() {
+        let progs = vec![
+            vec![
+                MpiOp::Irecv { src: 1, bytes: 500 },
+                MpiOp::Compute(ComputeBlock::plain(1e9)),
+                MpiOp::WaitAll,
+            ],
+            vec![MpiOp::Send { dst: 0, bytes: 500 }],
+        ];
+        let r = run(2, progs, cfg_no_copy());
+        // Message arrives way before the compute ends.
+        assert!((r.rank_times[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let mk = |work: f64| {
+            vec![
+                MpiOp::Compute(ComputeBlock::plain(work)),
+                MpiOp::Barrier,
+                MpiOp::Finalize,
+            ]
+        };
+        let r = run(4, vec![mk(1e9), mk(2e9), mk(5e8), mk(1e8)], cfg_no_copy());
+        // Nobody leaves the barrier before the slowest rank (2s) enters.
+        for t in &r.rank_times {
+            assert!(*t >= 2.0, "rank finished at {t} before barrier release");
+        }
+        assert!(r.total_time < 2.01, "barrier cost too high: {}", r.total_time);
+    }
+
+    #[test]
+    fn allreduce_and_bcast_complete() {
+        let prog = |r: u32| {
+            vec![
+                MpiOp::Init,
+                MpiOp::Bcast { bytes: 40, root: 0 },
+                MpiOp::Compute(ComputeBlock::plain((r as f64 + 1.0) * 1e8)),
+                MpiOp::Allreduce { bytes: 40 },
+                MpiOp::Finalize,
+            ]
+        };
+        let r = run(8, (0..8).map(prog).collect(), cfg_no_copy());
+        assert_eq!(r.stats.collective_participations, 16);
+        // All ranks leave the allreduce together (within latency slack).
+        let min = r.rank_times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = r.rank_times.iter().copied().fold(0.0, f64::max);
+        assert!(max - min < 1e-3, "allreduce skew {}", max - min);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let prog = |r: u32| {
+            vec![
+                MpiOp::Compute(ComputeBlock::plain((r as f64 + 1.0) * 1e7)),
+                MpiOp::Allreduce { bytes: 8 },
+            ]
+        };
+        let a = run(8, (0..8).map(prog).collect(), cfg_no_copy());
+        let b = run(8, (0..8).map(prog).collect(), cfg_no_copy());
+        assert_eq!(a.rank_times, b.rank_times);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn lu_small_instance_runs_clean() {
+        use workloads::lu::{LuClass, LuConfig};
+        let cfg = LuConfig::new(LuClass::S, 4).with_steps(3);
+        let p = tiny_platform(4);
+        let r = run_smpi(
+            &p,
+            &hosts(4),
+            cfg.sources(),
+            SmpiConfig::ground_truth(),
+            Box::new(FixedRateHooks::uniform(1e9, 4)),
+        )
+        .expect("LU S-4 failed");
+        assert!(r.total_time > 0.0);
+        assert!(r.stats.messages > 100);
+        assert!(r.stats.eager_messages > 0);
+    }
+
+    #[test]
+    fn lu_multiple_grids_run_clean() {
+        use workloads::lu::{LuClass, LuConfig};
+        for procs in [2u32, 8, 16] {
+            let cfg = LuConfig::new(LuClass::S, procs).with_steps(2);
+            let p = tiny_platform(procs);
+            let r = run_smpi(
+                &p,
+                &hosts(procs),
+                cfg.sources(),
+                SmpiConfig::ground_truth(),
+                Box::new(FixedRateHooks::uniform(1e9, procs)),
+            )
+            .unwrap_or_else(|e| panic!("LU S-{procs}: {e}"));
+            assert!(r.total_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn faster_cpu_is_never_slower() {
+        use workloads::lu::{LuClass, LuConfig};
+        let cfg = LuConfig::new(LuClass::S, 4).with_steps(3);
+        let p = tiny_platform(4);
+        let run_at = |rate: f64| {
+            run_smpi(
+                &p,
+                &hosts(4),
+                cfg.sources(),
+                SmpiConfig::ground_truth(),
+                Box::new(FixedRateHooks::uniform(rate, 4)),
+            )
+            .unwrap()
+            .total_time
+        };
+        assert!(run_at(2e9) <= run_at(1e9));
+    }
+
+    #[test]
+    fn loopback_messages_bypass_network() {
+        // Both ranks on the same host: transfer is a memory copy.
+        let p = tiny_platform(1);
+        let progs = vec![
+            vec![MpiOp::Send { dst: 1, bytes: 1000 }],
+            vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+        ];
+        let sources: Vec<Box<dyn workloads::OpSource>> = progs
+            .into_iter()
+            .map(|ops| Box::new(VecSource::new(ops)) as Box<dyn workloads::OpSource>)
+            .collect();
+        let r = run_smpi(
+            &p,
+            &[HostId(0), HostId(0)],
+            sources,
+            cfg_no_copy(),
+            Box::new(FixedRateHooks::uniform(1e9, 2)),
+        )
+        .unwrap();
+        assert_eq!(r.stats.flows, 0);
+        assert!(r.rank_times[1] < 1e-5, "{}", r.rank_times[1]);
+    }
+
+    #[test]
+    fn traced_run_records_compute_and_wait() {
+        use crate::timeline::SegmentKind;
+        let p = tiny_platform(2);
+        let progs = vec![
+            vec![
+                MpiOp::Compute(ComputeBlock::plain(1e9)),
+                MpiOp::Send { dst: 1, bytes: 1000 },
+            ],
+            vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+        ];
+        let sources: Vec<Box<dyn workloads::OpSource>> = progs
+            .into_iter()
+            .map(|ops| Box::new(VecSource::new(ops)) as Box<dyn workloads::OpSource>)
+            .collect();
+        let (r, timeline) = run_smpi_traced(
+            &p,
+            &hosts(2),
+            sources,
+            cfg_no_copy(),
+            Box::new(FixedRateHooks::uniform(1e9, 2)),
+        )
+        .unwrap();
+        // Rank 0 computed ~1s; rank 1 waited ~1s for the message.
+        assert!((timeline.total(0, SegmentKind::Compute) - 1.0).abs() < 1e-9);
+        assert!(timeline.total(1, SegmentKind::Wait) > 0.99);
+        let chart = timeline.render(40, r.total_time);
+        assert!(chart.lines().count() == 2);
+        assert!(chart.contains('#') && chart.contains('.'), "{chart}");
+    }
+
+    #[test]
+    fn unmatched_recv_deadlocks_with_report() {
+        let p = tiny_platform(2);
+        let progs = vec![
+            vec![MpiOp::Recv { src: 1, bytes: 8 }],
+            vec![MpiOp::Finalize],
+        ];
+        let sources: Vec<Box<dyn workloads::OpSource>> = progs
+            .into_iter()
+            .map(|ops| Box::new(VecSource::new(ops)) as Box<dyn workloads::OpSource>)
+            .collect();
+        let err = run_smpi(
+            &p,
+            &hosts(2),
+            sources,
+            cfg_no_copy(),
+            Box::new(FixedRateHooks::uniform(1e9, 2)),
+        )
+        .unwrap_err();
+        assert!(err.contains("deadlock"), "{err}");
+        assert!(err.contains('0'), "{err}");
+    }
+}

@@ -1,0 +1,221 @@
+//! A small generational slab for runtime records (messages, posts,
+//! requests). Simulation runs create and retire millions of records;
+//! recycling slots keeps memory flat, and generations make stale handles
+//! detectable instead of silently aliasing.
+
+/// Typed handle into a [`Slab`].
+pub struct Id<T> {
+    index: u32,
+    generation: u32,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Id<T> {
+    /// Packs the id into a u64 (for timer keys).
+    pub fn pack(self) -> u64 {
+        (u64::from(self.generation) << 32) | u64::from(self.index)
+    }
+
+    /// Unpacks an id previously packed with [`Id::pack`].
+    pub fn unpack(key: u64) -> Id<T> {
+        Id {
+            index: key as u32,
+            generation: (key >> 32) as u32,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T> Clone for Id<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Id<T> {}
+impl<T> PartialEq for Id<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index && self.generation == other.generation
+    }
+}
+impl<T> Eq for Id<T> {}
+impl<T> std::hash::Hash for Id<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.pack().hash(state);
+    }
+}
+impl<T> std::fmt::Debug for Id<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Id({}@{})", self.index, self.generation)
+    }
+}
+
+struct Entry<T> {
+    value: Option<T>,
+    generation: u32,
+    next_free: u32,
+}
+
+const NO_FREE: u32 = u32::MAX;
+
+/// Generational slab.
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free_head: u32,
+    live: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            entries: Vec::new(),
+            free_head: NO_FREE,
+            live: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a value, returning its handle.
+    pub fn insert(&mut self, value: T) -> Id<T> {
+        self.live += 1;
+        if self.free_head != NO_FREE {
+            let index = self.free_head;
+            let e = &mut self.entries[index as usize];
+            self.free_head = e.next_free;
+            e.next_free = NO_FREE;
+            e.generation = e.generation.wrapping_add(1);
+            e.value = Some(value);
+            Id {
+                index,
+                generation: e.generation,
+                _marker: std::marker::PhantomData,
+            }
+        } else {
+            let index = u32::try_from(self.entries.len()).expect("slab overflow");
+            self.entries.push(Entry {
+                value: Some(value),
+                generation: 0,
+                next_free: NO_FREE,
+            });
+            Id {
+                index,
+                generation: 0,
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    /// Shared access; `None` when the handle is stale or removed.
+    pub fn get(&self, id: Id<T>) -> Option<&T> {
+        let e = self.entries.get(id.index as usize)?;
+        if e.generation != id.generation {
+            return None;
+        }
+        e.value.as_ref()
+    }
+
+    /// Mutable access; `None` when the handle is stale or removed.
+    pub fn get_mut(&mut self, id: Id<T>) -> Option<&mut T> {
+        let e = self.entries.get_mut(id.index as usize)?;
+        if e.generation != id.generation {
+            return None;
+        }
+        e.value.as_mut()
+    }
+
+    /// Shared access, panicking on a stale handle.
+    pub fn expect(&self, id: Id<T>) -> &T {
+        self.get(id).expect("stale slab id")
+    }
+
+    /// Mutable access, panicking on a stale handle.
+    pub fn expect_mut(&mut self, id: Id<T>) -> &mut T {
+        self.get_mut(id).expect("stale slab id")
+    }
+
+    /// Removes and returns an entry.
+    pub fn remove(&mut self, id: Id<T>) -> Option<T> {
+        let e = self.entries.get_mut(id.index as usize)?;
+        if e.generation != id.generation || e.value.is_none() {
+            return None;
+        }
+        let value = e.value.take();
+        e.next_free = self.free_head;
+        self.free_head = id.index;
+        self.live -= 1;
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s: Slab<String> = Slab::new();
+        let a = s.insert("a".into());
+        let b = s.insert("b".into());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a).unwrap(), "a");
+        assert_eq!(s.remove(a).unwrap(), "a");
+        assert!(s.get(a).is_none());
+        assert_eq!(s.get(b).unwrap(), "b");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn recycled_slot_invalidates_old_handle() {
+        let mut s: Slab<u32> = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let b = s.insert(2);
+        assert!(s.get(a).is_none(), "stale handle must not alias");
+        assert_eq!(*s.get(b).unwrap(), 2);
+        assert_eq!(s.remove(a), None);
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let mut s: Slab<u8> = Slab::new();
+        let a = s.insert(9);
+        s.remove(a);
+        let b = s.insert(7); // same index, new generation
+        let restored: Id<u8> = Id::unpack(b.pack());
+        assert_eq!(restored, b);
+        assert_ne!(restored, a);
+        assert_eq!(*s.get(restored).unwrap(), 7);
+    }
+
+    #[test]
+    fn expect_mut_mutates() {
+        let mut s: Slab<Vec<u32>> = Slab::new();
+        let a = s.insert(vec![1]);
+        s.expect_mut(a).push(2);
+        assert_eq!(s.expect(a), &vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale slab id")]
+    fn expect_panics_on_stale() {
+        let mut s: Slab<u8> = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let _ = s.expect(a);
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-rank execution timelines (Gantt data).
+//!
+//! The companion evaluation of the paper's first prototype compared
+//! simulated and real executions through Gantt charts; this module
+//! records, optionally, what every rank was doing when — computing,
+//! blocked waiting for communication, or paying fixed overheads — and
+//! renders a textual Gantt chart. Recording is off by default and costs
+//! nothing when disabled.
+
+/// What a rank was doing during a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Executing a compute block.
+    Compute,
+    /// Blocked on communication (recv/send/rendezvous/collective).
+    Wait,
+    /// Fixed delays: MPI software overhead, probes, eager copies.
+    Overhead,
+}
+
+impl SegmentKind {
+    /// One-character glyph for the text renderer.
+    pub fn glyph(self) -> char {
+        match self {
+            SegmentKind::Compute => '#',
+            SegmentKind::Wait => '.',
+            SegmentKind::Overhead => 'o',
+        }
+    }
+}
+
+/// One recorded interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start instant, seconds.
+    pub start: f64,
+    /// End instant, seconds.
+    pub end: f64,
+    /// Activity classification.
+    pub kind: SegmentKind,
+}
+
+/// A per-rank collection of segments.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    per_rank: Vec<Vec<Segment>>,
+}
+
+impl Timeline {
+    /// An empty timeline for `ranks` processes.
+    pub fn new(ranks: u32) -> Timeline {
+        Timeline {
+            per_rank: (0..ranks).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Records one segment (zero-length segments are dropped).
+    pub fn record(&mut self, rank: u32, start: f64, end: f64, kind: SegmentKind) {
+        if end > start {
+            self.per_rank[rank as usize].push(Segment { start, end, kind });
+        }
+    }
+
+    /// The segments of one rank, in recording order.
+    pub fn rank(&self, rank: u32) -> &[Segment] {
+        &self.per_rank[rank as usize]
+    }
+
+    /// Total seconds one rank spent in `kind`.
+    pub fn total(&self, rank: u32, kind: SegmentKind) -> f64 {
+        self.per_rank[rank as usize]
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Renders a textual Gantt chart: one row per rank, `width` columns
+    /// spanning `[0, horizon]`. The glyph of the kind covering the
+    /// majority of each cell wins; blank = idle/untracked.
+    pub fn render(&self, width: usize, horizon: f64) -> String {
+        assert!(width > 0 && horizon > 0.0);
+        let mut out = String::new();
+        let cell = horizon / width as f64;
+        for (rank, segments) in self.per_rank.iter().enumerate() {
+            let mut cover = vec![[0.0f64; 3]; width];
+            for s in segments {
+                let first = ((s.start / cell) as usize).min(width - 1);
+                let last = ((s.end / cell) as usize).min(width - 1);
+                for (c, slot) in cover.iter_mut().enumerate().take(last + 1).skip(first) {
+                    let cs = cell * c as f64;
+                    let ce = cs + cell;
+                    let overlap = (s.end.min(ce) - s.start.max(cs)).max(0.0);
+                    let idx = match s.kind {
+                        SegmentKind::Compute => 0,
+                        SegmentKind::Wait => 1,
+                        SegmentKind::Overhead => 2,
+                    };
+                    slot[idx] += overlap;
+                }
+            }
+            out.push_str(&format!("p{rank:<3} "));
+            for c in cover {
+                let max = c[0].max(c[1]).max(c[2]);
+                let glyph = if max <= 0.0 {
+                    ' '
+                } else if c[0] == max {
+                    '#'
+                } else if c[1] == max {
+                    '.'
+                } else {
+                    'o'
+                };
+                out.push(glyph);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut t = Timeline::new(2);
+        t.record(0, 0.0, 1.0, SegmentKind::Compute);
+        t.record(0, 1.0, 1.5, SegmentKind::Wait);
+        t.record(1, 0.0, 0.25, SegmentKind::Overhead);
+        t.record(1, 0.3, 0.3, SegmentKind::Wait); // zero-length dropped
+        assert_eq!(t.rank(0).len(), 2);
+        assert_eq!(t.rank(1).len(), 1);
+        assert!((t.total(0, SegmentKind::Compute) - 1.0).abs() < 1e-12);
+        assert!((t.total(0, SegmentKind::Wait) - 0.5).abs() < 1e-12);
+        assert_eq!(t.total(1, SegmentKind::Wait), 0.0);
+    }
+
+    #[test]
+    fn render_majority_glyphs() {
+        let mut t = Timeline::new(1);
+        t.record(0, 0.0, 0.5, SegmentKind::Compute);
+        t.record(0, 0.5, 1.0, SegmentKind::Wait);
+        let chart = t.render(10, 1.0);
+        let row: Vec<char> = chart.lines().next().unwrap().chars().skip(5).collect();
+        assert_eq!(row.len(), 10);
+        assert!(row[..5].iter().all(|c| *c == '#'), "{chart}");
+        assert!(row[5..].iter().all(|c| *c == '.'), "{chart}");
+    }
+
+    #[test]
+    fn render_handles_idle_gaps() {
+        let mut t = Timeline::new(1);
+        t.record(0, 0.8, 1.0, SegmentKind::Compute);
+        let chart = t.render(10, 1.0);
+        let row: Vec<char> = chart.lines().next().unwrap().chars().skip(5).collect();
+        assert!(row[..8].iter().all(|c| *c == ' '), "{chart}");
+        assert_eq!(row[9], '#');
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        assert_ne!(SegmentKind::Compute.glyph(), SegmentKind::Wait.glyph());
+        assert_ne!(SegmentKind::Wait.glyph(), SegmentKind::Overhead.glyph());
+    }
+}

@@ -1,0 +1,543 @@
+//! Shared runtime state: message matching, protocol state machines, and
+//! transport event handling.
+//!
+//! Message lifecycle (eager): the sender creates the message, the
+//! transfer (a network flow, or a loopback timer for intra-host traffic)
+//! starts immediately, and the sender continues — *detached* semantics.
+//! When the flow drains, the route's protocol-corrected latency runs as a
+//! tail timer; the message then *arrives*: any blocked receiver, matched
+//! post, or linked request completes.
+//!
+//! Message lifecycle (rendezvous): the sender publishes an envelope; the
+//! transfer starts only when a matching receive is posted; the sender (or
+//! its request) completes at arrival.
+//!
+//! Matching is FIFO per `(source, destination, channel)`. Two channels
+//! exist: application point-to-point traffic and collective-internal
+//! traffic (real MPI separates these via communicators/tags, and without
+//! the separation an eager application message racing ahead could be
+//! swallowed by a collective's internal receive).
+//!
+//! Handle-staleness convention: records are recycled on completion, and
+//! every query (`msg_arrived`, `post_complete`, `req_done`) treats a
+//! stale handle as *complete* — a record that no longer exists has, by
+//! construction, finished its protocol.
+
+use std::collections::{HashMap, VecDeque};
+
+use netmodel::{FlowId, FlowNet};
+use platform::{HostId, LinkId, Platform};
+use simkernel::{ActivityId, ActorId, Duration, Kernel, Wake};
+
+use crate::hooks::ExecHooks;
+use crate::slab::{Id, Slab};
+use crate::timeline::{SegmentKind, Timeline};
+use crate::SmpiConfig;
+
+/// Application point-to-point channel.
+pub const CH_APP: u8 = 0;
+/// Collective-internal channel.
+pub const CH_COLL: u8 = 1;
+const CHANNELS: usize = 2;
+
+/// An in-flight or enveloped message.
+#[derive(Debug)]
+pub struct Msg {
+    src: u32,
+    dst: u32,
+    bytes: u64,
+    arrived: bool,
+    /// Transfer started (eager always; rendezvous once matched).
+    transferring: bool,
+    flow: Option<FlowId>,
+    matched_post: Option<PostId>,
+    /// Set when a receive has directly committed to this message.
+    delivered: bool,
+    sender_req: Option<ReqId>,
+    recv_req: Option<ReqId>,
+    waiters: Vec<ActorId>,
+}
+
+/// A posted receive not yet matched (or matched, awaiting arrival).
+#[derive(Debug)]
+pub struct Post {
+    bytes: u64,
+    matched: Option<MsgId>,
+    req: Option<ReqId>,
+    waiter: Option<ActorId>,
+}
+
+/// A non-blocking request (isend/irecv handle).
+#[derive(Debug)]
+pub struct Req {
+    done: bool,
+    waiter: Option<ActorId>,
+}
+
+/// Handle to a [`Msg`].
+pub type MsgId = Id<Msg>;
+/// Handle to a [`Post`].
+pub type PostId = Id<Post>;
+/// Handle to a [`Req`].
+pub type ReqId = Id<Req>;
+
+/// Outcome of a blocking-send attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendResult {
+    /// Sender may continue immediately (eager/detached).
+    Done,
+    /// Sender must wait for the message to arrive (rendezvous).
+    Wait(MsgId),
+}
+
+/// Outcome of a blocking-receive attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvResult {
+    /// Data already present.
+    Done,
+    /// Matched a message still in flight.
+    WaitMsg(MsgId),
+    /// No matching send yet; wait on the post.
+    WaitPost(PostId),
+}
+
+/// Aggregate counters of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Point-to-point messages created (including collective-internal).
+    pub messages: u64,
+    /// Messages that used the eager protocol.
+    pub eager_messages: u64,
+    /// Point-to-point payload bytes.
+    pub bytes: u64,
+    /// Network flows opened (excludes loopback).
+    pub flows: u64,
+    /// Collective operations executed (counted once per rank).
+    pub collective_participations: u64,
+}
+
+/// The shared MPI world. See the [module documentation](self).
+pub struct SmpiWorld {
+    /// The network state.
+    pub net: FlowNet,
+    /// Protocol configuration.
+    pub cfg: SmpiConfig,
+    /// Local-cost hooks.
+    pub hooks: Box<dyn ExecHooks>,
+    /// Run counters.
+    pub stats: WorldStats,
+    /// Seconds each rank spent computing (planned durations; used by
+    /// calibration).
+    pub compute_seconds: Vec<f64>,
+    /// Optional per-rank execution timeline (off by default; see
+    /// [`crate::timeline`]).
+    pub timeline: Option<Timeline>,
+    ranks: u32,
+    routes: Vec<Vec<LinkId>>,
+    pair_latency: Vec<f64>,
+    pair_bandwidth: Vec<f64>,
+    msgs: Slab<Msg>,
+    posts: Slab<Post>,
+    reqs: Slab<Req>,
+    unexpected: Vec<VecDeque<MsgId>>,
+    posted: Vec<VecDeque<PostId>>,
+    flow_msg: HashMap<ActivityId, MsgId>,
+    transport: ActorId,
+}
+
+impl SmpiWorld {
+    /// Builds the world for `ranks` processes placed on `hosts` of
+    /// `platform`. `transport` is the daemon actor that will receive
+    /// transfer events (spawned by the runner).
+    pub fn new(
+        platform: &Platform,
+        hosts: &[HostId],
+        cfg: SmpiConfig,
+        hooks: Box<dyn ExecHooks>,
+        transport: ActorId,
+    ) -> SmpiWorld {
+        let ranks = hosts.len() as u32;
+        assert!(ranks > 0, "need at least one rank");
+        let n = ranks as usize;
+        let mut routes = Vec::with_capacity(n * n);
+        let mut pair_latency = Vec::with_capacity(n * n);
+        let mut pair_bandwidth = Vec::with_capacity(n * n);
+        let mut scratch = Vec::new();
+        for s in 0..n {
+            for d in 0..n {
+                platform.route(hosts[s], hosts[d], &mut scratch);
+                routes.push(scratch.clone());
+                pair_latency.push(platform.route_latency(hosts[s], hosts[d]));
+                pair_bandwidth.push(platform.route_bandwidth(hosts[s], hosts[d]));
+            }
+        }
+        let net = FlowNet::new(platform, cfg.sharing);
+        SmpiWorld {
+            net,
+            cfg,
+            hooks,
+            stats: WorldStats::default(),
+            compute_seconds: vec![0.0; n],
+            timeline: None,
+            ranks,
+            routes,
+            pair_latency,
+            pair_bandwidth,
+            msgs: Slab::new(),
+            posts: Slab::new(),
+            reqs: Slab::new(),
+            unexpected: (0..n * n * CHANNELS).map(|_| VecDeque::new()).collect(),
+            posted: (0..n * n * CHANNELS).map(|_| VecDeque::new()).collect(),
+            flow_msg: HashMap::new(),
+            transport,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> u32 {
+        self.ranks
+    }
+
+    fn chan(&self, dst: u32, src: u32, ch: u8) -> usize {
+        ((dst * self.ranks + src) as usize) * CHANNELS + ch as usize
+    }
+
+    fn pair(&self, src: u32, dst: u32) -> usize {
+        (src * self.ranks + dst) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Send / receive entry points (called by rank actors)
+    // ------------------------------------------------------------------
+
+    /// Executes the protocol side of a send. For non-blocking sends, a
+    /// request handle is returned; for blocking rendezvous sends, the
+    /// caller must wait on the returned message.
+    #[allow(clippy::too_many_arguments)] // a protocol call carries its full envelope
+    pub fn send(
+        &mut self,
+        kernel: &mut Kernel,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        ch: u8,
+        blocking: bool,
+        actor: ActorId,
+    ) -> (SendResult, Option<ReqId>) {
+        assert!(dst < self.ranks, "send to non-existent rank {dst}");
+        assert_ne!(src, dst, "self-send reached the runtime");
+        let eager = self.cfg.is_eager(bytes);
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        if eager {
+            self.stats.eager_messages += 1;
+        }
+        let msg_id = self.msgs.insert(Msg {
+            src,
+            dst,
+            bytes,
+            arrived: false,
+            transferring: false,
+            flow: None,
+            matched_post: None,
+            delivered: false,
+            sender_req: None,
+            recv_req: None,
+            waiters: Vec::new(),
+        });
+        // Try to match an already-posted receive.
+        let chan = self.chan(dst, src, ch);
+        let matched = self.posted[chan].pop_front();
+        if let Some(post_id) = matched {
+            let post = self.posts.expect_mut(post_id);
+            assert_eq!(
+                post.bytes, bytes,
+                "message size mismatch on channel {src}->{dst}"
+            );
+            post.matched = Some(msg_id);
+            self.msgs.expect_mut(msg_id).matched_post = Some(post_id);
+        } else {
+            self.unexpected[chan].push_back(msg_id);
+        }
+        if eager || matched.is_some() {
+            self.start_transfer(kernel, msg_id);
+        }
+        if eager {
+            // Detached: the sender's buffer is reusable after the local
+            // copy (charged by the caller); both Send and Isend complete
+            // now.
+            let req = (!blocking).then(|| {
+                self.reqs.insert(Req {
+                    done: true,
+                    waiter: None,
+                })
+            });
+            (SendResult::Done, req)
+        } else if blocking {
+            self.msgs.expect_mut(msg_id).waiters.push(actor);
+            (SendResult::Wait(msg_id), None)
+        } else {
+            let req = self.reqs.insert(Req {
+                done: false,
+                waiter: None,
+            });
+            self.msgs.expect_mut(msg_id).sender_req = Some(req);
+            (SendResult::Done, Some(req))
+        }
+    }
+
+    /// Executes the protocol side of a receive.
+    #[allow(clippy::too_many_arguments)] // a protocol call carries its full envelope
+    pub fn recv(
+        &mut self,
+        kernel: &mut Kernel,
+        dst: u32,
+        src: u32,
+        bytes: u64,
+        ch: u8,
+        blocking: bool,
+        actor: ActorId,
+    ) -> (RecvResult, Option<ReqId>) {
+        assert!(src < self.ranks, "recv from non-existent rank {src}");
+        let chan = self.chan(dst, src, ch);
+        if let Some(msg_id) = self.unexpected[chan].pop_front() {
+            let msg = self.msgs.expect_mut(msg_id);
+            assert_eq!(
+                msg.bytes, bytes,
+                "message size mismatch on channel {src}->{dst}"
+            );
+            msg.delivered = true;
+            if msg.arrived {
+                // Data already in memory: "the application only sees the
+                // duration of a memory copy".
+                self.retire_msg(msg_id);
+                let req = (!blocking).then(|| {
+                    self.reqs.insert(Req {
+                        done: true,
+                        waiter: None,
+                    })
+                });
+                return (RecvResult::Done, req);
+            }
+            let needs_start = !msg.transferring;
+            if blocking {
+                msg.waiters.push(actor);
+            }
+            if needs_start {
+                self.start_transfer(kernel, msg_id);
+            }
+            if blocking {
+                (RecvResult::WaitMsg(msg_id), None)
+            } else {
+                let req = self.reqs.insert(Req {
+                    done: false,
+                    waiter: None,
+                });
+                self.msgs.expect_mut(msg_id).recv_req = Some(req);
+                (RecvResult::Done, Some(req))
+            }
+        } else {
+            let post_id = self.posts.insert(Post {
+                bytes,
+                matched: None,
+                req: None,
+                waiter: blocking.then_some(actor),
+            });
+            self.posted[chan].push_back(post_id);
+            if blocking {
+                (RecvResult::WaitPost(post_id), None)
+            } else {
+                let req = self.reqs.insert(Req {
+                    done: false,
+                    waiter: None,
+                });
+                self.posts.expect_mut(post_id).req = Some(req);
+                (RecvResult::Done, Some(req))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (stale handle == complete)
+    // ------------------------------------------------------------------
+
+    /// Has this message arrived (or been retired)?
+    pub fn msg_arrived(&self, id: MsgId) -> bool {
+        self.msgs.get(id).is_none_or(|m| m.arrived)
+    }
+
+    /// Has this post completed (matched message arrived)?
+    pub fn post_complete(&self, id: PostId) -> bool {
+        self.posts.get(id).is_none()
+    }
+
+    /// Is this request complete? Does not consume the request.
+    pub fn req_done(&self, id: ReqId) -> bool {
+        self.reqs.get(id).is_none_or(|r| r.done)
+    }
+
+    /// Consumes a completed request; returns `false` (and registers
+    /// `waiter`) when it is still pending.
+    pub fn take_req(&mut self, id: ReqId, waiter: ActorId) -> bool {
+        match self.reqs.get_mut(id) {
+            None => true,
+            Some(r) if r.done => {
+                self.reqs.remove(id);
+                true
+            }
+            Some(r) => {
+                r.waiter = Some(waiter);
+                false
+            }
+        }
+    }
+
+    /// Records compute time for calibration accounting.
+    pub fn account_compute(&mut self, rank: u32, seconds: f64) {
+        self.compute_seconds[rank as usize] += seconds;
+    }
+
+    /// Turns on timeline recording.
+    pub fn enable_timeline(&mut self) {
+        self.timeline = Some(Timeline::new(self.ranks));
+    }
+
+    /// Records a timeline segment when recording is enabled.
+    pub fn record_segment(&mut self, rank: u32, start: f64, end: f64, kind: SegmentKind) {
+        if let Some(t) = self.timeline.as_mut() {
+            t.record(rank, start, end, kind);
+        }
+    }
+
+    /// Records one collective participation.
+    pub fn account_collective(&mut self) {
+        self.stats.collective_participations += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Transport (called by the transport daemon actor)
+    // ------------------------------------------------------------------
+
+    /// Handles a transport wake: flow completion or arrival-latency
+    /// expiry.
+    pub fn on_transport_wake(&mut self, kernel: &mut Kernel, wake: Wake) {
+        match wake {
+            Wake::Activity(act) => {
+                let Some(msg_id) = self.flow_msg.remove(&act) else {
+                    return; // flow of a retired message
+                };
+                let msg = self.msgs.expect_mut(msg_id);
+                let flow = msg.flow.take().expect("flow completion without flow");
+                let (src, dst, bytes) = (msg.src, msg.dst, msg.bytes);
+                let pair = self.pair(src, dst);
+                self.net.close(kernel, flow);
+                // Tail latency: protocol-corrected route latency.
+                let lat = self
+                    .cfg
+                    .factors
+                    .effective_latency(bytes, self.pair_latency[pair]);
+                kernel.set_timer(self.transport, Duration::from_secs(lat), msg_id.pack());
+            }
+            Wake::Timer(key) => {
+                self.complete_arrival(kernel, Id::unpack(key));
+            }
+            Wake::Start | Wake::Signal(_) => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn start_transfer(&mut self, kernel: &mut Kernel, msg_id: MsgId) {
+        let msg = self.msgs.expect_mut(msg_id);
+        msg.transferring = true;
+        let (src, dst, bytes) = (msg.src, msg.dst, msg.bytes);
+        let pair = self.pair(src, dst);
+        if self.routes[pair].is_empty() {
+            // Intra-host: a memory copy.
+            let d = self.cfg.loopback_latency + bytes as f64 / self.cfg.loopback_bandwidth;
+            kernel.set_timer(self.transport, Duration::from_secs(d), msg_id.pack());
+        } else {
+            let cap = self
+                .cfg
+                .factors
+                .effective_bandwidth(bytes, self.pair_bandwidth[pair]);
+            let route = std::mem::take(&mut self.routes[pair]);
+            let flow = self.net.open(kernel, &route, bytes as f64, cap);
+            self.routes[pair] = route;
+            let act = self.net.activity(flow);
+            kernel.subscribe(act, self.transport);
+            self.flow_msg.insert(act, flow_msg_value(msg_id));
+            self.msgs.expect_mut(msg_id).flow = Some(flow);
+            self.stats.flows += 1;
+        }
+    }
+
+    fn complete_arrival(&mut self, kernel: &mut Kernel, msg_id: MsgId) {
+        let msg = self.msgs.expect_mut(msg_id);
+        msg.arrived = true;
+        let waiters = std::mem::take(&mut msg.waiters);
+        let sender_req = msg.sender_req.take();
+        let recv_req = msg.recv_req.take();
+        let matched_post = msg.matched_post;
+        let delivered = msg.delivered;
+        for w in waiters {
+            kernel.wake(w, Wake::Signal(msg_id.pack()));
+        }
+        if let Some(req) = sender_req {
+            self.complete_req(kernel, req);
+        }
+        if let Some(req) = recv_req {
+            self.complete_req(kernel, req);
+        }
+        let mut receiver_committed = delivered || recv_req_committed(recv_req);
+        if let Some(post_id) = matched_post {
+            receiver_committed = true;
+            if let Some(post) = self.posts.get_mut(post_id) {
+                let req = post.req.take();
+                let waiter = post.waiter.take();
+                self.posts.remove(post_id);
+                if let Some(req) = req {
+                    self.complete_req(kernel, req);
+                }
+                if let Some(w) = waiter {
+                    kernel.wake(w, Wake::Signal(0));
+                }
+            }
+        }
+        // Retire the message once the receiver side has committed to it;
+        // otherwise it stays in the unexpected queue until a recv pops it.
+        if receiver_committed {
+            self.retire_msg(msg_id);
+        }
+    }
+
+    fn complete_req(&mut self, kernel: &mut Kernel, id: ReqId) {
+        if let Some(r) = self.reqs.get_mut(id) {
+            r.done = true;
+            if let Some(w) = r.waiter.take() {
+                kernel.wake(w, Wake::Signal(id.pack()));
+            }
+        }
+    }
+
+    fn retire_msg(&mut self, id: MsgId) {
+        self.msgs.remove(id);
+    }
+
+    /// Live protocol records (diagnostics; must be 0 after a clean run).
+    pub fn live_records(&self) -> (usize, usize, usize) {
+        (self.msgs.len(), self.posts.len(), self.reqs.len())
+    }
+}
+
+/// `recv_req` presence means an irecv committed to the message.
+fn recv_req_committed(recv_req: Option<ReqId>) -> bool {
+    recv_req.is_some()
+}
+
+/// Identity helper, kept separate for readability at the call site.
+fn flow_msg_value(id: MsgId) -> MsgId {
+    id
+}

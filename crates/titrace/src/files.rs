@@ -1,0 +1,204 @@
+//! On-disk trace layouts.
+//!
+//! The paper's replay tool takes "a single parameter, a file that lists
+//! the names of the trace files to associate to each process. If this
+//! file contains a single entry, all the processes will look for the
+//! actions they have to perform into the same trace." This module
+//! implements both layouts:
+//!
+//! * **merged** — one file holding every rank's actions (rank prefixes
+//!   disambiguate);
+//! * **split** — one file per rank plus a *description file* listing
+//!   them, one path per line (the natural output of a distributed
+//!   acquisition where every process writes locally).
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::{parse, write, Rank, Trace};
+
+/// Errors raised by file operations.
+#[derive(Debug)]
+pub enum FileError {
+    /// Underlying I/O failure, with the offending path.
+    Io(PathBuf, io::Error),
+    /// Trace text failed to parse.
+    Parse(PathBuf, parse::ParseError),
+    /// The description file is malformed.
+    Description(String),
+}
+
+impl std::fmt::Display for FileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            FileError::Parse(p, e) => write!(f, "{}: {e}", p.display()),
+            FileError::Description(msg) => write!(f, "trace description: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FileError {}
+
+/// Writes the whole trace as one merged file.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_merged(trace: &Trace, path: &Path) -> Result<(), FileError> {
+    fs::write(path, write::to_string(trace)).map_err(|e| FileError::Io(path.to_path_buf(), e))
+}
+
+/// Writes one file per rank under `dir` (`<stem>.rank<k>.trace`) plus a
+/// description file `<stem>.desc` listing them in rank order. Returns
+/// the description file's path.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_split(trace: &Trace, dir: &Path, stem: &str) -> Result<PathBuf, FileError> {
+    fs::create_dir_all(dir).map_err(|e| FileError::Io(dir.to_path_buf(), e))?;
+    let desc_path = dir.join(format!("{stem}.desc"));
+    let mut desc = fs::File::create(&desc_path)
+        .map_err(|e| FileError::Io(desc_path.clone(), e))?;
+    for r in 0..trace.ranks() {
+        let name = format!("{stem}.rank{r}.trace");
+        let path = dir.join(&name);
+        fs::write(&path, write::rank_to_string(trace, Rank(r)))
+            .map_err(|e| FileError::Io(path.clone(), e))?;
+        writeln!(desc, "{name}").map_err(|e| FileError::Io(desc_path.clone(), e))?;
+    }
+    Ok(desc_path)
+}
+
+/// Loads a merged trace file for `ranks` processes.
+///
+/// # Errors
+/// Propagates I/O and parse failures.
+pub fn read_merged(path: &Path, ranks: u32) -> Result<Trace, FileError> {
+    let text = fs::read_to_string(path).map_err(|e| FileError::Io(path.to_path_buf(), e))?;
+    parse::parse_merged(&text, ranks).map_err(|e| FileError::Parse(path.to_path_buf(), e))
+}
+
+/// Loads a trace through its description file: one trace-file path per
+/// line (relative paths resolve against the description file's
+/// directory). A single entry is interpreted as a merged trace serving
+/// all `ranks` processes, as in the paper.
+///
+/// # Errors
+/// Fails on I/O errors, parse errors, or a rank-count mismatch.
+pub fn read_description(path: &Path, ranks: u32) -> Result<Trace, FileError> {
+    let text = fs::read_to_string(path).map_err(|e| FileError::Io(path.to_path_buf(), e))?;
+    let base = path.parent().unwrap_or(Path::new("."));
+    let entries: Vec<PathBuf> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let p = Path::new(l);
+            if p.is_absolute() {
+                p.to_path_buf()
+            } else {
+                base.join(p)
+            }
+        })
+        .collect();
+    match entries.len() {
+        0 => Err(FileError::Description("no trace files listed".into())),
+        1 => read_merged(&entries[0], ranks),
+        n if n as u32 == ranks => {
+            let mut texts = Vec::with_capacity(n);
+            for p in &entries {
+                texts.push(
+                    fs::read_to_string(p).map_err(|e| FileError::Io(p.clone(), e))?,
+                );
+            }
+            let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+            parse::parse_per_rank(&refs)
+                .map_err(|e| FileError::Parse(path.to_path_buf(), e))
+        }
+        n => Err(FileError::Description(format!(
+            "{n} trace files listed for {ranks} ranks (need 1 or {ranks})"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Action;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(3);
+        for r in 0..3u32 {
+            t.push(Rank(r), Action::Init);
+            t.push(Rank(r), Action::Compute { amount: 100.0 * f64::from(r + 1) });
+            t.push(Rank(r), Action::Allreduce { bytes: 8 });
+            t.push(Rank(r), Action::Finalize);
+        }
+        t
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("titrace-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn merged_roundtrip() {
+        let dir = tempdir("merged");
+        let path = dir.join("all.trace");
+        let t = sample();
+        write_merged(&t, &path).unwrap();
+        let back = read_merged(&path, 3).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn split_roundtrip_via_description() {
+        let dir = tempdir("split");
+        let t = sample();
+        let desc = write_split(&t, &dir, "app").unwrap();
+        assert!(desc.ends_with("app.desc"));
+        let back = read_description(&desc, 3).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn single_entry_description_means_merged() {
+        let dir = tempdir("single");
+        let t = sample();
+        let merged = dir.join("all.trace");
+        write_merged(&t, &merged).unwrap();
+        let desc = dir.join("one.desc");
+        fs::write(&desc, "all.trace\n").unwrap();
+        let back = read_description(&desc, 3).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn rank_count_mismatch_is_reported() {
+        let dir = tempdir("mismatch");
+        let t = sample();
+        let desc = write_split(&t, &dir, "app").unwrap();
+        let err = read_description(&desc, 5).unwrap_err();
+        assert!(matches!(err, FileError::Description(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = read_merged(Path::new("/nonexistent/trace.txt"), 2).unwrap_err();
+        assert!(matches!(err, FileError::Io(..)));
+    }
+
+    #[test]
+    fn comments_and_blanks_allowed_in_description() {
+        let dir = tempdir("comments");
+        let t = sample();
+        write_merged(&t, &dir.join("all.trace")).unwrap();
+        let desc = dir.join("c.desc");
+        fs::write(&desc, "# acquisition of 2012-10-05\n\nall.trace\n").unwrap();
+        assert_eq!(read_description(&desc, 3).unwrap(), t);
+    }
+}

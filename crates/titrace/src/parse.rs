@@ -1,0 +1,345 @@
+//! Parsing the text trace format.
+//!
+//! Accepts the output of [`crate::write`] plus common variants: rank tokens
+//! with or without the `p` prefix, blank lines, and `#` comments. Parsing
+//! a merged file demultiplexes lines into per-rank streams by their rank
+//! prefix.
+
+use crate::{Action, Rank, Trace};
+
+/// A parse failure, with 1-based line number and explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line where the failure occurred (1-based).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_rank(tok: &str, line: usize) -> Result<Rank, ParseError> {
+    let digits = tok.strip_prefix('p').unwrap_or(tok);
+    digits
+        .parse::<u32>()
+        .map(Rank)
+        .map_err(|_| err(line, format!("invalid rank token `{tok}`")))
+}
+
+fn parse_bytes(tok: &str, line: usize) -> Result<u64, ParseError> {
+    tok.parse::<u64>()
+        .map_err(|_| err(line, format!("invalid byte count `{tok}`")))
+}
+
+fn parse_amount(tok: &str, line: usize) -> Result<f64, ParseError> {
+    let v: f64 = tok
+        .parse()
+        .map_err(|_| err(line, format!("invalid compute amount `{tok}`")))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(err(line, format!("compute amount out of range: {v}")));
+    }
+    Ok(v)
+}
+
+/// Parses one trace line into `(rank, action)`. Returns `Ok(None)` for
+/// blank lines and comments.
+pub fn parse_line(text: &str, line: usize) -> Result<Option<(Rank, Action)>, ParseError> {
+    let text = text.trim();
+    if text.is_empty() || text.starts_with('#') {
+        return Ok(None);
+    }
+    let mut toks = text.split_ascii_whitespace();
+    let rank_tok = toks.next().expect("non-empty line has a first token");
+    let rank = parse_rank(rank_tok, line)?;
+    let verb = toks
+        .next()
+        .ok_or_else(|| err(line, "missing action verb"))?;
+    let mut next = |what: &str| {
+        toks.next()
+            .ok_or_else(|| err(line, format!("missing {what} for `{verb}`")))
+    };
+    let action = match verb {
+        "init" => Action::Init,
+        "finalize" => Action::Finalize,
+        "compute" => Action::Compute {
+            amount: parse_amount(next("amount")?, line)?,
+        },
+        "send" | "isend" => {
+            let dst = parse_rank(next("destination")?, line)?;
+            let bytes = parse_bytes(next("size")?, line)?;
+            if verb == "send" {
+                Action::Send { dst, bytes }
+            } else {
+                Action::Isend { dst, bytes }
+            }
+        }
+        "recv" | "irecv" => {
+            let src = parse_rank(next("source")?, line)?;
+            let bytes = parse_bytes(next("size")?, line)?;
+            if verb == "recv" {
+                Action::Recv { src, bytes }
+            } else {
+                Action::Irecv { src, bytes }
+            }
+        }
+        "wait" => Action::Wait,
+        "waitall" => Action::WaitAll,
+        "barrier" => Action::Barrier,
+        "bcast" => Action::Bcast {
+            bytes: parse_bytes(next("size")?, line)?,
+            root: parse_rank(next("root")?, line)?,
+        },
+        "reduce" => Action::Reduce {
+            bytes: parse_bytes(next("size")?, line)?,
+            root: parse_rank(next("root")?, line)?,
+        },
+        "allreduce" => Action::Allreduce {
+            bytes: parse_bytes(next("size")?, line)?,
+        },
+        "alltoall" => Action::Alltoall {
+            bytes: parse_bytes(next("size")?, line)?,
+        },
+        "gather" => Action::Gather {
+            bytes: parse_bytes(next("size")?, line)?,
+            root: parse_rank(next("root")?, line)?,
+        },
+        "allgather" => Action::Allgather {
+            bytes: parse_bytes(next("size")?, line)?,
+        },
+        other => return Err(err(line, format!("unknown action verb `{other}`"))),
+    };
+    if let Some(extra) = toks.next() {
+        return Err(err(line, format!("trailing token `{extra}` after `{verb}`")));
+    }
+    Ok(Some((rank, action)))
+}
+
+/// Parses a merged trace file containing the actions of `ranks` processes.
+/// Lines may appear in any order; each rank's relative order is preserved.
+pub fn parse_merged(text: &str, ranks: u32) -> Result<Trace, ParseError> {
+    let mut trace = Trace::new(ranks);
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if let Some((rank, action)) = parse_line(raw, line)? {
+            if rank.0 >= ranks {
+                return Err(err(
+                    line,
+                    format!("rank {rank} out of range (trace has {ranks} ranks)"),
+                ));
+            }
+            trace.push(rank, action);
+        }
+    }
+    Ok(trace)
+}
+
+/// Parses per-rank trace fragments (one string per rank, as produced by a
+/// distributed acquisition where each process writes its own file). The
+/// rank prefix on each line must match the fragment's position.
+pub fn parse_per_rank(fragments: &[&str]) -> Result<Trace, ParseError> {
+    let ranks = fragments.len() as u32;
+    let mut trace = Trace::new(ranks);
+    for (expect, text) in fragments.iter().enumerate() {
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            if let Some((rank, action)) = parse_line(raw, line)? {
+                if rank.as_usize() != expect {
+                    return Err(err(
+                        line,
+                        format!("fragment {expect} contains a line for rank {rank}"),
+                    ));
+                }
+                trace.push(rank, action);
+            }
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write;
+
+    #[test]
+    fn parses_paper_snippet() {
+        let text = "p0 compute 956140\np0 send p1 1240\np0 compute 2110\np0 send p2 1240\np0 compute 3821\n";
+        let t = parse_merged(text, 3).unwrap();
+        assert_eq!(t.actions(Rank(0)).len(), 5);
+        assert_eq!(t.actions(Rank(0))[0], Action::Compute { amount: 956140.0 });
+        assert_eq!(
+            t.actions(Rank(0))[1],
+            Action::Send {
+                dst: Rank(1),
+                bytes: 1240
+            }
+        );
+    }
+
+    #[test]
+    fn accepts_bare_integer_ranks_and_comments() {
+        let text = "# acquired 2012-10-05\n\n0 compute 10\n0 send 1 64\n1 recv 0 64\n";
+        let t = parse_merged(text, 2).unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn rejects_unknown_verb() {
+        let e = parse_merged("p0 teleport 3\n", 1).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("teleport"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_rank() {
+        let e = parse_merged("p9 compute 1\n", 2).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_missing_argument() {
+        let e = parse_merged("p0 send p1\n", 2).unwrap_err();
+        assert!(e.message.contains("missing size"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let e = parse_merged("p0 wait now\n", 1).unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_negative_compute() {
+        let e = parse_merged("p0 compute -5\n", 1).unwrap_err();
+        assert!(e.message.contains("out of range") || e.message.contains("invalid"));
+    }
+
+    #[test]
+    fn per_rank_fragments() {
+        let frags = ["p0 init\np0 send p1 8\np0 finalize\n", "p1 init\np1 recv p0 8\np1 finalize\n"];
+        let t = parse_per_rank(&frags).unwrap();
+        assert_eq!(t.ranks(), 2);
+        assert_eq!(t.actions(Rank(1))[1], Action::Recv { src: Rank(0), bytes: 8 });
+    }
+
+    #[test]
+    fn per_rank_fragment_with_wrong_rank_fails() {
+        let frags = ["p1 init\n"];
+        assert!(parse_per_rank(&frags).is_err());
+    }
+
+    #[test]
+    fn roundtrip_all_action_kinds() {
+        let mut t = Trace::new(3);
+        let actions = vec![
+            Action::Init,
+            Action::Compute { amount: 12345.0 },
+            Action::Send { dst: Rank(1), bytes: 100 },
+            Action::Isend { dst: Rank(2), bytes: 200 },
+            Action::Recv { src: Rank(1), bytes: 300 },
+            Action::Irecv { src: Rank(2), bytes: 400 },
+            Action::Wait,
+            Action::WaitAll,
+            Action::Barrier,
+            Action::Bcast { bytes: 8, root: Rank(0) },
+            Action::Reduce { bytes: 16, root: Rank(1) },
+            Action::Allreduce { bytes: 40 },
+            Action::Alltoall { bytes: 64 },
+            Action::Gather { bytes: 32, root: Rank(2) },
+            Action::Allgather { bytes: 24 },
+            Action::Finalize,
+        ];
+        for a in &actions {
+            t.push(Rank(0), *a);
+        }
+        let text = write::to_string(&t);
+        let back = parse_merged(&text, 3).unwrap();
+        assert_eq!(back.actions(Rank(0)), t.actions(Rank(0)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::write;
+    use proptest::prelude::*;
+
+    fn arb_action(ranks: u32) -> impl Strategy<Value = Action> {
+        let r = 0..ranks;
+        prop_oneof![
+            Just(Action::Init),
+            Just(Action::Finalize),
+            (0u64..=1u64 << 48).prop_map(|a| Action::Compute { amount: a as f64 }),
+            (r.clone(), 0u64..1 << 30)
+                .prop_map(|(d, b)| Action::Send { dst: Rank(d), bytes: b }),
+            (r.clone(), 0u64..1 << 30)
+                .prop_map(|(d, b)| Action::Isend { dst: Rank(d), bytes: b }),
+            (r.clone(), 0u64..1 << 30)
+                .prop_map(|(s, b)| Action::Recv { src: Rank(s), bytes: b }),
+            (r.clone(), 0u64..1 << 30)
+                .prop_map(|(s, b)| Action::Irecv { src: Rank(s), bytes: b }),
+            Just(Action::Wait),
+            Just(Action::WaitAll),
+            Just(Action::Barrier),
+            (0u64..1 << 20, r.clone())
+                .prop_map(|(b, ro)| Action::Bcast { bytes: b, root: Rank(ro) }),
+            (0u64..1 << 20, r.clone())
+                .prop_map(|(b, ro)| Action::Reduce { bytes: b, root: Rank(ro) }),
+            (0u64..1 << 20).prop_map(|b| Action::Allreduce { bytes: b }),
+            (0u64..1 << 20).prop_map(|b| Action::Alltoall { bytes: b }),
+            (0u64..1 << 20, r).prop_map(|(b, ro)| Action::Gather { bytes: b, root: Rank(ro) }),
+            (0u64..1 << 20).prop_map(|b| Action::Allgather { bytes: b }),
+        ]
+    }
+
+    proptest! {
+        /// write → parse is the identity on arbitrary traces.
+        #[test]
+        fn roundtrip(actions in proptest::collection::vec(arb_action(4), 0..200)) {
+            let mut t = Trace::new(4);
+            for (i, a) in actions.iter().enumerate() {
+                t.push(Rank((i % 4) as u32), *a);
+            }
+            let text = write::to_string(&t);
+            let back = parse_merged(&text, 4).unwrap();
+            prop_assert_eq!(back, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser never panics on arbitrary input: every line either
+        /// parses or yields a structured error.
+        #[test]
+        fn parser_is_total_on_arbitrary_text(text in "\\PC*") {
+            let _ = parse_merged(&text, 8);
+        }
+
+        /// Arbitrary whitespace-separated token soup is likewise safe.
+        #[test]
+        fn parser_is_total_on_token_soup(
+            tokens in proptest::collection::vec("[a-z0-9p\\-\\.]{0,12}", 0..40),
+        ) {
+            let line = tokens.join(" ");
+            let _ = parse_line(&line, 1);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Volume statistics of a trace — the quantities the acquisition side of
+//! the paper reasons about (instruction counts per process, message size
+//! distribution, fraction of eager-mode messages).
+
+use crate::{Action, Rank, Trace};
+
+/// The eager/rendezvous protocol switch-over used by MPI runtimes of the
+/// paper's era ("when the message is smaller than 64KB, the eager mode is
+/// activated").
+pub const EAGER_THRESHOLD: u64 = 64 * 1024;
+
+/// Per-rank volume counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankStats {
+    /// Total instructions in compute actions.
+    pub compute_instructions: f64,
+    /// Number of compute actions.
+    pub compute_actions: u64,
+    /// Point-to-point messages sent.
+    pub sends: u64,
+    /// Point-to-point messages received.
+    pub recvs: u64,
+    /// Bytes sent point-to-point.
+    pub bytes_sent: u64,
+    /// Bytes received point-to-point.
+    pub bytes_received: u64,
+    /// Sent messages strictly below [`EAGER_THRESHOLD`].
+    pub eager_sends: u64,
+    /// Collective operations participated in.
+    pub collectives: u64,
+    /// Wait/WaitAll actions.
+    pub waits: u64,
+    /// Total actions.
+    pub actions: u64,
+}
+
+/// Whole-trace statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Per-rank counters.
+    pub per_rank: Vec<RankStats>,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let mut per_rank = vec![RankStats::default(); trace.ranks() as usize];
+        for (rank, actions) in trace.iter() {
+            let s = &mut per_rank[rank.as_usize()];
+            for a in actions {
+                s.actions += 1;
+                match a {
+                    Action::Compute { amount } => {
+                        s.compute_instructions += amount;
+                        s.compute_actions += 1;
+                    }
+                    Action::Send { bytes, .. } | Action::Isend { bytes, .. } => {
+                        s.sends += 1;
+                        s.bytes_sent += bytes;
+                        if *bytes < EAGER_THRESHOLD {
+                            s.eager_sends += 1;
+                        }
+                    }
+                    Action::Recv { bytes, .. } | Action::Irecv { bytes, .. } => {
+                        s.recvs += 1;
+                        s.bytes_received += bytes;
+                    }
+                    Action::Wait | Action::WaitAll => s.waits += 1,
+                    a if a.is_collective() => s.collectives += 1,
+                    _ => {}
+                }
+            }
+        }
+        TraceStats { per_rank }
+    }
+
+    /// Stats of one rank.
+    pub fn rank(&self, rank: Rank) -> &RankStats {
+        &self.per_rank[rank.as_usize()]
+    }
+
+    /// Total instructions across ranks.
+    pub fn total_instructions(&self) -> f64 {
+        self.per_rank.iter().map(|s| s.compute_instructions).sum()
+    }
+
+    /// Mean instructions per rank (the metric quoted in Section 2.2:
+    /// "the average total number of instructions per process").
+    pub fn mean_instructions_per_rank(&self) -> f64 {
+        if self.per_rank.is_empty() {
+            0.0
+        } else {
+            self.total_instructions() / self.per_rank.len() as f64
+        }
+    }
+
+    /// Total point-to-point messages.
+    pub fn total_messages(&self) -> u64 {
+        self.per_rank.iter().map(|s| s.sends).sum()
+    }
+
+    /// Fraction of sent messages using the eager protocol, in `[0, 1]`.
+    /// Returns `None` when no message was sent.
+    pub fn eager_fraction(&self) -> Option<f64> {
+        let sends: u64 = self.per_rank.iter().map(|s| s.sends).sum();
+        let eager: u64 = self.per_rank.iter().map(|s| s.eager_sends).sum();
+        (sends > 0).then(|| eager as f64 / sends as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(2);
+        t.push(Rank(0), Action::Init);
+        t.push(Rank(0), Action::Compute { amount: 1000.0 });
+        t.push(
+            Rank(0),
+            Action::Send {
+                dst: Rank(1),
+                bytes: 100,
+            },
+        );
+        t.push(
+            Rank(0),
+            Action::Isend {
+                dst: Rank(1),
+                bytes: 128 * 1024,
+            },
+        );
+        t.push(Rank(0), Action::Wait);
+        t.push(Rank(0), Action::Allreduce { bytes: 40 });
+        t.push(Rank(0), Action::Finalize);
+        t.push(Rank(1), Action::Init);
+        t.push(
+            Rank(1),
+            Action::Recv {
+                src: Rank(0),
+                bytes: 100,
+            },
+        );
+        t.push(
+            Rank(1),
+            Action::Irecv {
+                src: Rank(0),
+                bytes: 128 * 1024,
+            },
+        );
+        t.push(Rank(1), Action::Wait);
+        t.push(Rank(1), Action::Compute { amount: 3000.0 });
+        t.push(Rank(1), Action::Allreduce { bytes: 40 });
+        t.push(Rank(1), Action::Finalize);
+        t
+    }
+
+    #[test]
+    fn per_rank_counters() {
+        let stats = TraceStats::of(&sample());
+        let r0 = stats.rank(Rank(0));
+        assert_eq!(r0.sends, 2);
+        assert_eq!(r0.eager_sends, 1);
+        assert_eq!(r0.bytes_sent, 100 + 128 * 1024);
+        assert_eq!(r0.recvs, 0);
+        assert_eq!(r0.collectives, 1);
+        assert_eq!(r0.waits, 1);
+        assert_eq!(r0.compute_instructions, 1000.0);
+        let r1 = stats.rank(Rank(1));
+        assert_eq!(r1.recvs, 2);
+        assert_eq!(r1.bytes_received, 100 + 128 * 1024);
+        assert_eq!(r1.sends, 0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let stats = TraceStats::of(&sample());
+        assert_eq!(stats.total_instructions(), 4000.0);
+        assert_eq!(stats.mean_instructions_per_rank(), 2000.0);
+        assert_eq!(stats.total_messages(), 2);
+        assert_eq!(stats.eager_fraction(), Some(0.5));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let stats = TraceStats::of(&Trace::new(4));
+        assert_eq!(stats.total_instructions(), 0.0);
+        assert_eq!(stats.eager_fraction(), None);
+        assert_eq!(stats.mean_instructions_per_rank(), 0.0);
+    }
+
+    #[test]
+    fn eager_threshold_is_64k() {
+        assert_eq!(EAGER_THRESHOLD, 65536);
+        let mut t = Trace::new(2);
+        t.push(
+            Rank(0),
+            Action::Send {
+                dst: Rank(1),
+                bytes: EAGER_THRESHOLD,
+            },
+        );
+        let stats = TraceStats::of(&t);
+        // Exactly at the threshold => rendezvous, not eager.
+        assert_eq!(stats.rank(Rank(0)).eager_sends, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! A CG-like workload: sparse matrix-vector products over a ring
+//! decomposition with two allreduces per iteration.
+//!
+//! Conjugate-gradient solvers are latency-bound at scale (small, frequent
+//! global reductions), the opposite regime from LU's point-to-point
+//! flood; the examples use this kernel to show the replay framework on a
+//! collective-dominated application.
+
+use std::collections::VecDeque;
+
+use crate::{ComputeBlock, MpiOp, OpSource};
+
+/// Configuration of the CG-like kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CgConfig {
+    /// Number of MPI processes.
+    pub procs: u32,
+    /// Rows of the (square) system matrix.
+    pub rows: u32,
+    /// Average non-zeros per row (drives compute volume).
+    pub nnz_per_row: u32,
+    /// CG iterations.
+    pub iterations: u32,
+}
+
+impl CgConfig {
+    /// Local row count of `rank` (uneven split, remainder to low ranks).
+    pub fn local_rows(&self, rank: u32) -> u32 {
+        self.rows / self.procs + u32::from(rank < self.rows % self.procs)
+    }
+
+    /// Halo exchange payload: one vector segment boundary (doubles).
+    pub fn halo_bytes(&self, rank: u32) -> u64 {
+        // Exchange an eighth of the local vector with each ring neighbour.
+        (u64::from(self.local_rows(rank)) / 8).max(1) * 8
+    }
+
+    /// Per-rank op stream.
+    pub fn rank_source(&self, rank: u32) -> CgRankGen {
+        assert!(rank < self.procs);
+        CgRankGen {
+            cfg: *self,
+            rank,
+            iter: 0,
+            started: false,
+            buf: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    /// All rank sources, boxed.
+    pub fn sources(&self) -> Vec<Box<dyn OpSource>> {
+        (0..self.procs)
+            .map(|r| Box::new(self.rank_source(r)) as Box<dyn OpSource>)
+            .collect()
+    }
+}
+
+/// Lazy op stream of one CG rank.
+#[derive(Debug, Clone)]
+pub struct CgRankGen {
+    cfg: CgConfig,
+    rank: u32,
+    iter: u32,
+    started: bool,
+    buf: VecDeque<MpiOp>,
+    done: bool,
+}
+
+impl CgRankGen {
+    fn spmv_block(&self) -> ComputeBlock {
+        let rows = f64::from(self.cfg.local_rows(self.rank));
+        let nnz = rows * f64::from(self.cfg.nnz_per_row);
+        ComputeBlock {
+            instructions: 14.0 * nnz,
+            fn_calls: rows * 0.02,
+            working_set: (nnz as u64) * 16,
+        }
+    }
+
+    fn vector_block(&self, flops_per_row: f64) -> ComputeBlock {
+        let rows = f64::from(self.cfg.local_rows(self.rank));
+        ComputeBlock {
+            instructions: flops_per_row * rows,
+            fn_calls: 2.0,
+            working_set: (rows as u64) * 8,
+        }
+    }
+
+    fn fill_iteration(&mut self) {
+        let p = self.cfg.procs;
+        let left = (self.rank + p - 1) % p;
+        let right = (self.rank + 1) % p;
+        let bytes = self.cfg.halo_bytes(self.rank);
+        if p > 1 {
+            self.buf.push_back(MpiOp::Irecv { src: left, bytes });
+            self.buf.push_back(MpiOp::Irecv { src: right, bytes });
+            self.buf.push_back(MpiOp::Isend { dst: left, bytes });
+            self.buf.push_back(MpiOp::Isend { dst: right, bytes });
+            self.buf.push_back(MpiOp::WaitAll);
+        }
+        self.buf.push_back(MpiOp::Compute(self.spmv_block()));
+        self.buf.push_back(MpiOp::Compute(self.vector_block(4.0)));
+        self.buf.push_back(MpiOp::Allreduce { bytes: 8 });
+        self.buf.push_back(MpiOp::Compute(self.vector_block(6.0)));
+        self.buf.push_back(MpiOp::Allreduce { bytes: 8 });
+    }
+}
+
+impl OpSource for CgRankGen {
+    fn next_op(&mut self) -> Option<MpiOp> {
+        loop {
+            if let Some(op) = self.buf.pop_front() {
+                return Some(op);
+            }
+            if self.done {
+                return None;
+            }
+            if !self.started {
+                self.started = true;
+                self.buf.push_back(MpiOp::Init);
+                self.buf.push_back(MpiOp::Bcast { bytes: 24, root: 0 });
+                continue;
+            }
+            if self.iter < self.cfg.iterations {
+                self.fill_iteration();
+                self.iter += 1;
+            } else {
+                self.buf.push_back(MpiOp::Allreduce { bytes: 8 }); // final norm
+                self.buf.push_back(MpiOp::Finalize);
+                self.done = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect_ops;
+
+    fn cfg() -> CgConfig {
+        CgConfig {
+            procs: 4,
+            rows: 1000,
+            nnz_per_row: 27,
+            iterations: 5,
+        }
+    }
+
+    #[test]
+    fn trace_is_valid() {
+        let t = crate::exact_trace(cfg().sources());
+        assert!(titrace::validate::is_valid(&t), "{:?}", titrace::validate::validate(&t));
+    }
+
+    #[test]
+    fn two_allreduces_per_iteration() {
+        let ops = collect_ops(cfg().rank_source(0));
+        let n = ops
+            .iter()
+            .filter(|o| matches!(o, MpiOp::Allreduce { .. }))
+            .count();
+        assert_eq!(n, 2 * 5 + 1);
+    }
+
+    #[test]
+    fn rows_partition() {
+        let c = CgConfig {
+            procs: 3,
+            rows: 10,
+            nnz_per_row: 5,
+            iterations: 1,
+        };
+        let total: u32 = (0..3).map(|r| c.local_rows(r)).sum();
+        assert_eq!(total, 10);
+        assert_eq!(c.local_rows(0), 4);
+        assert_eq!(c.local_rows(2), 3);
+    }
+
+    #[test]
+    fn single_process_has_no_p2p() {
+        let c = CgConfig {
+            procs: 1,
+            rows: 100,
+            nnz_per_row: 9,
+            iterations: 3,
+        };
+        let ops = collect_ops(c.rank_source(0));
+        assert!(ops
+            .iter()
+            .all(|o| !matches!(o, MpiOp::Send { .. } | MpiOp::Isend { .. })));
+    }
+}

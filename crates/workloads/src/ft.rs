@@ -1,0 +1,191 @@
+//! An FT-like workload: 3D FFT with global transposes.
+//!
+//! NPB-FT alternates local FFT compute with a full `MPI_Alltoall`
+//! transpose of the distributed array — the communication pattern at the
+//! opposite extreme from LU's small-message flood: few operations, each
+//! moving large (rendezvous-sized) blocks between *every* pair of ranks
+//! and saturating the bisection. Used by examples and tests to exercise
+//! the collective path and network contention.
+
+use std::collections::VecDeque;
+
+use crate::{ComputeBlock, MpiOp, OpSource};
+
+/// Configuration of the FT-like kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtConfig {
+    /// Number of MPI processes.
+    pub procs: u32,
+    /// Grid extent per dimension (the array is `n³` complex values).
+    pub n: u32,
+    /// FFT iterations (forward + inverse counts as one).
+    pub iterations: u32,
+}
+
+impl FtConfig {
+    /// Complex values per rank.
+    pub fn local_values(&self) -> u64 {
+        let n = u64::from(self.n);
+        n * n * n / u64::from(self.procs)
+    }
+
+    /// Bytes each rank exchanges with each peer in one transpose.
+    pub fn alltoall_bytes(&self) -> u64 {
+        // 16 bytes per complex value, split across all peers.
+        (self.local_values() * 16 / u64::from(self.procs)).max(1)
+    }
+
+    /// Per-rank op stream.
+    pub fn rank_source(&self, rank: u32) -> FtRankGen {
+        assert!(rank < self.procs);
+        FtRankGen {
+            cfg: *self,
+            iter: 0,
+            started: false,
+            done: false,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// All rank sources, boxed.
+    pub fn sources(&self) -> Vec<Box<dyn OpSource>> {
+        (0..self.procs)
+            .map(|r| Box::new(self.rank_source(r)) as Box<dyn OpSource>)
+            .collect()
+    }
+}
+
+/// Lazy op stream of one FT rank.
+#[derive(Debug, Clone)]
+pub struct FtRankGen {
+    cfg: FtConfig,
+    iter: u32,
+    started: bool,
+    done: bool,
+    buf: VecDeque<MpiOp>,
+}
+
+impl FtRankGen {
+    fn fft_block(&self) -> ComputeBlock {
+        let v = self.cfg.local_values() as f64;
+        // ~5 n log2(n) flops per 1D FFT over three dimensions, folded
+        // into an instructions-per-value constant.
+        let instr = 5.0 * v * (self.cfg.n as f64).log2() * 3.0;
+        ComputeBlock {
+            instructions: instr,
+            fn_calls: v * 0.001,
+            working_set: (v as u64) * 16,
+        }
+    }
+
+    fn evolve_block(&self) -> ComputeBlock {
+        ComputeBlock {
+            instructions: 6.0 * self.cfg.local_values() as f64,
+            fn_calls: 3.0,
+            working_set: self.cfg.local_values() * 16,
+        }
+    }
+}
+
+impl OpSource for FtRankGen {
+    fn next_op(&mut self) -> Option<MpiOp> {
+        loop {
+            if let Some(op) = self.buf.pop_front() {
+                return Some(op);
+            }
+            if self.done {
+                return None;
+            }
+            if !self.started {
+                self.started = true;
+                self.buf.push_back(MpiOp::Init);
+                self.buf.push_back(MpiOp::Bcast { bytes: 32, root: 0 });
+                // Initial forward transform: compute + transpose.
+                self.buf.push_back(MpiOp::Compute(self.fft_block()));
+                if self.cfg.procs > 1 {
+                    self.buf.push_back(MpiOp::Alltoall {
+                        bytes: self.cfg.alltoall_bytes(),
+                    });
+                }
+                continue;
+            }
+            if self.iter < self.cfg.iterations {
+                self.buf.push_back(MpiOp::Compute(self.evolve_block()));
+                self.buf.push_back(MpiOp::Compute(self.fft_block()));
+                if self.cfg.procs > 1 {
+                    self.buf.push_back(MpiOp::Alltoall {
+                        bytes: self.cfg.alltoall_bytes(),
+                    });
+                }
+                // Checksum reduction, as NPB-FT does each iteration.
+                self.buf.push_back(MpiOp::Allreduce { bytes: 16 });
+                self.iter += 1;
+            } else {
+                self.buf.push_back(MpiOp::Finalize);
+                self.done = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect_ops;
+
+    fn cfg() -> FtConfig {
+        FtConfig {
+            procs: 8,
+            n: 64,
+            iterations: 3,
+        }
+    }
+
+    #[test]
+    fn trace_is_valid() {
+        let t = crate::exact_trace(cfg().sources());
+        assert!(
+            titrace::validate::is_valid(&t),
+            "{:?}",
+            titrace::validate::validate(&t)
+        );
+    }
+
+    #[test]
+    fn transposes_move_rendezvous_sized_blocks() {
+        let c = FtConfig {
+            procs: 8,
+            n: 256,
+            iterations: 1,
+        };
+        // 256³ / 8 values × 16 B / 8 peers = 4 MiB per pair: rendezvous.
+        assert!(c.alltoall_bytes() > 64 * 1024, "{}", c.alltoall_bytes());
+    }
+
+    #[test]
+    fn one_alltoall_per_iteration_plus_initial() {
+        let ops = collect_ops(cfg().rank_source(0));
+        let n = ops
+            .iter()
+            .filter(|o| matches!(o, MpiOp::Alltoall { .. }))
+            .count();
+        assert_eq!(n, 1 + 3);
+    }
+
+    #[test]
+    fn values_partition_exactly() {
+        let c = cfg();
+        assert_eq!(c.local_values() * u64::from(c.procs), 64 * 64 * 64);
+    }
+
+    #[test]
+    fn single_process_needs_no_transpose() {
+        let c = FtConfig {
+            procs: 1,
+            n: 32,
+            iterations: 2,
+        };
+        let ops = collect_ops(c.rank_source(0));
+        assert!(ops.iter().all(|o| !matches!(o, MpiOp::Alltoall { .. })));
+    }
+}

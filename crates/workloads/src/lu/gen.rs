@@ -1,0 +1,400 @@
+//! The per-rank LU op-stream generator.
+//!
+//! Operations are produced lazily, one time step at a time, so even a
+//! C-128 × 250-step instance (tens of millions of operations system-wide)
+//! never materialises more than one step per rank.
+//!
+//! Per time step, each rank emits:
+//!
+//! 1. **Boundary exchange** (NPB's `exchange_3` pattern): post an `irecv`
+//!    from every mesh neighbour, compute the interior right-hand side,
+//!    `send` the boundary layers (Θ(n²/√P) bytes — these are the only
+//!    messages large enough to use the rendezvous protocol on small
+//!    process counts), `waitall`, finish the boundary right-hand side.
+//! 2. **Lower sweep** (`jacld`/`blts`): for each of the `nz` planes,
+//!    receive the pipeline boundary from the north and west neighbours,
+//!    compute the plane, forward to south and east. Messages are
+//!    `5·8·n/√P` bytes — a few hundred bytes to a couple of KiB, always
+//!    eager.
+//! 3. **Upper sweep** (`jacu`/`buts`): the same pipeline, reversed.
+//! 4. **SSOR update**.
+//!
+//! An l2norm allreduce runs before the first and after the last step, as
+//! in NPB-LU.
+
+use std::collections::VecDeque;
+
+use super::params;
+use super::{LuConfig, LuNeighbors};
+use crate::{ComputeBlock, MpiOp, OpSource};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Prologue,
+    Step(u32),
+    Epilogue,
+    Done,
+}
+
+/// Lazy op stream of one LU rank.
+#[derive(Debug, Clone)]
+pub struct LuRankGen {
+    cfg: LuConfig,
+    rank: u32,
+    nx: u32,
+    ny: u32,
+    nz: u32,
+    nb: LuNeighbors,
+    phase: Phase,
+    buf: VecDeque<MpiOp>,
+}
+
+impl LuRankGen {
+    /// The rank this generator belongs to.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Creates the generator for `rank` of `cfg`.
+    pub fn new(cfg: LuConfig, rank: u32) -> LuRankGen {
+        let (nx, ny, nz) = cfg.block(rank);
+        LuRankGen {
+            cfg,
+            rank,
+            nx,
+            ny,
+            nz,
+            nb: cfg.neighbors(rank),
+            phase: Phase::Prologue,
+            buf: VecDeque::new(),
+        }
+    }
+
+    fn points(&self) -> f64 {
+        f64::from(self.nx) * f64::from(self.ny) * f64::from(self.nz)
+    }
+
+    fn plane_points(&self) -> f64 {
+        f64::from(self.nx) * f64::from(self.ny)
+    }
+
+    fn plane_ws(&self) -> u64 {
+        u64::from(self.nx) * u64::from(self.ny) * params::WS_BYTES_PER_POINT
+    }
+
+    /// Pipeline boundary message sizes: `(north_south, east_west)`.
+    fn sweep_msg_bytes(&self) -> (u64, u64) {
+        (
+            params::BYTES_PER_BOUNDARY_POINT * u64::from(self.nx),
+            params::BYTES_PER_BOUNDARY_POINT * u64::from(self.ny),
+        )
+    }
+
+    /// Boundary-exchange message sizes: `(north_south, east_west)` — a
+    /// full boundary face, `nz` deep.
+    fn exchange_msg_bytes(&self) -> (u64, u64) {
+        let (ns, ew) = self.sweep_msg_bytes();
+        (ns * u64::from(self.nz), ew * u64::from(self.nz))
+    }
+
+    fn plane_block(&self) -> ComputeBlock {
+        ComputeBlock {
+            instructions: params::INSTR_SOLVE_PER_POINT * self.plane_points(),
+            fn_calls: params::FINE_CALLS_PER_POINT * self.plane_points()
+                + params::FINE_CALLS_PER_ROW * f64::from(self.ny),
+            working_set: self.plane_ws(),
+        }
+    }
+
+    fn rhs_block(&self, fraction: f64) -> ComputeBlock {
+        ComputeBlock {
+            instructions: params::INSTR_RHS_PER_POINT * self.points() * fraction,
+            fn_calls: params::FINE_CALLS_PER_POINT_RHS * self.points() * fraction,
+            working_set: self.plane_ws(),
+        }
+    }
+
+    fn update_block(&self) -> ComputeBlock {
+        ComputeBlock {
+            instructions: params::INSTR_UPDATE_PER_POINT * self.points(),
+            fn_calls: params::FINE_CALLS_PER_POINT_RHS * self.points(),
+            working_set: self.plane_ws(),
+        }
+    }
+
+    fn fill_prologue(&mut self) {
+        self.buf.push_back(MpiOp::Init);
+        self.buf.push_back(MpiOp::Bcast {
+            bytes: params::BCAST_BYTES,
+            root: 0,
+        });
+        // Initial residual norm.
+        self.buf.push_back(MpiOp::Allreduce {
+            bytes: params::NORM_BYTES,
+        });
+    }
+
+    fn fill_step(&mut self) {
+        let (ns3, ew3) = self.exchange_msg_bytes();
+        let (ns, ew) = self.sweep_msg_bytes();
+        let nb = self.nb;
+
+        // --- 1. boundary exchange + rhs -------------------------------
+        let mut posted = 0u32;
+        for (peer, bytes) in [
+            (nb.north, ns3),
+            (nb.south, ns3),
+            (nb.west, ew3),
+            (nb.east, ew3),
+        ] {
+            if let Some(src) = peer {
+                self.buf.push_back(MpiOp::Irecv { src, bytes });
+                posted += 1;
+            }
+        }
+        self.buf.push_back(MpiOp::Compute(self.rhs_block(0.8)));
+        for (peer, bytes) in [
+            (nb.north, ns3),
+            (nb.south, ns3),
+            (nb.west, ew3),
+            (nb.east, ew3),
+        ] {
+            if let Some(dst) = peer {
+                self.buf.push_back(MpiOp::Send { dst, bytes });
+            }
+        }
+        if posted > 0 {
+            self.buf.push_back(MpiOp::WaitAll);
+        }
+        self.buf.push_back(MpiOp::Compute(self.rhs_block(0.2)));
+
+        // --- 2. lower sweep (pipeline NW -> SE) ------------------------
+        let plane = self.plane_block();
+        for _k in 0..self.nz {
+            if let Some(src) = nb.north {
+                self.buf.push_back(MpiOp::Recv { src, bytes: ns });
+            }
+            if let Some(src) = nb.west {
+                self.buf.push_back(MpiOp::Recv { src, bytes: ew });
+            }
+            self.buf.push_back(MpiOp::Compute(plane));
+            if let Some(dst) = nb.south {
+                self.buf.push_back(MpiOp::Send { dst, bytes: ns });
+            }
+            if let Some(dst) = nb.east {
+                self.buf.push_back(MpiOp::Send { dst, bytes: ew });
+            }
+        }
+
+        // --- 3. upper sweep (pipeline SE -> NW) ------------------------
+        for _k in 0..self.nz {
+            if let Some(src) = nb.south {
+                self.buf.push_back(MpiOp::Recv { src, bytes: ns });
+            }
+            if let Some(src) = nb.east {
+                self.buf.push_back(MpiOp::Recv { src, bytes: ew });
+            }
+            self.buf.push_back(MpiOp::Compute(plane));
+            if let Some(dst) = nb.north {
+                self.buf.push_back(MpiOp::Send { dst, bytes: ns });
+            }
+            if let Some(dst) = nb.west {
+                self.buf.push_back(MpiOp::Send { dst, bytes: ew });
+            }
+        }
+
+        // --- 4. SSOR update -------------------------------------------
+        self.buf.push_back(MpiOp::Compute(self.update_block()));
+    }
+
+    fn fill_epilogue(&mut self) {
+        // Final residual norm + verification reduction.
+        self.buf.push_back(MpiOp::Allreduce {
+            bytes: params::NORM_BYTES,
+        });
+        self.buf.push_back(MpiOp::Allreduce {
+            bytes: params::NORM_BYTES,
+        });
+        self.buf.push_back(MpiOp::Finalize);
+    }
+}
+
+impl OpSource for LuRankGen {
+    fn next_op(&mut self) -> Option<MpiOp> {
+        loop {
+            if let Some(op) = self.buf.pop_front() {
+                return Some(op);
+            }
+            match self.phase {
+                Phase::Prologue => {
+                    self.fill_prologue();
+                    self.phase = Phase::Step(0);
+                }
+                Phase::Step(t) => {
+                    self.fill_step();
+                    self.phase = if t + 1 < self.cfg.steps {
+                        Phase::Step(t + 1)
+                    } else {
+                        Phase::Epilogue
+                    };
+                }
+                Phase::Epilogue => {
+                    self.fill_epilogue();
+                    self.phase = Phase::Done;
+                }
+                Phase::Done => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{LuClass, LuConfig};
+    use super::*;
+    use crate::collect_ops;
+
+    fn small() -> LuConfig {
+        LuConfig::new(LuClass::S, 4).with_steps(3)
+    }
+
+    #[test]
+    fn stream_is_framed_by_init_finalize() {
+        let ops = collect_ops(small().rank_source(0));
+        assert_eq!(ops.first(), Some(&MpiOp::Init));
+        assert_eq!(ops.last(), Some(&MpiOp::Finalize));
+    }
+
+    #[test]
+    fn generated_trace_is_structurally_valid() {
+        for procs in [4u32, 8, 16] {
+            let cfg = LuConfig::new(LuClass::S, procs).with_steps(3);
+            let trace = crate::exact_trace(cfg.sources());
+            let errors = titrace::validate::validate(&trace);
+            assert!(
+                errors.is_empty(),
+                "LU S-{procs} trace invalid: {:?}",
+                &errors[..errors.len().min(3)]
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_messages_are_eager_sized() {
+        // Pipeline messages must stay well below the 64 KiB eager
+        // threshold for every class/process combination of the paper.
+        for class in [LuClass::A, LuClass::B, LuClass::C] {
+            for procs in [8u32, 16, 32, 64, 128] {
+                let cfg = LuConfig::new(class, procs);
+                let g = cfg.rank_source(0);
+                let (ns, ew) = g.sweep_msg_bytes();
+                assert!(ns < 64 * 1024 && ew < 64 * 1024, "{class}-{procs}");
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_messages_cross_the_protocol_threshold() {
+        // B-8: boundary faces are > 64 KiB (rendezvous); B-64 they drop
+        // below it (eager) — the protocol mix shifts with P, one of the
+        // dynamics the improved back-end captures.
+        let b8 = LuConfig::new(LuClass::B, 8).rank_source(0);
+        let (ns3, _) = b8.exchange_msg_bytes();
+        assert!(ns3 > 64 * 1024, "B-8 exchange {ns3}");
+        let b64 = LuConfig::new(LuClass::B, 64).rank_source(0);
+        let (ns3, _) = b64.exchange_msg_bytes();
+        assert!(ns3 < 64 * 1024, "B-64 exchange {ns3}");
+    }
+
+    #[test]
+    fn message_count_per_step_matches_formula() {
+        // Interior rank: per step, 2 sweeps × nz planes × 2 sends; corner
+        // rank: 2 sweeps × nz × 1 send... plus 'deg' exchange sends.
+        let cfg = LuConfig::new(LuClass::S, 16).with_steps(2); // 4x4 grid
+        let nz = 12u64;
+        // Rank 5 is interior (row 1, col 1) on the 4x4 grid.
+        let ops = collect_ops(cfg.rank_source(5));
+        let sends = ops.iter().filter(|o| matches!(o, MpiOp::Send { .. })).count() as u64;
+        // per step: 4 exchange sends + lower (2 per plane) + upper (2 per
+        // plane) = 4 + 4nz
+        assert_eq!(sends, 2 * (4 + 4 * nz));
+        let recvs = ops
+            .iter()
+            .filter(|o| matches!(o, MpiOp::Recv { .. } | MpiOp::Irecv { .. }))
+            .count() as u64;
+        assert_eq!(recvs, 2 * (4 + 4 * nz));
+    }
+
+    #[test]
+    fn corner_rank_has_fewer_messages_than_interior() {
+        let cfg = LuConfig::new(LuClass::S, 16).with_steps(2);
+        let count = |rank: u32| {
+            collect_ops(cfg.rank_source(rank))
+                .iter()
+                .filter(|o| matches!(o, MpiOp::Send { .. }))
+                .count()
+        };
+        assert!(count(0) < count(5));
+    }
+
+    #[test]
+    fn per_rank_instruction_total_matches_closed_form() {
+        let cfg = LuConfig::new(LuClass::W, 8).with_steps(4);
+        for rank in [0u32, 3, 7] {
+            let ops = collect_ops(cfg.rank_source(rank));
+            let total: f64 = ops
+                .iter()
+                .filter_map(|o| match o {
+                    MpiOp::Compute(b) => Some(b.instructions),
+                    _ => None,
+                })
+                .sum();
+            let expect = cfg.rank_instructions(rank);
+            assert!(
+                (total - expect).abs() < 1e-6 * expect,
+                "rank {rank}: {total} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn collectives_are_identical_across_ranks() {
+        let cfg = small();
+        let collect_colls = |rank: u32| {
+            collect_ops(cfg.rank_source(rank))
+                .into_iter()
+                .filter(|o| {
+                    matches!(
+                        o,
+                        MpiOp::Barrier
+                            | MpiOp::Bcast { .. }
+                            | MpiOp::Allreduce { .. }
+                            | MpiOp::Reduce { .. }
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let r0 = collect_colls(0);
+        assert_eq!(r0.len(), 4); // bcast + initial norm + 2 final reductions
+        for r in 1..4 {
+            assert_eq!(collect_colls(r), r0, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = collect_ops(small().rank_source(2));
+        let b = collect_ops(small().rank_source(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn op_count_is_linear_in_steps() {
+        let n3 = collect_ops(small().rank_source(1)).len();
+        let n6 = collect_ops(small().with_steps(6).rank_source(1)).len();
+        let per_step = (n6 - n3) / 3;
+        assert!(per_step > 0);
+        // prologue+epilogue constant
+        assert_eq!(n6 - 6 * per_step, n3 - 3 * per_step);
+    }
+}

@@ -1,0 +1,209 @@
+//! A 2D Jacobi stencil workload: bulk-synchronous halo exchanges.
+//!
+//! Each iteration swaps halos with the four mesh neighbours
+//! (irecv/isend/waitall) and then computes a full sweep; a convergence
+//! allreduce runs every `check_every` iterations. Its communication is
+//! bulk-synchronous (no pipelining), which makes it an easy first example
+//! and a contrast to LU's wavefront.
+
+use std::collections::VecDeque;
+
+use crate::{ComputeBlock, MpiOp, OpSource};
+
+/// Configuration of the stencil kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StencilConfig {
+    /// Process-grid width (total processes = `px · py`).
+    pub px: u32,
+    /// Process-grid height.
+    pub py: u32,
+    /// Global grid extent per dimension.
+    pub n: u32,
+    /// Jacobi iterations.
+    pub iterations: u32,
+    /// Convergence-check (allreduce) period.
+    pub check_every: u32,
+}
+
+impl StencilConfig {
+    /// Total process count.
+    pub fn procs(&self) -> u32 {
+        self.px * self.py
+    }
+
+    /// Local tile extents `(nx, ny)` of `rank`.
+    pub fn tile(&self, rank: u32) -> (u32, u32) {
+        let (row, col) = (rank / self.px, rank % self.px);
+        let nx = self.n / self.px + u32::from(col < self.n % self.px);
+        let ny = self.n / self.py + u32::from(row < self.n % self.py);
+        (nx, ny)
+    }
+
+    /// Per-rank op stream.
+    pub fn rank_source(&self, rank: u32) -> StencilRankGen {
+        assert!(rank < self.procs());
+        StencilRankGen {
+            cfg: *self,
+            rank,
+            iter: 0,
+            started: false,
+            done: false,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// All rank sources, boxed.
+    pub fn sources(&self) -> Vec<Box<dyn OpSource>> {
+        (0..self.procs())
+            .map(|r| Box::new(self.rank_source(r)) as Box<dyn OpSource>)
+            .collect()
+    }
+}
+
+/// Lazy op stream of one stencil rank.
+#[derive(Debug, Clone)]
+pub struct StencilRankGen {
+    cfg: StencilConfig,
+    rank: u32,
+    iter: u32,
+    started: bool,
+    done: bool,
+    buf: VecDeque<MpiOp>,
+}
+
+impl StencilRankGen {
+    fn neighbors(&self) -> [(Option<u32>, u64); 4] {
+        let (px, py) = (self.cfg.px, self.cfg.py);
+        let (row, col) = (self.rank / px, self.rank % px);
+        let (nx, ny) = self.cfg.tile(self.rank);
+        let ns_bytes = u64::from(nx) * 8;
+        let ew_bytes = u64::from(ny) * 8;
+        [
+            ((row > 0).then(|| self.rank - px), ns_bytes),
+            ((row + 1 < py).then(|| self.rank + px), ns_bytes),
+            ((col > 0).then(|| self.rank - 1), ew_bytes),
+            ((col + 1 < px).then(|| self.rank + 1), ew_bytes),
+        ]
+    }
+
+    fn sweep_block(&self) -> ComputeBlock {
+        let (nx, ny) = self.cfg.tile(self.rank);
+        let pts = f64::from(nx) * f64::from(ny);
+        ComputeBlock {
+            instructions: 12.0 * pts,
+            fn_calls: 0.01 * pts,
+            working_set: (pts as u64) * 16,
+        }
+    }
+
+    fn fill_iteration(&mut self) {
+        let nbs = self.neighbors();
+        let mut posted = false;
+        for (peer, bytes) in nbs {
+            if let Some(src) = peer {
+                self.buf.push_back(MpiOp::Irecv { src, bytes });
+                posted = true;
+            }
+        }
+        for (peer, bytes) in nbs {
+            if let Some(dst) = peer {
+                self.buf.push_back(MpiOp::Isend { dst, bytes });
+            }
+        }
+        if posted {
+            self.buf.push_back(MpiOp::WaitAll);
+        }
+        self.buf.push_back(MpiOp::Compute(self.sweep_block()));
+        if (self.iter + 1).is_multiple_of(self.cfg.check_every) {
+            self.buf.push_back(MpiOp::Allreduce { bytes: 8 });
+        }
+    }
+}
+
+impl OpSource for StencilRankGen {
+    fn next_op(&mut self) -> Option<MpiOp> {
+        loop {
+            if let Some(op) = self.buf.pop_front() {
+                return Some(op);
+            }
+            if self.done {
+                return None;
+            }
+            if !self.started {
+                self.started = true;
+                self.buf.push_back(MpiOp::Init);
+                continue;
+            }
+            if self.iter < self.cfg.iterations {
+                self.fill_iteration();
+                self.iter += 1;
+            } else {
+                self.buf.push_back(MpiOp::Barrier);
+                self.buf.push_back(MpiOp::Finalize);
+                self.done = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect_ops;
+
+    fn cfg() -> StencilConfig {
+        StencilConfig {
+            px: 3,
+            py: 2,
+            n: 60,
+            iterations: 4,
+            check_every: 2,
+        }
+    }
+
+    #[test]
+    fn trace_is_valid() {
+        let t = crate::exact_trace(cfg().sources());
+        assert!(
+            titrace::validate::is_valid(&t),
+            "{:?}",
+            titrace::validate::validate(&t)
+        );
+    }
+
+    #[test]
+    fn tiles_partition_grid() {
+        let c = cfg();
+        let row_sum: u32 = (0..c.px).map(|col| c.tile(col).0).sum();
+        assert_eq!(row_sum, c.n);
+        let col_sum: u32 = (0..c.py).map(|row| c.tile(row * c.px).1).sum();
+        assert_eq!(col_sum, c.n);
+    }
+
+    #[test]
+    fn convergence_checks_happen_on_schedule() {
+        let ops = collect_ops(cfg().rank_source(0));
+        let n = ops
+            .iter()
+            .filter(|o| matches!(o, MpiOp::Allreduce { .. }))
+            .count();
+        assert_eq!(n, 2); // iterations 2 and 4
+    }
+
+    #[test]
+    fn interior_rank_exchanges_four_halos() {
+        let c = StencilConfig {
+            px: 3,
+            py: 3,
+            n: 30,
+            iterations: 1,
+            check_every: 10,
+        };
+        let ops = collect_ops(c.rank_source(4)); // center of 3x3
+        let sends = ops
+            .iter()
+            .filter(|o| matches!(o, MpiOp::Isend { .. }))
+            .count();
+        assert_eq!(sends, 4);
+    }
+}

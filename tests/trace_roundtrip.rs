@@ -1,0 +1,77 @@
+//! Property tests of the trace artifact across crate boundaries:
+//! generator → acquisition → text format → parser → replay.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use tit_replay::prelude::*;
+use tit_replay::titrace::{parse, validate, write};
+
+/// Strategy: a small LU instance configuration.
+fn arb_lu() -> impl Strategy<Value = LuConfig> {
+    (0u32..3, 2u32..6).prop_map(|(c, log_p)| {
+        let class = [LuClass::S, LuClass::W, LuClass::A][c as usize];
+        LuConfig::new(class, 1 << log_p).with_steps(2)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any acquired LU trace survives the text round-trip exactly and
+    /// validates cleanly.
+    #[test]
+    fn acquired_trace_roundtrips(lu in arb_lu(), seed in 0u64..1000) {
+        let acq = acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, seed);
+        prop_assert!(validate::is_valid(&acq.trace));
+        let text = write::to_string(&acq.trace);
+        let back = parse::parse_merged(&text, lu.procs).unwrap();
+        prop_assert_eq!(back, acq.trace);
+    }
+
+    /// Replay of any valid LU trace terminates (no deadlock) on both
+    /// engines, and higher calibrated rates never slow it down.
+    #[test]
+    fn replay_terminates_and_is_monotone(lu in arb_lu(), seed in 0u64..1000) {
+        let trace = Arc::new(
+            acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, seed).trace,
+        );
+        let platform = tit_replay::platform::clusters::graphene();
+        for engine in [ReplayEngine::Msg, ReplayEngine::Smpi] {
+            let slow = replay(&platform, &trace, &ReplayConfig {
+                engine, rate: 1e9, placement: Placement::OnePerNode, copy_model: None,
+            }).unwrap();
+            let fast = replay(&platform, &trace, &ReplayConfig {
+                engine, rate: 4e9, placement: Placement::OnePerNode, copy_model: None,
+            }).unwrap();
+            prop_assert!(slow.time > 0.0);
+            prop_assert!(fast.time <= slow.time * (1.0 + 1e-9),
+                "{engine:?}: rate 4e9 slower ({} vs {})", fast.time, slow.time);
+        }
+    }
+
+    /// Counter inflation is never negative in expectation: instrumented
+    /// acquisitions measure at least the coarse volume (up to jitter).
+    #[test]
+    fn instrumented_counters_dominate_coarse(lu in arb_lu()) {
+        let coarse = acquire(lu.sources(), Instrumentation::Coarse, CompilerOpt::O0, 1);
+        for mode in [Instrumentation::Minimal, Instrumentation::legacy_default()] {
+            let inst = acquire(lu.sources(), mode, CompilerOpt::O0, 1);
+            let c: f64 = coarse.rank_counters.iter().sum();
+            let i: f64 = inst.rank_counters.iter().sum();
+            prop_assert!(i > c * 0.995, "{mode:?} measured less than coarse");
+        }
+    }
+
+    /// The emulated time is invariant under re-runs (determinism) and
+    /// strictly positive for any instance.
+    #[test]
+    fn emulation_determinism(lu in arb_lu()) {
+        let tb = Testbed::graphene();
+        let a = tb.run_lu(&lu, Instrumentation::None, CompilerOpt::O3).unwrap();
+        let b = tb.run_lu(&lu, Instrumentation::None, CompilerOpt::O3).unwrap();
+        prop_assert!(a.time > 0.0);
+        prop_assert_eq!(a.time, b.time);
+        prop_assert_eq!(a.rank_times, b.rank_times);
+    }
+}
