@@ -1,6 +1,9 @@
 //! Micro-benchmarks of the flow-level network model: flow churn under
-//! the fast bottleneck policy vs the exact max-min reference.
+//! the fast bottleneck policy vs the exact max-min policies, and the
+//! payoff of incremental sharing recomputation when the platform
+//! decomposes into many small sharing components.
 
+use bench::perfwork;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use tit_replay::netmodel::{FlowNet, SharingPolicy};
 use tit_replay::platform::topology::{flat_cluster, FlatClusterSpec};
@@ -22,7 +25,11 @@ fn flow_churn(c: &mut Criterion) {
     let mut g = c.benchmark_group("flow_churn");
     let n = 2_000u64;
     g.throughput(Throughput::Elements(n));
-    for policy in [SharingPolicy::Bottleneck, SharingPolicy::MaxMin] {
+    for policy in [
+        SharingPolicy::Bottleneck,
+        SharingPolicy::MaxMin,
+        SharingPolicy::MaxMinFull,
+    ] {
         g.bench_function(format!("{policy:?}_open_close_2k"), |b| {
             b.iter_batched(
                 || (Kernel::new(), FlowNet::new(&platform, policy)),
@@ -53,5 +60,57 @@ fn flow_churn(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, flow_churn);
+/// Incremental vs full max-min recomputation where it matters: a
+/// hierarchical cluster whose intra-cabinet routes never touch the
+/// backbone, so the live flows split into one sharing component per
+/// cabinet. Incremental recomputation re-solves only the component the
+/// churned flow belongs to; the reference re-solves all of them.
+fn component_churn(c: &mut Criterion) {
+    const CABINETS: u32 = perfwork::CABINETS;
+    const PER_CAB: u32 = perfwork::PER_CAB;
+    let platform = perfwork::showcase_platform();
+    let mut g = c.benchmark_group("component_churn");
+    let churn = 2_000u64;
+    g.throughput(Throughput::Elements(churn));
+    // Live-flow counts: one disjoint pair per cabinet up to several
+    // concurrent flows per cabinet. The gap between MaxMin and
+    // MaxMinFull widens with the live count — the acceptance target
+    // (>= 2x) is judged at the largest.
+    for live in [16u64, 64, 128] {
+        for policy in [SharingPolicy::MaxMin, SharingPolicy::MaxMinFull] {
+            g.bench_function(format!("{policy:?}_live{live}"), |b| {
+                b.iter_batched(
+                    || (Kernel::new(), FlowNet::new(&platform, policy)),
+                    |(mut k, mut net)| {
+                        let mut route = Vec::new();
+                        let mut open = Vec::new();
+                        for i in 0..churn {
+                            // Pick src/dst inside the same cabinet so the
+                            // route is up -> down with no shared backbone.
+                            let cab = (i % u64::from(CABINETS)) as u32;
+                            let s = cab * PER_CAB + (i % u64::from(PER_CAB)) as u32;
+                            let d = cab * PER_CAB + ((i * 3 + 1) % u64::from(PER_CAB)) as u32;
+                            if s != d {
+                                platform.route(HostId(s), HostId(d), &mut route);
+                                open.push(net.open(&mut k, &route, 1e6, 1e9));
+                            }
+                            if open.len() as u64 > live {
+                                let f = open.swap_remove((i % live) as usize);
+                                net.close(&mut k, f);
+                            }
+                        }
+                        for f in open {
+                            net.close(&mut k, f);
+                        }
+                        (k, net)
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, flow_churn, component_churn);
 criterion_main!(benches);

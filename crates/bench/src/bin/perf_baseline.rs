@@ -1,0 +1,291 @@
+//! Machine-readable performance baseline: times the replay back-ends,
+//! the incremental-vs-full max-min sharing recomputation, and a small
+//! experiment sweep, then writes `BENCH_replay.json` for CI and the
+//! README's performance table.
+//!
+//! The "before" column is the full-recompute reference policy
+//! ([`SharingPolicy::MaxMinFull`]) — the exact same solver invoked from
+//! scratch on every flow open/close — so the speedup isolates the
+//! incremental recomputation, not a model change: both columns produce
+//! bit-identical simulated times.
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_baseline -- [--out BENCH_replay.json]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use bench::{accuracy_figure, perfwork, sweep, Options};
+use tit_replay::acquisition::{acquire, CompilerOpt, Instrumentation};
+use tit_replay::emulator::Testbed;
+use tit_replay::netmodel::{FlowNet, SharingPolicy};
+use tit_replay::platform::{HostId, Platform};
+use tit_replay::prelude::*;
+use tit_replay::simkernel::Kernel;
+
+/// Top-level document written to `BENCH_replay.json`.
+#[derive(Debug, Serialize)]
+struct Baseline {
+    /// Tool that produced the file.
+    generated_by: String,
+    /// Worker threads available to the sweep layer on the measuring host.
+    host_parallelism: f64,
+    /// Simulated events per second, per replay back-end.
+    backends: Vec<BackendSpeed>,
+    /// Incremental vs full-recompute max-min sharing, end to end.
+    sharing: Vec<SharingSpeedup>,
+    /// Netmodel-level churn with per-cabinet sharing components.
+    component_churn: Vec<ChurnSpeedup>,
+    /// Wall time per experiment cell of a small accuracy sweep.
+    sweep_cells: Vec<SweepCell>,
+}
+
+/// Events-per-second measurement of one back-end.
+#[derive(Debug, Serialize)]
+struct BackendSpeed {
+    /// "Smpi" or "Msg".
+    backend: String,
+    /// Workload label.
+    workload: String,
+    /// Kernel events simulated per replay.
+    events: f64,
+    /// Best-of-N wall time for one replay, seconds.
+    wall_s: f64,
+    /// `events / wall_s`.
+    events_per_s: f64,
+}
+
+/// End-to-end replay under the two exact-sharing policies.
+#[derive(Debug, Serialize)]
+struct SharingSpeedup {
+    /// Workload label.
+    workload: String,
+    /// Full-recompute reference, seconds (the "before").
+    before_full_s: f64,
+    /// Incremental recomputation, seconds (the "after").
+    after_incremental_s: f64,
+    /// `before / after`.
+    speedup: f64,
+    /// Simulated makespan — identical under both policies by design.
+    simulated_s: f64,
+}
+
+/// Netmodel flow churn at a given live-flow count.
+#[derive(Debug, Serialize)]
+struct ChurnSpeedup {
+    /// Live flows held open while churning.
+    live_flows: f64,
+    /// Open/close operations performed.
+    operations: f64,
+    /// Full-recompute wall time, seconds.
+    before_full_s: f64,
+    /// Incremental wall time, seconds.
+    after_incremental_s: f64,
+    /// `before / after`.
+    speedup: f64,
+}
+
+/// One cell of the experiment sweep.
+#[derive(Debug, Serialize)]
+struct SweepCell {
+    /// Instance label ("B-8").
+    instance: String,
+    /// Wall time to predict this cell, seconds.
+    wall_s: f64,
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<T>(reps: u32, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn replay_cfg(engine: ReplayEngine, sharing: SharingPolicy) -> ReplayConfig {
+    ReplayConfig {
+        engine,
+        rate: 2e9,
+        placement: Placement::OnePerNode,
+        copy_model: None,
+        sharing,
+    }
+}
+
+fn backend_speeds(platform: &Platform, trace: &Arc<Trace>, workload: &str) -> Vec<BackendSpeed> {
+    [ReplayEngine::Smpi, ReplayEngine::Msg]
+        .into_iter()
+        .map(|engine| {
+            let cfg = replay_cfg(engine, SharingPolicy::Bottleneck);
+            let events = replay(platform, trace, &cfg).unwrap().events as f64;
+            let wall_s = time_best(5, || replay(platform, trace, &cfg).unwrap());
+            BackendSpeed {
+                backend: format!("{engine:?}"),
+                workload: workload.into(),
+                events,
+                wall_s,
+                events_per_s: events / wall_s,
+            }
+        })
+        .collect()
+}
+
+fn sharing_speedup(platform: &Platform, trace: &Arc<Trace>, workload: &str) -> SharingSpeedup {
+    let run = |sharing| {
+        let cfg = replay_cfg(ReplayEngine::Smpi, sharing);
+        let sim = replay(platform, trace, &cfg).unwrap().time;
+        (time_best(3, || replay(platform, trace, &cfg).unwrap()), sim)
+    };
+    let (before_full_s, sim_full) = run(SharingPolicy::MaxMinFull);
+    let (after_incremental_s, sim_inc) = run(SharingPolicy::MaxMin);
+    assert_eq!(
+        sim_full.to_bits(),
+        sim_inc.to_bits(),
+        "incremental sharing changed the simulated time"
+    );
+    SharingSpeedup {
+        workload: workload.into(),
+        before_full_s,
+        after_incremental_s,
+        speedup: before_full_s / after_incremental_s,
+        simulated_s: sim_inc,
+    }
+}
+
+/// Intra-cabinet flow churn on a 16-cabinet cluster: every route is
+/// `up -> down` with no backbone, so live flows form one sharing
+/// component per cabinet and incremental recomputation touches 1/16th
+/// of what the full reference re-solves.
+fn component_churn() -> Vec<ChurnSpeedup> {
+    const CABINETS: u32 = perfwork::CABINETS;
+    const PER_CAB: u32 = perfwork::PER_CAB;
+    let platform = perfwork::showcase_platform();
+    let churn = 2_000u64;
+    let run = |policy, live: u64| {
+        let mut k = Kernel::new();
+        let mut net = FlowNet::new(&platform, policy);
+        let mut route = Vec::new();
+        let mut open = Vec::new();
+        for i in 0..churn {
+            let cab = (i % u64::from(CABINETS)) as u32;
+            let s = cab * PER_CAB + (i % u64::from(PER_CAB)) as u32;
+            let d = cab * PER_CAB + ((i * 3 + 1) % u64::from(PER_CAB)) as u32;
+            if s != d {
+                platform.route(HostId(s), HostId(d), &mut route);
+                open.push(net.open(&mut k, &route, 1e6, 1e9));
+            }
+            if open.len() as u64 > live {
+                let f = open.swap_remove((i % live) as usize);
+                net.close(&mut k, f);
+            }
+        }
+        for f in open {
+            net.close(&mut k, f);
+        }
+    };
+    [16u64, 64, 128]
+        .into_iter()
+        .map(|live| {
+            let before_full_s = time_best(3, || run(SharingPolicy::MaxMinFull, live));
+            let after_incremental_s = time_best(3, || run(SharingPolicy::MaxMin, live));
+            ChurnSpeedup {
+                live_flows: live as f64,
+                operations: churn as f64,
+                before_full_s,
+                after_incremental_s,
+                speedup: before_full_s / after_incremental_s,
+            }
+        })
+        .collect()
+}
+
+fn sweep_cells() -> Vec<SweepCell> {
+    let opts = Options {
+        steps: 5,
+        json: false,
+        seed: 42,
+    };
+    let testbed = Testbed::bordereau();
+    let grid = [(LuClass::B, 8), (LuClass::B, 16), (LuClass::B, 32)];
+    // Time each cell individually (workers may overlap them; the wall
+    // time per cell is still what a scheduler needs for load balance).
+    let timed = sweep::run(&grid, |_, &(class, procs)| {
+        let t = Instant::now();
+        let recs = accuracy_figure(
+            "perf",
+            &testbed,
+            &[(class, procs)],
+            Pipeline::improved(),
+            &opts,
+        );
+        (recs[0].instance.clone(), t.elapsed().as_secs_f64())
+    });
+    timed
+        .into_iter()
+        .map(|(instance, wall_s)| SweepCell { instance, wall_s })
+        .collect()
+}
+
+fn usage() -> ! {
+    eprintln!("usage: perf_baseline [--out <BENCH_replay.json>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_replay.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    eprintln!("timing replay back-ends (LU S-16, bordereau)...");
+    let lu = LuConfig::new(LuClass::S, 16).with_steps(10);
+    let trace = Arc::new(
+        acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace,
+    );
+    let bordereau = tit_replay::platform::clusters::bordereau();
+    let backends = backend_speeds(&bordereau, &trace, "lu-s16-steps10");
+
+    eprintln!("timing sharing policies (halo exchange P=128; LU S-64, graphene)...");
+    let showcase = perfwork::showcase_platform();
+    let halo = Arc::new(perfwork::halo_exchange_trace(128, 200, 1 << 20));
+    let big = LuConfig::new(LuClass::S, 64).with_steps(10);
+    let big_trace = Arc::new(
+        acquire(big.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace,
+    );
+    let graphene = tit_replay::platform::clusters::graphene();
+    let sharing = vec![
+        sharing_speedup(&showcase, &halo, "halo-exchange-p128-iters200"),
+        sharing_speedup(&graphene, &big_trace, "lu-s64-steps10-smpi"),
+    ];
+
+    eprintln!("timing component churn (16-cabinet cluster)...");
+    let churn = component_churn();
+
+    eprintln!("timing sweep cells (accuracy figure, bordereau)...");
+    let cells = sweep_cells();
+
+    let doc = Baseline {
+        generated_by: "bench/perf_baseline".into(),
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()) as f64,
+        backends,
+        sharing,
+        component_churn: churn,
+        sweep_cells: cells,
+    };
+    let json = serde_json::to_string_pretty(&doc).expect("baseline always serializes");
+    std::fs::write(&out_path, json + "\n").expect("write baseline");
+    eprintln!("wrote {out_path}");
+}

@@ -127,6 +127,200 @@ pub fn emit(records: &[ExperimentRecord], columns: &[&str], opts: &Options) {
 }
 
 // ----------------------------------------------------------------------
+// Parallel sweeps
+// ----------------------------------------------------------------------
+
+/// Parallel execution of independent experiment cells.
+///
+/// Every cell of an experiment grid (one `(class, procs)` instance) is an
+/// independent simulation, so the drivers fan cells out over a scoped
+/// worker pool. Results land in index-ordered slots and per-cell log
+/// output is buffered and emitted in grid order, so a parallel sweep's
+/// output is byte-identical to a sequential one — only the wall-clock
+/// time changes.
+pub mod sweep {
+    use parking_lot::Mutex;
+
+    /// Chooses the worker count for `cells` work items: the
+    /// `TITR_SWEEP_THREADS` environment variable when set (a value of 1
+    /// forces sequential execution), otherwise the machine's available
+    /// parallelism, never more than the number of cells.
+    pub fn worker_count(cells: usize) -> usize {
+        let workers = std::env::var("TITR_SWEEP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        workers.min(cells).max(1)
+    }
+
+    /// Runs `f(i, &items[i])` for every item on [`worker_count`] workers
+    /// and returns the outputs in item order.
+    pub fn run<I, T, F>(items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        run_with_workers(items, worker_count(items.len()), f)
+    }
+
+    /// Like [`run`] with an explicit worker count. `workers <= 1`
+    /// degenerates to a plain in-order loop; any other count yields the
+    /// same output vector (slots are keyed by item index, and cells are
+    /// independent), which the determinism tests verify.
+    pub fn run_with_workers<I, T, F>(items: &[I], workers: usize, f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        if workers <= 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        }
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        let slots = Mutex::new(slots);
+        let next = Mutex::new(0usize);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers.min(items.len()) {
+                s.spawn(|_| loop {
+                    let i = {
+                        let mut n = next.lock();
+                        let i = *n;
+                        *n += 1;
+                        i
+                    };
+                    let Some(item) = items.get(i) else { break };
+                    let out = f(i, item);
+                    slots.lock()[i] = Some(out);
+                });
+            }
+        })
+        .expect("sweep scope failed");
+        slots
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("worker exited before filling its slot"))
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn parallel_output_matches_sequential() {
+            let items: Vec<u64> = (0..37).collect();
+            let f = |i: usize, x: &u64| (i as u64) * 1000 + x * x;
+            let sequential = run_with_workers(&items, 1, f);
+            for workers in [2, 4, 16] {
+                assert_eq!(run_with_workers(&items, workers, f), sequential);
+            }
+        }
+
+        #[test]
+        fn slow_early_cells_do_not_reorder_results() {
+            // Earlier cells sleep longer, so later cells finish first;
+            // slot ordering must hide that entirely.
+            let items: Vec<u64> = (0..8).collect();
+            let out = run_with_workers(&items, 4, |i, x| {
+                std::thread::sleep(std::time::Duration::from_millis(8 - i as u64));
+                *x
+            });
+            assert_eq!(out, items);
+        }
+
+        #[test]
+        fn worker_count_is_positive_and_capped() {
+            assert_eq!(worker_count(0), 1);
+            assert_eq!(worker_count(1), 1);
+            assert!(worker_count(1000) >= 1);
+        }
+    }
+}
+
+/// Workloads and platforms shared by the Criterion benches and the
+/// `perf_baseline` binary, so `BENCH_replay.json` and the bench reports
+/// measure the same thing.
+pub mod perfwork {
+    use tit_replay::platform::topology::{cabinet_cluster, CabinetClusterSpec};
+    use tit_replay::platform::Platform;
+    use tit_replay::titrace::{Action, Rank, Trace};
+
+    /// Cabinets in [`showcase_platform`].
+    pub const CABINETS: u32 = 16;
+    /// Nodes per cabinet in [`showcase_platform`].
+    pub const PER_CAB: u32 = 8;
+
+    /// The incremental-sharing showcase platform: a 16x8 cabinet
+    /// cluster. Intra-cabinet routes are `up -> down` and never touch
+    /// the backbone, so intra-cabinet traffic decomposes into one
+    /// sharing component per cabinet — incremental recomputation
+    /// re-solves a single component where the full reference re-solves
+    /// every live flow.
+    pub fn showcase_platform() -> Platform {
+        cabinet_cluster(&CabinetClusterSpec {
+            name: "cc".into(),
+            cabinets: CABINETS,
+            nodes_per_cabinet: PER_CAB,
+            host_speed: 1e9,
+            cores: 1,
+            cache_bytes: 1 << 20,
+            link_bandwidth: 1.25e8,
+            link_latency: 1e-5,
+            cabinet_bandwidth: 1.25e9,
+            cabinet_latency: 2e-6,
+            backbone_bandwidth: 2.5e9,
+            backbone_latency: 1e-6,
+        })
+    }
+
+    /// A communication-bound halo-exchange trace for `ranks` processes
+    /// placed one per node on [`showcase_platform`]: each iteration,
+    /// every rank exchanges `bytes` with both ring neighbours *inside
+    /// its own cabinet*, then computes briefly. All ranks communicate
+    /// concurrently, so up to `2 * ranks` flows are live at once —
+    /// split across `ranks / PER_CAB` disjoint sharing components.
+    pub fn halo_exchange_trace(ranks: u32, iters: u32, bytes: u64) -> Trace {
+        assert!(ranks.is_multiple_of(PER_CAB), "ranks must fill whole cabinets");
+        let mut trace = Trace::new(ranks);
+        let neighbour = |r: u32, step: u32| {
+            let cab = r / PER_CAB;
+            cab * PER_CAB + (r % PER_CAB + step) % PER_CAB
+        };
+        for r in 0..ranks {
+            let rank = Rank(r);
+            let right = Rank(neighbour(r, 1));
+            let left = Rank(neighbour(r, PER_CAB - 1));
+            trace.push(rank, Action::Init);
+            for _ in 0..iters {
+                trace.push(rank, Action::Irecv { src: left, bytes });
+                trace.push(rank, Action::Irecv { src: right, bytes });
+                trace.push(rank, Action::Isend { dst: right, bytes });
+                trace.push(rank, Action::Isend { dst: left, bytes });
+                trace.push(rank, Action::WaitAll);
+                trace.push(rank, Action::Compute { amount: 1e5 });
+            }
+            trace.push(rank, Action::Finalize);
+        }
+        trace
+    }
+}
+
+/// Emits each cell's buffered log to stderr in grid order and unwraps
+/// the records.
+fn collect_cells(cells: Vec<(ExperimentRecord, String)>) -> Vec<ExperimentRecord> {
+    cells
+        .into_iter()
+        .map(|(record, log)| {
+            eprint!("{log}");
+            record
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
 // Experiment drivers
 // ----------------------------------------------------------------------
 
@@ -139,8 +333,7 @@ pub fn overhead_table(
     grid: &[(LuClass, u32)],
     opts: &Options,
 ) -> Vec<ExperimentRecord> {
-    let mut records = Vec::new();
-    for (class, procs) in grid {
+    let cells = sweep::run(grid, |_, (class, procs)| {
         let lu = opts.instance(*class, *procs);
         let legacy = testbed
             .overhead_lu(&lu, Instrumentation::legacy_default(), CompilerOpt::O0)
@@ -148,17 +341,15 @@ pub fn overhead_table(
         let modified = testbed
             .overhead_lu(&lu, Instrumentation::Minimal, CompilerOpt::O3)
             .unwrap_or_else(|e| panic!("{}: {e}", lu.label()));
-        records.push(
-            ExperimentRecord::new(experiment, &testbed.platform.name, lu.label())
-                .with("old_orig_s", legacy.original)
-                .with("old_instr_s", legacy.instrumented)
-                .with("old_overhead_pct", legacy.overhead_percent())
-                .with("new_orig_s", modified.original)
-                .with("new_instr_s", modified.instrumented)
-                .with("new_overhead_pct", modified.overhead_percent()),
-        );
-        eprintln!(
-            "  {}: old {:.2}s -> {:.2}s (+{:.1}%) | new {:.2}s -> {:.2}s (+{:.1}%)",
+        let record = ExperimentRecord::new(experiment, &testbed.platform.name, lu.label())
+            .with("old_orig_s", legacy.original)
+            .with("old_instr_s", legacy.instrumented)
+            .with("old_overhead_pct", legacy.overhead_percent())
+            .with("new_orig_s", modified.original)
+            .with("new_instr_s", modified.instrumented)
+            .with("new_overhead_pct", modified.overhead_percent());
+        let log = format!(
+            "  {}: old {:.2}s -> {:.2}s (+{:.1}%) | new {:.2}s -> {:.2}s (+{:.1}%)\n",
             lu.label(),
             legacy.original,
             legacy.instrumented,
@@ -167,8 +358,9 @@ pub fn overhead_table(
             modified.instrumented,
             modified.overhead_percent()
         );
-    }
-    records
+        (record, log)
+    });
+    collect_cells(cells)
 }
 
 /// Driver for Figures 1/2/4/5: per-process distribution of the relative
@@ -182,8 +374,7 @@ pub fn counter_discrepancy_figure(
     compiler: CompilerOpt,
     opts: &Options,
 ) -> Vec<ExperimentRecord> {
-    let mut records = Vec::new();
-    for (class, procs) in grid {
+    let cells = sweep::run(grid, |_, (class, procs)| {
         let lu = opts.instance(*class, *procs);
         let coarse = mean_rank_counters(
             || lu.sources(),
@@ -205,18 +396,17 @@ pub fn counter_discrepancy_figure(
             .map(|(i, c)| (i - c) / c * 100.0)
             .collect();
         let s = Summary::of(&diffs).expect("non-empty rank set");
-        records.push(
-            ExperimentRecord::new(experiment, cluster, lu.label())
-                .with("min_pct", s.min)
-                .with("q1_pct", s.q1)
-                .with("median_pct", s.median)
-                .with("q3_pct", s.q3)
-                .with("max_pct", s.max)
-                .with("mean_pct", s.mean),
-        );
-        eprintln!("  {}: {}", lu.label(), s);
-    }
-    records
+        let record = ExperimentRecord::new(experiment, cluster, lu.label())
+            .with("min_pct", s.min)
+            .with("q1_pct", s.q1)
+            .with("median_pct", s.median)
+            .with("q3_pct", s.q3)
+            .with("max_pct", s.max)
+            .with("mean_pct", s.mean);
+        let log = format!("  {}: {}\n", lu.label(), s);
+        (record, log)
+    });
+    collect_cells(cells)
 }
 
 /// Driver for Figures 3/6/7: relative error between emulated-real and
@@ -228,29 +418,29 @@ pub fn accuracy_figure(
     pipeline: Pipeline,
     opts: &Options,
 ) -> Vec<ExperimentRecord> {
+    // Calibration happens once, up front; only the per-instance
+    // predictions fan out.
     let predictor = Predictor::new(testbed, pipeline, opts.seed).expect("calibration failed");
-    let mut records = Vec::new();
-    for (class, procs) in grid {
+    let cells = sweep::run(grid, |_, (class, procs)| {
         let lu = opts.instance(*class, *procs);
         let p = predictor
             .predict(&lu, opts.seed.wrapping_add(u64::from(*procs)))
             .unwrap_or_else(|e| panic!("{}: {e}", lu.label()));
-        records.push(
-            ExperimentRecord::new(experiment, &testbed.platform.name, lu.label())
-                .with("real_s", p.real_seconds)
-                .with("simulated_s", p.simulated_seconds)
-                .with("rel_err_pct", p.relative_error_percent())
-                .with("rate_ips", p.calibrated_rate),
-        );
-        eprintln!(
-            "  {}: real {:.2}s sim {:.2}s err {:+.1}%",
+        let record = ExperimentRecord::new(experiment, &testbed.platform.name, lu.label())
+            .with("real_s", p.real_seconds)
+            .with("simulated_s", p.simulated_seconds)
+            .with("rel_err_pct", p.relative_error_percent())
+            .with("rate_ips", p.calibrated_rate);
+        let log = format!(
+            "  {}: real {:.2}s sim {:.2}s err {:+.1}%\n",
             lu.label(),
             p.real_seconds,
             p.simulated_seconds,
             p.relative_error_percent()
         );
-    }
-    records
+        (record, log)
+    });
+    collect_cells(cells)
 }
 
 /// Replays one already-acquired trace and returns the error against a

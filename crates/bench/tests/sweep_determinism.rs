@@ -1,0 +1,34 @@
+//! Parallel experiment sweeps must be an implementation detail: the
+//! records a driver returns (and the order it returns them in) are
+//! identical whether cells run on one worker or many.
+//!
+//! Both drivers run in a single test function because the worker count
+//! is controlled through the `TITR_SWEEP_THREADS` environment variable,
+//! which is process-global.
+
+use bench::{accuracy_figure, overhead_table, Options};
+use tit_replay::emulator::Testbed;
+use tit_replay::prelude::*;
+
+#[test]
+fn drivers_are_worker_count_invariant() {
+    let opts = Options {
+        steps: 2,
+        json: false,
+        seed: 42,
+    };
+    let testbed = Testbed::bordereau();
+    let grid = vec![(LuClass::B, 8), (LuClass::B, 16), (LuClass::C, 8)];
+
+    std::env::set_var("TITR_SWEEP_THREADS", "1");
+    let overhead_seq = overhead_table("t", &testbed, &grid, &opts);
+    let accuracy_seq = accuracy_figure("f", &testbed, &grid, Pipeline::legacy(), &opts);
+
+    std::env::set_var("TITR_SWEEP_THREADS", "4");
+    let overhead_par = overhead_table("t", &testbed, &grid, &opts);
+    let accuracy_par = accuracy_figure("f", &testbed, &grid, Pipeline::legacy(), &opts);
+    std::env::remove_var("TITR_SWEEP_THREADS");
+
+    assert_eq!(overhead_seq, overhead_par);
+    assert_eq!(accuracy_seq, accuracy_par);
+}

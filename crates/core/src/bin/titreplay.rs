@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! titreplay --platform platform.json --trace trace.txt --ranks 8 \
-//!           --rate 2.05e9 [--engine smpi|msg] [--validate]
+//!           --rate 2.05e9 [--engine smpi|msg] [--validate] \
+//!           [--sharing bottleneck|maxmin|maxmin-full]
 //! ```
 //!
 //! Prints the simulated execution time.
@@ -19,13 +20,15 @@ struct Args {
     ranks: u32,
     rate: f64,
     engine: ReplayEngine,
+    sharing: tit_replay::netmodel::SharingPolicy,
     validate: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: titreplay --platform <platform.json> --trace <trace.txt> \
-         --ranks <N> --rate <instr/s> [--engine smpi|msg] [--validate]"
+         --ranks <N> --rate <instr/s> [--engine smpi|msg] \
+         [--sharing bottleneck|maxmin|maxmin-full] [--validate]"
     );
     std::process::exit(2);
 }
@@ -36,6 +39,7 @@ fn parse_args() -> Args {
     let mut ranks = None;
     let mut rate = None;
     let mut engine = ReplayEngine::Smpi;
+    let mut sharing = tit_replay::netmodel::SharingPolicy::Bottleneck;
     let mut validate = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -49,6 +53,12 @@ fn parse_args() -> Args {
                 Some("msg") => engine = ReplayEngine::Msg,
                 _ => usage(),
             },
+            "--sharing" => match args.next().as_deref() {
+                Some("bottleneck") => sharing = tit_replay::netmodel::SharingPolicy::Bottleneck,
+                Some("maxmin") => sharing = tit_replay::netmodel::SharingPolicy::MaxMin,
+                Some("maxmin-full") => sharing = tit_replay::netmodel::SharingPolicy::MaxMinFull,
+                _ => usage(),
+            },
             "--validate" => validate = true,
             _ => usage(),
         }
@@ -60,6 +70,7 @@ fn parse_args() -> Args {
             ranks,
             rate,
             engine,
+            sharing,
             validate,
         },
         _ => usage(),
@@ -93,6 +104,7 @@ fn main() {
         rate: args.rate,
         placement: Placement::OnePerNode,
         copy_model: None,
+        sharing: args.sharing,
     };
     match replay(&platform, &Arc::new(trace), &config) {
         Ok(result) => {

@@ -229,6 +229,7 @@ impl<'a> Predictor<'a> {
                     .copy
                     .expect("ground truth models the copy")
             }),
+            sharing: netmodel::SharingPolicy::Bottleneck,
         };
         let sim = replay(&self.testbed.platform, &trace, &config)?;
         Ok(Prediction {

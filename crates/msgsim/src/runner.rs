@@ -241,7 +241,10 @@ pub fn run_msg(
     assert_eq!(hosts.len(), ranks);
     let transport = ActorId(ranks as u32);
     let world = MsgWorld::new(platform, hosts, cfg, hooks, transport);
-    let mut sim = Sim::new(world);
+    // Same pre-sizing heuristic as the SMPI runner: a bounded number of
+    // live activities per rank, each holding one live completion event.
+    let activities = ranks * 8;
+    let mut sim = Sim::with_capacity(world, activities, 2 * activities);
     for (r, source) in sources.into_iter().enumerate() {
         let me = ActorId(r as u32);
         let id = sim.spawn(Box::new(MsgRankActor::new(r as u32, me, source)));

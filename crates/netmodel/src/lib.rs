@@ -11,9 +11,13 @@
 //!   head-room (same family of approximation as SimGrid's fast default
 //!   without cross-traffic).
 //! * [`SharingPolicy::MaxMin`] — exact progressive-filling max-min
-//!   fairness, recomputed globally on every change. The reference model:
-//!   slower, used in tests and small studies to bound the error of the
-//!   fast model.
+//!   fairness, recomputed incrementally: an arrival or departure
+//!   re-solves only the connected component of the flow/link graph it
+//!   touches, and only rate changes reach the kernel.
+//! * [`SharingPolicy::MaxMinFull`] — the same solver run over every
+//!   component on every change. Reference for the incremental path; the
+//!   two are bit-identical in both rates and kernel event sequence, which
+//!   the tests enforce.
 //!
 //! [`piecewise::PiecewiseFactors`] implements SMPI's piece-wise linear
 //! correction of nominal latency/bandwidth by message size — the paper's
@@ -47,6 +51,9 @@ struct Flow {
     activity: ActivityId,
     /// Per-flow rate ceiling (protocol-corrected nominal bandwidth).
     cap: f64,
+    /// Last allotted rate (maintained by the max-min policies only; the
+    /// bottleneck policy derives rates from link occupancy on demand).
+    rate: f64,
     generation: u32,
     live: bool,
     next_free: u32,
@@ -56,6 +63,31 @@ struct Flow {
 struct LinkState {
     capacity: f64,
     nflows: u32,
+}
+
+/// Borrowed view of the network tables handed to the max-min solver.
+struct NetView<'a> {
+    links: &'a [LinkState],
+    flows: &'a [Flow],
+    per_link: &'a [Vec<u32>],
+}
+
+impl sharing::SharingProblem for NetView<'_> {
+    fn capacity(&self, link: u32) -> f64 {
+        self.links[link as usize].capacity
+    }
+
+    fn live_flows_on(&self, link: u32) -> u32 {
+        self.per_link[link as usize].len() as u32
+    }
+
+    fn route(&self, flow: u32) -> &[LinkId] {
+        &self.flows[flow as usize].route
+    }
+
+    fn ceiling(&self, flow: u32) -> f64 {
+        self.flows[flow as usize].cap
+    }
 }
 
 /// The live network: link occupancies and flow allotments.
@@ -69,6 +101,21 @@ pub struct FlowNet {
     policy: SharingPolicy,
     scratch: Vec<u32>,
     live_count: usize,
+    /// Progressive-filling solver with reusable scratch (max-min policies).
+    solver: sharing::MaxMinSolver,
+    /// Flows of the component currently being solved (sorted before fill).
+    comp_flows: Vec<u32>,
+    /// Links of the component currently being solved.
+    comp_links: Vec<u32>,
+    /// Component-membership stamps; a flow/link is in the current
+    /// component iff its stamp equals `epoch` (no per-reshare clearing).
+    flow_mark: Vec<u64>,
+    link_mark: Vec<u64>,
+    epoch: u64,
+    /// Flows whose freshly solved rate differs from their stored rate;
+    /// applied to the kernel in ascending flow order so the event
+    /// sequence is independent of component discovery order.
+    pending: Vec<u32>,
 }
 
 impl FlowNet {
@@ -83,6 +130,7 @@ impl FlowNet {
             })
             .collect::<Vec<_>>();
         let per_link = links.iter().map(|_| Vec::new()).collect();
+        let nlinks = links.len();
         FlowNet {
             links,
             flows: Vec::new(),
@@ -91,6 +139,13 @@ impl FlowNet {
             policy,
             scratch: Vec::new(),
             live_count: 0,
+            solver: sharing::MaxMinSolver::new(),
+            comp_flows: Vec::new(),
+            comp_links: Vec::new(),
+            flow_mark: Vec::new(),
+            link_mark: vec![0; nlinks],
+            epoch: 0,
+            pending: Vec::new(),
         }
     }
 
@@ -124,6 +179,7 @@ impl FlowNet {
             f.route.extend_from_slice(route);
             f.activity = activity;
             f.cap = cap;
+            f.rate = 0.0;
             f.generation = f.generation.wrapping_add(1);
             f.live = true;
             f.next_free = NO_FREE;
@@ -134,6 +190,7 @@ impl FlowNet {
                 route: route.to_vec(),
                 activity,
                 cap,
+                rate: 0.0,
                 generation: 0,
                 live: true,
                 next_free: NO_FREE,
@@ -202,7 +259,8 @@ impl FlowNet {
                 scratch.clear();
                 self.scratch = scratch;
             }
-            SharingPolicy::MaxMin => self.reshare_maxmin(kernel),
+            SharingPolicy::MaxMin => self.reshare_maxmin_open(kernel, new_flow),
+            SharingPolicy::MaxMinFull => self.reshare_maxmin_full(kernel),
         }
     }
 
@@ -227,7 +285,8 @@ impl FlowNet {
                 scratch.clear();
                 self.scratch = scratch;
             }
-            SharingPolicy::MaxMin => self.reshare_maxmin(kernel),
+            SharingPolicy::MaxMin => self.reshare_maxmin_close(kernel, closed.index),
+            SharingPolicy::MaxMinFull => self.reshare_maxmin_full(kernel),
         }
     }
 
@@ -251,26 +310,137 @@ impl FlowNet {
         rate
     }
 
-    /// Exact progressive-filling max-min allocation over all live flows.
-    fn reshare_maxmin(&mut self, kernel: &mut Kernel) {
-        let rates = sharing::maxmin_rates(
-            self.links.iter().map(|l| l.capacity).collect::<Vec<_>>(),
-            self.flows
-                .iter()
-                .map(|f| {
-                    if f.live {
-                        Some((f.route.as_slice(), f.cap))
-                    } else {
-                        None
-                    }
-                })
-                .collect::<Vec<_>>(),
-        );
-        for (idx, rate) in rates.into_iter().enumerate() {
-            if let Some(rate) = rate {
-                kernel.set_rate(self.flows[idx].activity, rate);
+    /// A flow arrived: it may have merged previously independent
+    /// components, but the result is one connected component containing
+    /// the new flow — solve exactly that and leave the rest untouched.
+    fn reshare_maxmin_open(&mut self, kernel: &mut Kernel, new_flow: u32) {
+        self.ensure_marks();
+        self.epoch += 1;
+        self.comp_flows.clear();
+        self.comp_links.clear();
+        self.flow_mark[new_flow as usize] = self.epoch;
+        self.comp_flows.push(new_flow);
+        self.expand_component();
+        self.solve_component();
+        self.flush_rates(kernel);
+    }
+
+    /// A flow departed: its former component may have split. Each
+    /// survivor on the departed route seeds a (possibly shared) component
+    /// of the *current* graph; solving per component keeps every solve
+    /// bitwise equal to what a full recompute would produce.
+    fn reshare_maxmin_close(&mut self, kernel: &mut Kernel, closed_index: u32) {
+        self.ensure_marks();
+        let start_epoch = self.epoch;
+        let mut seeds = std::mem::take(&mut self.scratch);
+        seeds.clear();
+        for li in 0..self.flows[closed_index as usize].route.len() {
+            let lu = self.flows[closed_index as usize].route[li].as_usize();
+            seeds.extend(self.per_link[lu].iter().copied());
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        for &seed in &seeds {
+            if self.flow_mark[seed as usize] <= start_epoch {
+                self.epoch += 1;
+                self.comp_flows.clear();
+                self.comp_links.clear();
+                self.flow_mark[seed as usize] = self.epoch;
+                self.comp_flows.push(seed);
+                self.expand_component();
+                self.solve_component();
             }
         }
+        seeds.clear();
+        self.scratch = seeds;
+        self.flush_rates(kernel);
+    }
+
+    /// Reference path: re-solve every component of the live flow/link
+    /// graph. Components whose membership did not change re-derive
+    /// bitwise the rates they already hold and are skipped at
+    /// [`FlowNet::flush_rates`], so the kernel sees exactly the calls the
+    /// incremental paths make.
+    fn reshare_maxmin_full(&mut self, kernel: &mut Kernel) {
+        self.ensure_marks();
+        let start_epoch = self.epoch;
+        for idx in 0..self.flows.len() {
+            if self.flows[idx].live && self.flow_mark[idx] <= start_epoch {
+                self.epoch += 1;
+                self.comp_flows.clear();
+                self.comp_links.clear();
+                self.flow_mark[idx] = self.epoch;
+                self.comp_flows.push(idx as u32);
+                self.expand_component();
+                self.solve_component();
+            }
+        }
+        self.flush_rates(kernel);
+    }
+
+    fn ensure_marks(&mut self) {
+        if self.flow_mark.len() < self.flows.len() {
+            self.flow_mark.resize(self.flows.len(), 0);
+        }
+    }
+
+    /// Breadth-first closure of `comp_flows` over shared links: marks and
+    /// collects every flow transitively sharing a link with the seeds.
+    fn expand_component(&mut self) {
+        let mut head = 0;
+        while head < self.comp_flows.len() {
+            let f = self.comp_flows[head] as usize;
+            head += 1;
+            for l in &self.flows[f].route {
+                let lu = l.as_usize();
+                if self.link_mark[lu] != self.epoch {
+                    self.link_mark[lu] = self.epoch;
+                    self.comp_links.push(lu as u32);
+                    for &g in &self.per_link[lu] {
+                        if self.flow_mark[g as usize] != self.epoch {
+                            self.flow_mark[g as usize] = self.epoch;
+                            self.comp_flows.push(g);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the solver on the discovered component and queues flows whose
+    /// allotment actually changed.
+    fn solve_component(&mut self) {
+        if self.comp_flows.is_empty() {
+            return;
+        }
+        self.comp_flows.sort_unstable();
+        let view = NetView {
+            links: &self.links,
+            flows: &self.flows,
+            per_link: &self.per_link,
+        };
+        self.solver.fill(&view, &self.comp_links, &self.comp_flows);
+        for i in 0..self.comp_flows.len() {
+            let f = self.comp_flows[i];
+            let rate = self.solver.rate(f);
+            if rate.to_bits() != self.flows[f as usize].rate.to_bits() {
+                self.pending.push(f);
+            }
+        }
+    }
+
+    /// Applies queued rate changes in ascending flow order, so the event
+    /// sequence the kernel records does not depend on which order
+    /// components were discovered in.
+    fn flush_rates(&mut self, kernel: &mut Kernel) {
+        self.pending.sort_unstable();
+        for i in 0..self.pending.len() {
+            let f = self.pending[i] as usize;
+            let rate = self.solver.rate(self.pending[i]);
+            self.flows[f].rate = rate;
+            kernel.set_rate(self.flows[f].activity, rate);
+        }
+        self.pending.clear();
     }
 
     /// The rate each live flow currently receives (diagnostics/tests).
@@ -284,23 +454,8 @@ impl FlowNet {
                 };
                 let rate = match self.policy {
                     SharingPolicy::Bottleneck => self.bottleneck_rate(idx as u32),
-                    SharingPolicy::MaxMin => {
-                        // Recompute from scratch (test-only path).
-                        let rates = sharing::maxmin_rates(
-                            self.links.iter().map(|l| l.capacity).collect::<Vec<_>>(),
-                            self.flows
-                                .iter()
-                                .map(|f| {
-                                    if f.live {
-                                        Some((f.route.as_slice(), f.cap))
-                                    } else {
-                                        None
-                                    }
-                                })
-                                .collect::<Vec<_>>(),
-                        );
-                        rates[idx].expect("live flow has a rate")
-                    }
+                    // The max-min policies maintain the allotment.
+                    SharingPolicy::MaxMin | SharingPolicy::MaxMinFull => f.rate,
                 };
                 out.push((id, rate));
             }
@@ -492,6 +647,112 @@ mod proptests {
                 let cap = p.links()[i].bandwidth;
                 prop_assert!(*used <= cap * (1.0 + 1e-9),
                     "link {i} oversubscribed: {used} > {cap}");
+            }
+        }
+    }
+
+    /// Drives a net through a random open/close schedule. `ops[i] = (s, d,
+    /// close_at)`: open a flow s→d, and close the flow opened `close_at`
+    /// steps ago (if still open).
+    fn churn_platform() -> Platform {
+        flat_cluster(&FlatClusterSpec {
+            name: "churn".into(),
+            nodes: 8,
+            host_speed: 1e9,
+            cores: 1,
+            cache_bytes: 1,
+            link_bandwidth: 100.0,
+            link_latency: 0.0,
+            backbone_bandwidth: 370.0,
+            backbone_latency: 0.0,
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Differential: after every open/close, the incremental
+        /// allotment equals a from-scratch [`sharing::maxmin_rates`]
+        /// run. Tolerance 1e-9 relative — the oracle interleaves
+        /// independent components through one global pass, which can
+        /// resolve sub-1e-12 cross-component ties differently.
+        #[test]
+        fn incremental_matches_full_recompute(
+            ops in proptest::collection::vec((0u32..8, 0u32..8, 0usize..12, 1.0f64..200.0), 1..60),
+        ) {
+            let p = churn_platform();
+            let mut k = Kernel::new();
+            let mut net = FlowNet::new(&p, SharingPolicy::MaxMin);
+            let mut r = Vec::new();
+            let mut open: Vec<FlowId> = Vec::new();
+            for (s, d, close_at, cap) in ops {
+                if s != d {
+                    p.route(HostId(s), HostId(d), &mut r);
+                    open.push(net.open(&mut k, &r, 1e6, cap));
+                }
+                if close_at < open.len() {
+                    let f = open.swap_remove(open.len() - 1 - close_at);
+                    net.close(&mut k, f);
+                }
+
+                // Oracle: full recompute over the same live flows.
+                let caps: Vec<f64> = p.links().iter().map(|l| l.bandwidth).collect();
+                let flow_refs: Vec<Option<(&[LinkId], f64)>> = net
+                    .flows
+                    .iter()
+                    .map(|f| if f.live { Some((f.route.as_slice(), f.cap)) } else { None })
+                    .collect();
+                let want = sharing::maxmin_rates(caps, flow_refs);
+                for (idx, w) in want.iter().enumerate() {
+                    if let Some(w) = w {
+                        let got = net.flows[idx].rate;
+                        prop_assert!(
+                            (got - w).abs() <= 1e-9 * w.max(1.0),
+                            "flow {idx}: incremental {got} vs full {w}"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Bit-identity: the incremental policy and the full-recompute
+        /// reference, driven through the same schedule, hold bitwise
+        /// equal allotments and identical kernel clocks after every op.
+        #[test]
+        fn incremental_is_bitwise_equal_to_reference_policy(
+            ops in proptest::collection::vec((0u32..8, 0u32..8, 0usize..12, 1.0f64..200.0), 1..60),
+        ) {
+            let p = churn_platform();
+            let mut k_inc = Kernel::new();
+            let mut k_ful = Kernel::new();
+            let mut inc = FlowNet::new(&p, SharingPolicy::MaxMin);
+            let mut ful = FlowNet::new(&p, SharingPolicy::MaxMinFull);
+            let mut r = Vec::new();
+            let mut open: Vec<(FlowId, FlowId)> = Vec::new();
+            for (s, d, close_at, cap) in ops {
+                if s != d {
+                    p.route(HostId(s), HostId(d), &mut r);
+                    open.push((
+                        inc.open(&mut k_inc, &r, 1e6, cap),
+                        ful.open(&mut k_ful, &r, 1e6, cap),
+                    ));
+                }
+                if close_at < open.len() {
+                    let (fi, ff) = open.swap_remove(open.len() - 1 - close_at);
+                    inc.close(&mut k_inc, fi);
+                    ful.close(&mut k_ful, ff);
+                }
+                for (idx, f) in inc.flows.iter().enumerate() {
+                    if f.live {
+                        prop_assert!(
+                            f.rate.to_bits() == ful.flows[idx].rate.to_bits(),
+                            "flow {idx}: incremental {} vs reference {}",
+                            f.rate,
+                            ful.flows[idx].rate
+                        );
+                    }
+                }
+                prop_assert!(k_inc.now() == k_ful.now());
             }
         }
     }

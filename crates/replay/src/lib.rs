@@ -52,6 +52,11 @@ pub struct ReplayConfig {
     /// eager mode of MPI"). `None` reproduces the paper's published
     /// behaviour; `Some` closes the Figures 6-7 underestimation.
     pub copy_model: Option<smpi::CopyCost>,
+    /// Bandwidth-sharing policy of the network model, applied to either
+    /// back-end. [`netmodel::SharingPolicy::Bottleneck`] reproduces the
+    /// paper's published behaviour; the max-min policies trade speed for
+    /// exact progressive-filling fairness.
+    pub sharing: netmodel::SharingPolicy,
 }
 
 impl ReplayConfig {
@@ -62,6 +67,7 @@ impl ReplayConfig {
             rate,
             placement: Placement::OnePerNode,
             copy_model: None,
+            sharing: netmodel::SharingPolicy::Bottleneck,
         }
     }
 
@@ -72,6 +78,7 @@ impl ReplayConfig {
             rate,
             placement: Placement::OnePerNode,
             copy_model: None,
+            sharing: netmodel::SharingPolicy::Bottleneck,
         }
     }
 
@@ -84,6 +91,7 @@ impl ReplayConfig {
             rate,
             placement: Placement::OnePerNode,
             copy_model: Some(copy),
+            sharing: netmodel::SharingPolicy::Bottleneck,
         }
     }
 
@@ -99,6 +107,7 @@ impl ReplayConfig {
             rate: calibration.rate_for(instance),
             placement: Placement::OnePerNode,
             copy_model: None,
+            sharing: netmodel::SharingPolicy::Bottleneck,
         }
     }
 }
@@ -203,6 +212,7 @@ pub fn replay(
         ReplayEngine::Smpi => {
             let mut smpi_cfg = smpi::SmpiConfig::smpi_replay();
             smpi_cfg.copy = config.copy_model;
+            smpi_cfg.sharing = config.sharing;
             let r = smpi::run_smpi(platform, &hosts, sources, smpi_cfg, hooks)?;
             Ok(ReplayResult {
                 time: r.total_time,
@@ -212,13 +222,9 @@ pub fn replay(
             })
         }
         ReplayEngine::Msg => {
-            let r = msgsim::run_msg(
-                platform,
-                &hosts,
-                sources,
-                msgsim::MsgConfig::legacy(),
-                hooks,
-            )?;
+            let mut msg_cfg = msgsim::MsgConfig::legacy();
+            msg_cfg.sharing = config.sharing;
+            let r = msgsim::run_msg(platform, &hosts, sources, msg_cfg, hooks)?;
             Ok(ReplayResult {
                 time: r.total_time,
                 rank_times: r.rank_times,
@@ -251,6 +257,7 @@ mod tests {
                 rate: 2e9,
                 placement: Placement::OnePerNode,
                 copy_model: None,
+                sharing: netmodel::SharingPolicy::Bottleneck,
             };
             let r = replay(&p, &trace, &cfg).unwrap_or_else(|e| panic!("{engine:?}: {e}"));
             assert!(r.time > 0.0, "{engine:?}");

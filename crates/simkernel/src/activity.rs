@@ -54,6 +54,11 @@ pub(crate) struct Slot {
     /// mismatch.
     pub sched: u32,
     pub state: ActivityState,
+    /// `true` while a completion event for the *current* `sched` value sits
+    /// in the event queue. Lets the kernel keep the queue's stale-entry
+    /// count exact: a rate/work change or cancel that orphans the queued
+    /// completion reports exactly one superseded entry.
+    pub queued: bool,
     /// Actors to wake on completion (usually exactly one).
     pub waiters: Vec<u32>,
     /// Free-list linkage; `u32::MAX` when occupied.
@@ -92,6 +97,7 @@ mod tests {
             generation: 0,
             sched: 0,
             state: ActivityState::Running,
+            queued: false,
             waiters: Vec::new(),
             next_free: u32::MAX,
         }

@@ -25,6 +25,7 @@ pub struct Kernel {
     ready: VecDeque<(ActorId, Wake)>,
     live_activities: usize,
     events_processed: u64,
+    compactions: u64,
 }
 
 impl Default for Kernel {
@@ -36,14 +37,24 @@ impl Default for Kernel {
 impl Kernel {
     /// Creates a kernel with the clock at [`Time::ZERO`].
     pub fn new() -> Self {
+        Self::with_capacity(0, 0)
+    }
+
+    /// Creates a kernel pre-sized for `activities` concurrent activities
+    /// and `events` pending events, so the hot slab and heap never
+    /// reallocate during steady-state replay. Callers that know their
+    /// workload (e.g. a trace replayer with `P` ranks and a bounded number
+    /// of in-flight transfers per rank) should use this.
+    pub fn with_capacity(activities: usize, events: usize) -> Self {
         Kernel {
             now: Time::ZERO,
-            queue: EventQueue::new(),
-            slots: Vec::new(),
+            queue: EventQueue::with_capacity(events),
+            slots: Vec::with_capacity(activities),
             free_head: NO_FREE,
             ready: VecDeque::new(),
             live_activities: 0,
             events_processed: 0,
+            compactions: 0,
         }
     }
 
@@ -62,6 +73,18 @@ impl Kernel {
     /// Number of live (running) activities.
     pub fn live_activities(&self) -> usize {
         self.live_activities
+    }
+
+    /// Number of queued events that will actually fire (excludes entries
+    /// already superseded by rate changes or cancellations).
+    pub fn pending_events(&self) -> usize {
+        self.queue.live_len()
+    }
+
+    /// Number of times the event queue was compacted to shed superseded
+    /// entries (a diagnostic for re-sharing-heavy workloads).
+    pub fn queue_compactions(&self) -> u64 {
+        self.compactions
     }
 
     // ------------------------------------------------------------------
@@ -86,6 +109,7 @@ impl Kernel {
             slot.generation = slot.generation.wrapping_add(1);
             slot.sched = 0;
             slot.state = ActivityState::Running;
+            slot.queued = false;
             slot.waiters.clear();
             slot.next_free = NO_FREE;
             index
@@ -98,6 +122,7 @@ impl Kernel {
                 generation: 0,
                 sched: 0,
                 state: ActivityState::Running,
+                queued: false,
                 waiters: Vec::new(),
                 next_free: NO_FREE,
             });
@@ -132,6 +157,7 @@ impl Kernel {
         }
         slot.rate = rate;
         slot.sched = slot.sched.wrapping_add(1);
+        self.orphan_queued(id.index);
         self.schedule_completion(id);
     }
 
@@ -150,6 +176,7 @@ impl Kernel {
         slot.settle(now);
         slot.remaining += extra;
         slot.sched = slot.sched.wrapping_add(1);
+        self.orphan_queued(id.index);
         self.schedule_completion(id);
     }
 
@@ -166,6 +193,7 @@ impl Kernel {
             slot.waiters.clear();
             let index = id.index;
             self.live_activities -= 1;
+            self.orphan_queued(index);
             self.release(index);
         }
     }
@@ -283,8 +311,12 @@ impl Kernel {
             || slot.state != ActivityState::Running
             || slot.next_free != NO_FREE
         {
+            // Superseded entry reaching the head of the queue: account for
+            // the skip so live_len stays exact.
+            self.queue.note_stale_popped();
             return None;
         }
+        slot.queued = false;
         let now = self.now;
         slot.settle(now);
         debug_assert!(slot.remaining <= 1e-6 * (1.0 + slot.rate));
@@ -306,17 +338,50 @@ impl Kernel {
     }
 
     fn schedule_completion(&mut self, id: ActivityId) {
-        let slot = &self.slots[id.index as usize];
+        let slot = &mut self.slots[id.index as usize];
         let eta = slot.eta();
         if !eta.is_never() {
+            slot.queued = true;
+            let sched = slot.sched;
             self.queue.push(
                 eta,
                 EventKind::ActivityComplete {
                     index: id.index,
                     generation: id.generation,
-                    sched: slot.sched,
+                    sched,
                 },
             );
+        }
+    }
+
+    /// Reports the queued completion (if any) for slot `index` as
+    /// superseded, and compacts the event queue once dead entries dominate
+    /// it. Called whenever a rate/work change or a cancellation orphans a
+    /// previously scheduled completion.
+    fn orphan_queued(&mut self, index: u32) {
+        let slot = &mut self.slots[index as usize];
+        if !slot.queued {
+            return;
+        }
+        slot.queued = false;
+        self.queue.note_superseded();
+        if self.queue.should_compact() {
+            let Kernel { queue, slots, .. } = self;
+            queue.compact(|kind| match *kind {
+                EventKind::ActivityComplete {
+                    index,
+                    generation,
+                    sched,
+                } => {
+                    let s = &slots[index as usize];
+                    s.next_free == NO_FREE
+                        && s.generation == generation
+                        && s.sched == sched
+                        && s.state == ActivityState::Running
+                }
+                EventKind::Timer { .. } => true,
+            });
+            self.compactions += 1;
         }
     }
 
@@ -470,5 +535,68 @@ mod tests {
         k.set_timer(ActorId(0), Duration::from_secs(3.0), 0);
         let _ = k.next_wake();
         assert_eq!(k.remaining_work(a), Some(70.0));
+    }
+
+    #[test]
+    fn rate_churn_keeps_queue_compact() {
+        // 64 long-lived activities re-shared 1000 times each: without
+        // compaction the heap would hold ~64_000 dead entries.
+        let mut k = Kernel::new();
+        let acts: Vec<_> = (0..64).map(|_| k.start_activity(1e9, 1.0)).collect();
+        for round in 0..1000u32 {
+            for &a in &acts {
+                k.set_rate(a, 1.0 + f64::from(round % 7));
+            }
+        }
+        assert_eq!(k.pending_events(), 64, "one live completion per activity");
+        assert!(
+            k.queue_compactions() > 0,
+            "sustained churn must trigger compaction"
+        );
+        assert!(
+            k.queue.len() < 64 * 4,
+            "heap should stay near its live size, got {}",
+            k.queue.len()
+        );
+        // Work accounting survives all of it: every activity still
+        // completes, at the final rate, in a deterministic order.
+        for (i, &a) in acts.iter().enumerate() {
+            k.subscribe(a, ActorId(i as u32));
+        }
+        let mut done = 0;
+        while k.next_wake().is_some() {
+            done += 1;
+        }
+        assert_eq!(done, 64);
+        assert_eq!(k.pending_events(), 0);
+        assert_eq!(k.live_activities(), 0);
+    }
+
+    #[test]
+    fn pending_events_excludes_superseded_and_cancelled() {
+        let mut k = Kernel::new();
+        let a = k.start_activity(100.0, 1.0);
+        let b = k.start_activity(100.0, 1.0);
+        assert_eq!(k.pending_events(), 2);
+        k.set_rate(a, 2.0); // orphans a's first completion
+        assert_eq!(k.pending_events(), 2);
+        k.cancel(b); // orphans b's completion
+        assert_eq!(k.pending_events(), 1);
+        k.set_rate(a, 0.0); // suspend: no live completion at all
+        assert_eq!(k.pending_events(), 0);
+        assert!(!k.queue.is_empty(), "stale entries drain lazily");
+        assert!(k.next_wake().is_none());
+        assert_eq!(k.pending_events(), 0);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut k = Kernel::with_capacity(128, 512);
+        let a = k.start_activity(10.0, 2.0);
+        k.subscribe(a, ActorId(0));
+        let (actor, wake) = k.next_wake().unwrap();
+        assert_eq!(actor, ActorId(0));
+        assert_eq!(wake, Wake::Activity(a));
+        assert_eq!(k.now(), Time::from_secs(5.0));
     }
 }

@@ -7,6 +7,15 @@
 //! identified by a generation counter stored alongside the target. This is
 //! the standard technique for activities whose completion time is
 //! rescheduled every time resource sharing changes.
+//!
+//! Lazy cancellation has a pathology: workloads that re-share rates much
+//! more often than activities complete (large max-min components under
+//! churn) can grow the heap mostly full of dead entries, making every push
+//! and pop pay `O(log dead)`. The queue therefore tracks how many entries
+//! its owner has reported superseded ([`EventQueue::note_superseded`]) and
+//! supports an explicit rebuild ([`EventQueue::compact`]) that the owner
+//! triggers once stale entries exceed half the heap
+//! ([`EventQueue::should_compact`]).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -69,11 +78,18 @@ impl Ord for Entry {
     }
 }
 
+/// Once the heap holds at least this many entries, a majority of stale
+/// ones triggers [`EventQueue::should_compact`]. Below it, compaction would
+/// churn allocations without a measurable win.
+const MIN_COMPACT_LEN: usize = 64;
+
 /// Deterministic future event list.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Entry>,
     next_seq: u64,
+    /// Entries still in the heap that the owner has reported superseded.
+    stale: usize,
 }
 
 impl EventQueue {
@@ -87,6 +103,7 @@ impl EventQueue {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
+            stale: 0,
         }
     }
 
@@ -100,24 +117,76 @@ impl EventQueue {
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is
-    /// empty.
+    /// empty. Stale entries are returned like any other; the owner detects
+    /// them (generation/schedule mismatch) and must report the skip with
+    /// [`EventQueue::note_stale_popped`].
     pub fn pop(&mut self) -> Option<(Time, EventKind)> {
         self.heap.pop().map(|e| (e.at, e.kind))
     }
 
-    /// The timestamp of the earliest pending event.
+    /// The timestamp of the earliest pending entry — a *lower bound* on the
+    /// next live event's time, since the earliest entry may be a stale one
+    /// that will be skipped. Always `O(1)`, compaction or not.
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|e| e.at)
     }
 
-    /// Number of pending entries, including superseded (stale) ones.
+    /// Number of pending entries, *including* superseded (stale) ones that
+    /// will be skipped when popped. Use [`EventQueue::live_len`] for the
+    /// number of events that will actually fire.
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// `true` when no entries are pending.
+    /// Number of pending entries that are still live (will fire), assuming
+    /// every superseded entry was reported via
+    /// [`EventQueue::note_superseded`].
+    pub fn live_len(&self) -> usize {
+        self.heap.len() - self.stale
+    }
+
+    /// Number of entries reported superseded and not yet popped or
+    /// compacted away.
+    pub fn stale_len(&self) -> usize {
+        self.stale
+    }
+
+    /// `true` when no entries are pending (live or stale).
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Records that one entry currently in the heap has been superseded
+    /// (its target was rescheduled or cancelled) and will be skipped when
+    /// popped.
+    pub fn note_superseded(&mut self) {
+        debug_assert!(self.stale < self.heap.len(), "more stale entries than entries");
+        self.stale += 1;
+    }
+
+    /// Records that a popped entry turned out to be stale (the owner
+    /// skipped it).
+    pub fn note_stale_popped(&mut self) {
+        debug_assert!(self.stale > 0, "stale pop without a matching note_superseded");
+        self.stale = self.stale.saturating_sub(1);
+    }
+
+    /// `true` when stale entries dominate the heap and a
+    /// [`EventQueue::compact`] would more than halve it.
+    pub fn should_compact(&self) -> bool {
+        self.heap.len() >= MIN_COMPACT_LEN && self.stale * 2 > self.heap.len()
+    }
+
+    /// Rebuilds the heap keeping only entries for which `keep` returns
+    /// `true`, and resets the stale count. `O(n)`: the retained entries are
+    /// re-heapified in bulk. Pop order of the survivors is unchanged — it
+    /// is fully determined by each entry's `(time, sequence)` key, which
+    /// compaction does not touch.
+    pub fn compact(&mut self, mut keep: impl FnMut(&EventKind) -> bool) {
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| keep(&e.kind));
+        self.heap = BinaryHeap::from(entries);
+        self.stale = 0;
     }
 }
 
@@ -178,6 +247,65 @@ mod tests {
         assert!(q.pop().is_none());
         assert!(q.peek_time().is_none());
         assert!(q.is_empty());
+        assert_eq!(q.live_len(), 0);
+        assert_eq!(q.stale_len(), 0);
+    }
+
+    #[test]
+    fn stale_accounting_tracks_live_len() {
+        let mut q = EventQueue::new();
+        for key in 0..4u64 {
+            q.push(Time::from_secs(key as f64), timer(0, key));
+        }
+        q.note_superseded();
+        q.note_superseded();
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.live_len(), 2);
+        assert_eq!(q.stale_len(), 2);
+        let _ = q.pop();
+        q.note_stale_popped();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.live_len(), 2);
+    }
+
+    #[test]
+    fn compact_drops_only_filtered_entries_and_preserves_order() {
+        let mut q = EventQueue::new();
+        // Interleave keepers (keys divisible by 3) and stale entries at
+        // identical timestamps so FIFO order is exercised across a rebuild.
+        for key in 0..99u64 {
+            q.push(Time::from_secs((key / 10) as f64), timer(0, key));
+            if key % 3 != 0 {
+                q.note_superseded();
+            }
+        }
+        assert!(q.should_compact(), "2/3 stale is a strict majority");
+        q.compact(|k| matches!(k, EventKind::Timer { key, .. } if key % 3 == 0));
+        assert_eq!(q.len(), 33);
+        assert_eq!(q.live_len(), 33);
+        assert_eq!(q.stale_len(), 0);
+        assert!(!q.should_compact());
+        let keys: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::Timer { key, .. } => key,
+                _ => unreachable!(),
+            })
+            .collect();
+        let expect: Vec<u64> = (0..99).filter(|k| k % 3 == 0).collect();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn should_compact_needs_majority_and_minimum_size() {
+        let mut q = EventQueue::new();
+        for key in 0..10u64 {
+            q.push(Time::from_secs(key as f64), timer(0, key));
+        }
+        for _ in 0..9 {
+            q.note_superseded();
+        }
+        // 90% stale but below the size floor: not worth a rebuild.
+        assert!(!q.should_compact());
     }
 }
 
@@ -203,6 +331,36 @@ mod proptests {
                 n += 1;
             }
             prop_assert_eq!(n, times.len());
+        }
+
+        /// Compacting away a random subset of entries never perturbs the
+        /// relative pop order of the survivors.
+        #[test]
+        fn compact_preserves_survivor_order(
+            entries in proptest::collection::vec((0.0f64..100.0, proptest::prelude::any::<bool>()), 1..300),
+        ) {
+            let mut q = EventQueue::new();
+            let mut reference = EventQueue::new();
+            for (i, (t, live)) in entries.iter().enumerate() {
+                q.push(Time::from_secs(*t), EventKind::Timer { actor: u32::from(*live), key: i as u64 });
+                if *live {
+                    reference.push(Time::from_secs(*t), EventKind::Timer { actor: 1, key: i as u64 });
+                } else {
+                    q.note_superseded();
+                }
+            }
+            q.compact(|k| matches!(k, EventKind::Timer { actor: 1, .. }));
+            prop_assert_eq!(q.stale_len(), 0);
+            while let Some((t, EventKind::Timer { key, .. })) = q.pop() {
+                // The reference queue saw the live entries pushed in the same
+                // relative order, so (time, seq) ranks them identically.
+                let (rt, EventKind::Timer { key: rkey, .. }) = reference.pop().unwrap() else {
+                    unreachable!()
+                };
+                prop_assert_eq!(t, rt);
+                prop_assert_eq!(key, rkey);
+            }
+            prop_assert!(reference.is_empty());
         }
 
         /// FIFO among equal timestamps holds for any partition of keys into

@@ -50,8 +50,16 @@ pub struct Sim<W> {
 impl<W> Sim<W> {
     /// Creates a simulation around `world`.
     pub fn new(world: W) -> Self {
+        Self::with_capacity(world, 0, 0)
+    }
+
+    /// Creates a simulation around `world` with the kernel's activity slab
+    /// and event heap pre-sized (see [`Kernel::with_capacity`]). Runners
+    /// that know the rank count and a per-rank in-flight bound should use
+    /// this to avoid reallocation during replay.
+    pub fn with_capacity(world: W, activities: usize, events: usize) -> Self {
         Sim {
-            kernel: Kernel::new(),
+            kernel: Kernel::with_capacity(activities, events),
             world,
             actors: Vec::new(),
             states: Vec::new(),

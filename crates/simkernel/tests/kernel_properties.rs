@@ -54,9 +54,10 @@ proptest! {
         let act = k.start_activity(work, initial_rate);
         k.subscribe(act, ActorId(0));
         // Interleave timers driving the rate changes.
+        let mut at = 0.0;
         for (i, s) in steps.iter().enumerate() {
             // Timer for the cumulative instant of this step.
-            let at: f64 = steps[..=i].iter().map(|x| x.delay).sum();
+            at += s.delay;
             k.set_timer(ActorId(1), Duration::from_secs(at), i as u64);
         }
         let mut applied = 0usize;

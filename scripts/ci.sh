@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# CI gate: build, test, lint, and smoke-run the benches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+# Smoke mode: each bench target runs its bodies once, no sampling.
+cargo bench -p bench -- --test

@@ -1,0 +1,349 @@
+//! Offline shim for `criterion`: wall-clock micro-benchmarking with the
+//! same bench-definition API, minus the statistics machinery.
+//!
+//! Each benchmark prints one stable, machine-parseable line:
+//!
+//! ```text
+//! BENCH <group>/<name> median_ns=<u128> mean_ns=<u128> min_ns=<u128> [thrpt=<f64> elems/s]
+//! ```
+//!
+//! `--test` (as passed by `cargo bench -- --test`) runs every routine
+//! once as a smoke test without timing loops. See `shims/README.md`.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the shim times every routine
+/// call individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Things accepted as a benchmark name.
+pub trait IntoBenchId {
+    /// The rendered name.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            smoke: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` for smoke
+    /// mode; a positional argument filters benchmarks by substring;
+    /// cargo-injected flags such as `--bench` are ignored).
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.smoke = true,
+                a if a.starts_with('-') => {}
+                a => c.filter = Some(a.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 50,
+        }
+    }
+
+    /// Prints a trailing marker (stands in for criterion's summary).
+    pub fn final_summary(&mut self) {
+        println!("BENCH_DONE");
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the throughput used for rate reporting by subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the target number of timing samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Defines one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_bench_id());
+        if let Some(filter) = &self.criterion.filter {
+            if !label.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            smoke: self.criterion.smoke,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&label, self.throughput);
+        self
+    }
+
+    /// Defines one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    smoke: bool,
+    sample_size: usize,
+    samples: Vec<u128>,
+}
+
+/// Total wall-clock budget per benchmark, excluding setup (ns).
+const TIME_BUDGET_NS: u128 = 2_500_000_000;
+/// Minimum timed window per sample for `iter` batching (ns).
+const MIN_WINDOW_NS: u128 = 100_000;
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        // Warmup + estimate of a single iteration.
+        let start = Instant::now();
+        black_box(routine());
+        let est = start.elapsed().as_nanos().max(1);
+        // Batch enough iterations per sample for a readable window.
+        let iters = (MIN_WINDOW_NS / est).max(1);
+        let samples = self.plan_samples(est * iters);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed().as_nanos() / iters);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup and drop are
+    /// excluded from the timed window.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke {
+            black_box(routine(setup()));
+            return;
+        }
+        let input = setup();
+        let start = Instant::now();
+        let out = black_box(routine(input));
+        let est = start.elapsed().as_nanos().max(1);
+        drop(out);
+        let samples = self.plan_samples(est);
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos());
+            drop(out);
+        }
+    }
+
+    /// Sample count fitting the time budget given a per-sample estimate.
+    fn plan_samples(&self, est_ns: u128) -> usize {
+        let affordable = (TIME_BUDGET_NS / est_ns.max(1)).min(self.sample_size as u128);
+        (affordable as usize).clamp(2, self.sample_size)
+    }
+
+    fn report(&mut self, label: &str, throughput: Option<Throughput>) {
+        if self.smoke {
+            println!("BENCH_SMOKE {label} ok");
+            return;
+        }
+        if self.samples.is_empty() {
+            // bench_function body never called iter/iter_batched.
+            println!("BENCH {label} median_ns=0 mean_ns=0 min_ns=0");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<u128>() / self.samples.len() as u128;
+        let min = self.samples[0];
+        let rate = |per_iter: u64| per_iter as f64 / (median as f64 * 1e-9);
+        match throughput {
+            Some(Throughput::Elements(n)) => println!(
+                "BENCH {label} median_ns={median} mean_ns={mean} min_ns={min} thrpt={:.6e} elems/s",
+                rate(n)
+            ),
+            Some(Throughput::Bytes(n)) => println!(
+                "BENCH {label} median_ns={median} mean_ns={mean} min_ns={min} thrpt={:.6e} bytes/s",
+                rate(n)
+            ),
+            None => println!("BENCH {label} median_ns={median} mean_ns={mean} min_ns={min}"),
+        }
+    }
+}
+
+/// Groups benchmark functions into one callable registration.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            smoke: true,
+            filter: None,
+        };
+        let mut calls = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("f", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut c = Criterion {
+            smoke: false,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("f", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_benchmarks() {
+        let mut c = Criterion {
+            smoke: true,
+            filter: Some("other".into()),
+        };
+        let mut calls = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 0);
+    }
+}

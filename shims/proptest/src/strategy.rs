@@ -1,0 +1,492 @@
+//! Value-generation strategies for the proptest shim.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree: `generate` draws a
+/// sample directly and failures are not shrunk.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+/// Boxes a strategy (used by `prop_oneof!` so arm types unify).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Weighted union over strategies of a common value type; built by
+/// `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Union over `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.next_u64() % self.total;
+        for (weight, strat) in &self.arms {
+            let w = u64::from(*weight);
+            if pick < w {
+                return strat.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait ArbitraryPrim {
+    /// Draws an unconstrained sample.
+    fn sample(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitraryPrim for bool {
+    fn sample(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arb_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryPrim for $t {
+            fn sample(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryPrim for f64 {
+    fn sample(rng: &mut TestRng) -> f64 {
+        // Finite values only, spread over a wide magnitude range.
+        let mag = rng.next_f64() * 600.0 - 300.0;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * 10f64.powf(mag)
+    }
+}
+
+/// Canonical strategy of [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: ArbitraryPrim>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: ArbitraryPrim> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(hi > lo, "empty range strategy {:?}", self);
+                let span = (hi - lo) as u128;
+                (lo + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(hi >= lo, "empty range strategy {:?}", self);
+                let span = (hi - lo) as u128 + 1;
+                (lo + (u128::from(rng.next_u64()) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "empty range strategy {:?}", self);
+                let unit = rng.next_f64() as $t;
+                let v = self.start + unit * (self.end - self.start);
+                // f64 rounding can land exactly on `end`; stay inside.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(hi >= lo, "empty range strategy {:?}", self);
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------
+
+/// `&str` patterns act as string strategies over a regex subset:
+/// literals, `.`, `\PC` (printable, i.e. not category C), `\d`, char
+/// classes `[a-z0-9\-\.]`, and quantifiers `*`, `+`, `?`, `{n}`,
+/// `{n,m}`. Unbounded quantifiers draw up to 32 repeats.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+enum Atom {
+    Literal(char),
+    /// `.` — any char except newline (sampled from printables).
+    Dot,
+    /// `\PC` — any non-control char.
+    Printable,
+    /// `\d`
+    Digit,
+    /// `[...]` — ranges and singletons.
+    Class(Vec<(char, char)>),
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    let cat = chars
+                        .next()
+                        .expect("proptest shim: \\P needs a category letter");
+                    assert!(
+                        cat == 'C',
+                        "proptest shim: only \\PC is supported, got \\P{cat}"
+                    );
+                    Atom::Printable
+                }
+                Some('d') => Atom::Digit,
+                Some(esc) => Atom::Literal(esc),
+                None => panic!("proptest shim: dangling backslash in pattern {pattern:?}"),
+            },
+            '[' => Atom::Class(parse_class(&mut chars, pattern)),
+            '.' => Atom::Dot,
+            c => Atom::Literal(c),
+        };
+        let (lo, hi) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 32)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 32)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                parse_counts(&mut chars, pattern)
+            }
+            _ => (1, 1),
+        };
+        let n = lo + rng.below(hi - lo + 1);
+        for _ in 0..n {
+            out.push(sample_atom(&atom, rng));
+        }
+    }
+    out
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(char, char)> {
+    let mut entries: Vec<(char, char)> = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => return entries,
+            Some('\\') => chars
+                .next()
+                .unwrap_or_else(|| panic!("proptest shim: dangling backslash in {pattern:?}")),
+            Some(c) => c,
+            None => panic!("proptest shim: unterminated class in {pattern:?}"),
+        };
+        // A `-` between two chars forms a range; literal `-` is escaped
+        // or trailing.
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&']') | None => entries.push((c, c)),
+                _ => {
+                    chars.next();
+                    let end = match chars.next() {
+                        Some('\\') => chars.next().unwrap_or(c),
+                        Some(e) => e,
+                        None => panic!("proptest shim: unterminated class in {pattern:?}"),
+                    };
+                    entries.push((c, end));
+                }
+            }
+        } else {
+            entries.push((c, c));
+        }
+    }
+}
+
+fn parse_counts(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let parse = |s: &str| {
+                s.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("proptest shim: bad count in {pattern:?}"))
+            };
+            return match body.split_once(',') {
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+                Some((lo, "")) => (parse(lo), parse(lo) + 32),
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+            };
+        }
+        body.push(c);
+    }
+    panic!("proptest shim: unterminated count in {pattern:?}")
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Digit => char::from(b'0' + rng.below(10) as u8),
+        Atom::Dot | Atom::Printable => {
+            // Mostly ASCII printables, with occasional non-ASCII to keep
+            // parsers honest about UTF-8.
+            const EXOTIC: &[char] = &['é', 'λ', '→', '‰', '𝛑', '\u{00a0}'];
+            if rng.below(20) == 0 {
+                EXOTIC[rng.below(EXOTIC.len())]
+            } else {
+                char::from(b' ' + rng.below(95) as u8)
+            }
+        }
+        Atom::Class(entries) => {
+            let total: u32 = entries.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+            let mut pick = rng.below(total as usize) as u32;
+            for (a, b) in entries {
+                let span = *b as u32 - *a as u32 + 1;
+                if pick < span {
+                    return char::from_u32(*a as u32 + pick).expect("class range within chars");
+                }
+                pick -= span;
+            }
+            unreachable!("pick < total")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let v = (3u32..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (0u64..=1u64 << 48).generate(&mut rng);
+            assert!(w <= 1 << 48);
+            let x = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let strat = crate::prop_oneof![
+            3 => (0u32..10).prop_map(|x| x as u64),
+            1 => Just(99u64),
+        ];
+        let mut rng = TestRng::from_seed(2);
+        let mut saw_big = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v < 10 || v == 99);
+            saw_big |= v == 99;
+        }
+        assert!(saw_big);
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let s = "[a-z0-9p\\-\\.]{0,12}".generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '.'));
+            let t = "\\PC*".generate(&mut rng);
+            assert!(t.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let strat = crate::collection::vec((0u8..4, 0u8..4), 1..40);
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..40).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn proptest_macro_compiles_and_runs() {
+        crate::proptest! {
+            #![proptest_config(crate::test_runner::ProptestConfig::with_cases(8))]
+            fn inner((a, b) in (0u32..5, 0u32..5), mut v in crate::collection::vec(0u8..3, 0..4)) {
+                v.sort();
+                crate::prop_assert!(a < 5 && b < 5);
+                crate::prop_assert_eq!(v.len(), v.len());
+            }
+        }
+        inner();
+    }
+}

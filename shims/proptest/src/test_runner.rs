@@ -1,0 +1,151 @@
+//! Deterministic RNG and runner configuration for the proptest shim.
+
+/// Runner configuration; only `cases` is supported.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases (the real crate defaults to 256; the shim favours fast
+    /// tier-1 runs — heavyweight properties set explicit counts anyway).
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic splitmix64 generator, seeded per test from the test's
+/// fully-qualified name (FNV-1a) so failures reproduce exactly.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+    seed: u64,
+}
+
+impl TestRng {
+    /// RNG for the named test; `PROPTEST_SHIM_SEED` (u64) perturbs the
+    /// seed to explore a different deterministic sequence.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut seed = fnv1a(name.as_bytes());
+        if let Ok(var) = std::env::var("PROPTEST_SHIM_SEED") {
+            if let Ok(extra) = var.trim().parse::<u64>() {
+                seed ^= extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+        TestRng::from_seed(seed)
+    }
+
+    /// RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed, seed }
+    }
+
+    /// The seed this generator started from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Prints the failing case's coordinates if the property body panics,
+/// substituting for proptest's shrink report.
+pub struct FailureGuard {
+    name: &'static str,
+    case: u32,
+    seed: u64,
+    armed: bool,
+}
+
+impl FailureGuard {
+    /// Arms the guard for one case.
+    pub fn new(name: &'static str, case: u32, seed: u64) -> FailureGuard {
+        FailureGuard {
+            name,
+            case,
+            seed,
+            armed: true,
+        }
+    }
+
+    /// The case passed; suppress the report.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for FailureGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: property `{}` failed at case {} (seed {:#018x}); \
+                 the sequence is deterministic — rerun the test to reproduce",
+                self.name, self.case, self.seed
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::from_seed(fnv1a(b"t"));
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::from_seed(fnv1a(b"t"));
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut r = TestRng::from_seed(fnv1a(b"u"));
+        assert_ne!(a[0], r.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

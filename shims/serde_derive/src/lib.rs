@@ -1,0 +1,368 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! generating `to_value`/`from_value` impls for the shim `serde` crate.
+//!
+//! Written without `syn`/`quote`: the input token stream is scanned just
+//! far enough to recover the type name and its field/variant names —
+//! field *types* never need to be parsed because the generated code lets
+//! inference pick the right `Serialize`/`Deserialize` impl. Supports the
+//! shapes this workspace uses: named-field structs, newtype structs, and
+//! enums whose variants are unit, newtype, or struct-like (serde's
+//! default externally-tagged representation).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct T { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct T(Inner);`
+    NewtypeStruct { name: String },
+    /// `enum T { ... }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Named(Vec<String>),
+}
+
+/// Extracts the field names from a `{ ... }` struct body group.
+fn named_fields(body: &proc_macro::Group) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    // optional pub(...) restriction
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => panic!("serde_derive shim: expected field name, found {other}"),
+            None => break,
+        }
+        // Skip `: Type` up to the next top-level comma. Generic types
+        // contain commas, so track angle-bracket depth.
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes, doc comments, and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    match tokens.next() {
+        Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+            if kw == "struct" {
+                Shape::NamedStruct {
+                    name,
+                    fields: named_fields(&body),
+                }
+            } else {
+                Shape::Enum {
+                    name,
+                    variants: parse_variants(&body),
+                }
+            }
+        }
+        Some(TokenTree::Group(body))
+            if body.delimiter() == Delimiter::Parenthesis && kw == "struct" =>
+        {
+            // Tuple struct: only the 1-field (newtype) form is supported.
+            let commas = body
+                .stream()
+                .into_iter()
+                .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                .count();
+            // A single trailing comma is still a newtype.
+            let has_second_field = {
+                let mut depth = 0i32;
+                let mut seen_comma = false;
+                let mut after_comma = false;
+                for tok in body.stream() {
+                    if let TokenTree::Punct(p) = &tok {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => {
+                                seen_comma = true;
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if seen_comma {
+                        after_comma = true;
+                    }
+                }
+                let _ = commas;
+                after_comma
+            };
+            assert!(
+                !has_second_field,
+                "serde_derive shim: only newtype tuple structs are supported ({name})"
+            );
+            Shape::NewtypeStruct { name }
+        }
+        other => panic!("serde_derive shim: unsupported type shape for {name}: {other:?}"),
+    }
+}
+
+fn parse_variants(body: &proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    loop {
+        // Skip attributes / doc comments before the variant name.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive shim: expected variant name, found {other}"),
+            None => break,
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g);
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                tokens.next();
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Consume the separating comma if present.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+    }
+    variants
+}
+
+/// Derives `serde::Serialize` (shim semantics: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                        ),
+                        VariantKind::Newtype => format!(
+                            "{name}::{vname}(inner) => ::serde::Value::Object(vec![\
+                             (\"{vname}\".to_string(), ::serde::Serialize::to_value(inner))]),\n"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (\"{vname}\".to_string(), \
+                                 ::serde::Value::Object(vec![{entries}]))]),\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated code must parse")
+}
+
+/// Derives `serde::Deserialize` (shim semantics:
+/// `fn from_value(&Value) -> Result<Self, DeError>`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::obj_field(v, \"{f}\", \"{name}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            // Externally tagged: a bare string selects a unit variant; an
+            // object with exactly one key selects a data-carrying variant.
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),\n", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Newtype => Some(format!(
+                            "\"{vname}\" => return Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(payload)?)),\n"
+                        )),
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::obj_field(payload, \"{f}\", \"{name}\")?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => return Ok({name}::{vname} {{ {inits} }}),\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         if let ::serde::Value::String(tag) = v {{\n\
+                             match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => return Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                             }}\n\
+                         }}\n\
+                         if let ::serde::Value::Object(pairs) = v {{\n\
+                             if pairs.len() == 1 {{\n\
+                                 let (tag, payload) = (&pairs[0].0, &pairs[0].1);\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => return Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::DeError::expected(\"variant tag\", \"{name}\", v))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated code must parse")
+}

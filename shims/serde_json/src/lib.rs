@@ -1,0 +1,452 @@
+//! Offline shim for `serde_json`: JSON text ⇄ the shim `serde::Value`
+//! tree. See `shims/README.md`.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// JSON parse / conversion error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, indent, level, items.len(), '[', ']', |out, lvl| {
+            for (i, item) in items.iter().enumerate() {
+                sep(out, indent, lvl, i);
+                write_value(out, item, indent, lvl);
+            }
+        }),
+        Value::Object(pairs) => write_seq(out, indent, level, pairs.len(), '{', '}', |out, lvl| {
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                sep(out, indent, lvl, i);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, lvl);
+            }
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    len: usize,
+    open: char,
+    close: char,
+    body: impl FnOnce(&mut String, usize),
+) {
+    out.push(open);
+    if len > 0 {
+        body(out, level + 1);
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn sep(out: &mut String, indent: Option<usize>, level: usize, i: usize) {
+    if i > 0 {
+        out.push(',');
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    use fmt::Write;
+    if !n.is_finite() {
+        // serde_json rejects non-finite floats at the serializer layer;
+        // emitting null keeps the output valid JSON instead of panicking.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // `{:?}` is Rust's shortest-roundtrip form; its exponent spelling
+        // (e.g. 1e300) is valid JSON.
+        let _ = write!(out, "{n:?}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser (recursive descent)
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.eat_keyword("null").map(|()| Value::Null),
+            b't' => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            b'f' => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            b'"' => self.string().map(Value::String),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, found `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, found `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pair handling for non-BMP chars.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| Error::new("invalid \\u escape"))?);
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b)
+                        .ok_or_else(|| Error::new("invalid UTF-8 in string"))?;
+                    let end = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error::new("truncated UTF-8 in string"))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let s = std::str::from_utf8(chunk).map_err(|_| Error::new("invalid \\u escape"))?;
+        let code = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+fn utf8_width(b: u8) -> Option<usize> {
+    match b {
+        0x00..=0x7F => Some(1),
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(to_string(&1.25e9f64).unwrap(), "1250000000");
+        assert_eq!(from_str::<f64>("1.25e9").unwrap(), 1.25e9);
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(from_str::<String>("\"a\\\"b\"").unwrap(), "a\"b");
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for &x in &[0.1, 1.0 / 3.0, 6.02e23, 1e-300, 12.125] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), x, "{s}");
+        }
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v: Vec<(String, f64)> = vec![("pi".into(), 3.5), ("e".into(), 2.0)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"[["pi",3.5],["e",2]]"#);
+        assert_eq!(from_str::<Vec<(String, f64)>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_format() {
+        let v: Vec<u32> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("4 2").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(from_str::<String>("\"abc").is_err());
+        assert!(from_str::<f64>("nope").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>(r#""é""#).unwrap(), "é");
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+        assert_eq!(from_str::<String>("\"héllo\"").unwrap(), "héllo");
+    }
+}

@@ -30,6 +30,7 @@ fn run(trace: Trace, engine: ReplayEngine) -> replay::ReplayResult {
             rate: 1e9,
             placement: Placement::OnePerNode,
             copy_model: None,
+            sharing: tit_replay::netmodel::SharingPolicy::Bottleneck,
         },
     )
     .expect("replay failed")
@@ -189,6 +190,7 @@ fn packed_placement_uses_loopback() {
             rate: 1e9,
             placement: Placement::PackCores,
             copy_model: None,
+            sharing: tit_replay::netmodel::SharingPolicy::Bottleneck,
         },
     )
     .unwrap();
