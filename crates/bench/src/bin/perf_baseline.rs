@@ -39,6 +39,9 @@ struct Baseline {
     sharing: Vec<SharingSpeedup>,
     /// Netmodel-level churn with per-cabinet sharing components.
     component_churn: Vec<ChurnSpeedup>,
+    /// Trace ingestion throughput per path (text cold, text parallel,
+    /// `.titb` binary) on a P=64 LU trace.
+    ingest: Vec<IngestSpeed>,
     /// Wall time per experiment cell of a small accuracy sweep.
     sweep_cells: Vec<SweepCell>,
 }
@@ -86,6 +89,28 @@ struct ChurnSpeedup {
     after_incremental_s: f64,
     /// `before / after`.
     speedup: f64,
+}
+
+/// Throughput of one ingestion path over the same trace.
+#[derive(Debug, Serialize)]
+struct IngestSpeed {
+    /// Ingestion path: "text-cold", "text-parallel-N", or "titb".
+    path: String,
+    /// Workload label.
+    workload: String,
+    /// On-disk bytes read by this path.
+    bytes: f64,
+    /// Actions decoded (identical across paths).
+    actions: f64,
+    /// Best-of-N wall time for one full load, seconds.
+    wall_s: f64,
+    /// `bytes / wall_s / 1e6`.
+    mb_per_s: f64,
+    /// `actions / wall_s` — the cross-format comparable rate.
+    actions_per_s: f64,
+    /// Process peak RSS (VmHWM) when this row was measured, MiB.
+    /// Monotone over the process lifetime; 0 outside Linux.
+    peak_rss_mb: f64,
 }
 
 /// One cell of the experiment sweep.
@@ -205,6 +230,97 @@ fn component_churn() -> Vec<ChurnSpeedup> {
         .collect()
 }
 
+/// The process's peak resident set (VmHWM) in MiB, 0 where
+/// `/proc/self/status` is unavailable.
+fn peak_rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            let line = s.lines().find(|l| l.starts_with("VmHWM:"))?;
+            line.split_whitespace().nth(1)?.parse::<f64>().ok()
+        })
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// Times the three ingestion paths over one P=64 LU trace and asserts
+/// that all of them replay to the same simulated time, bit for bit.
+fn ingest_speeds() -> Vec<IngestSpeed> {
+    use tit_replay::titrace::{binfmt, files, stream};
+
+    let lu = LuConfig::new(LuClass::B, 64).with_steps(10);
+    let workload = format!("lu-{}-steps10", lu.label().to_lowercase());
+    let trace = acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace;
+    let ranks = trace.ranks();
+    let dir = std::env::temp_dir().join(format!("titr-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("ingest temp dir");
+    let text_path = dir.join("lu.trace");
+    files::write_merged(&trace, &text_path).expect("write text trace");
+    let bin_path = dir.join("lu.titb");
+    binfmt::write_file(&trace, &bin_path, None).expect("write binary trace");
+    let text_bytes = std::fs::metadata(&text_path).map_or(0, |m| m.len()) as f64;
+    let bin_bytes = std::fs::metadata(&bin_path).map_or(0, |m| m.len()) as f64;
+    let actions = trace.len() as f64;
+
+    let row = |path: String, bytes: f64, wall_s: f64| IngestSpeed {
+        path,
+        workload: workload.clone(),
+        bytes,
+        actions,
+        wall_s,
+        mb_per_s: bytes / wall_s / 1e6,
+        actions_per_s: actions / wall_s,
+        peak_rss_mb: peak_rss_mb(),
+    };
+
+    let mut rows = Vec::new();
+    let cold = time_best(3, || {
+        let bytes = std::fs::read(&text_path).unwrap();
+        stream::parse_merged_bytes(&bytes, ranks).unwrap()
+    });
+    rows.push(row("text-cold".into(), text_bytes, cold));
+    for workers in [2usize, 4, 8] {
+        let wall = time_best(3, || {
+            let bytes = std::fs::read(&text_path).unwrap();
+            stream::parse_merged_parallel(&bytes, ranks, workers).unwrap()
+        });
+        rows.push(row(format!("text-parallel-{workers}"), text_bytes, wall));
+    }
+    let titb = time_best(3, || {
+        let bytes = std::fs::read(&bin_path).unwrap();
+        binfmt::decode(&bytes).unwrap()
+    });
+    rows.push(row("titb".into(), bin_bytes, titb));
+
+    // The paths must be interchangeable: same trace, same replay, same
+    // bits. (Determinism across worker counts is covered by titrace's
+    // own tests.)
+    let from_bin = binfmt::read_file(&bin_path).expect("read binary trace");
+    assert_eq!(from_bin, trace, "binary round-trip changed the trace");
+    let cfg = replay_cfg(ReplayEngine::Smpi, SharingPolicy::Bottleneck);
+    let bordereau = tit_replay::platform::clusters::bordereau();
+    let inputs = [
+        tit_replay::titrace::TraceInput::Memory(Arc::new(trace)),
+        tit_replay::titrace::TraceInput::MergedText(text_path),
+        tit_replay::titrace::TraceInput::Binary(bin_path),
+    ];
+    let times: Vec<u64> = inputs
+        .iter()
+        .map(|input| {
+            tit_replay::replay::replay_input(&bordereau, input, ranks, &cfg)
+                .expect("ingest replay failed")
+                .time
+                .to_bits()
+        })
+        .collect();
+    assert!(
+        times.windows(2).all(|w| w[0] == w[1]),
+        "ingestion paths disagree on the simulated time"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
 fn sweep_cells() -> Vec<SweepCell> {
     let opts = Options {
         steps: 5,
@@ -274,6 +390,9 @@ fn main() {
     eprintln!("timing component churn (16-cabinet cluster)...");
     let churn = component_churn();
 
+    eprintln!("timing trace ingestion paths (LU B-64)...");
+    let ingest = ingest_speeds();
+
     eprintln!("timing sweep cells (accuracy figure, bordereau)...");
     let cells = sweep_cells();
 
@@ -283,6 +402,7 @@ fn main() {
         backends,
         sharing,
         component_churn: churn,
+        ingest,
         sweep_cells: cells,
     };
     let json = serde_json::to_string_pretty(&doc).expect("baseline always serializes");

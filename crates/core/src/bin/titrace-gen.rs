@@ -12,7 +12,8 @@ use tit_replay::prelude::*;
 fn usage() -> ! {
     eprintln!(
         "usage: titrace-gen --class S|W|A|B|C|D --procs <2^k> [--steps N] \
-         [--mode minimal|fine|coarse] [--opt O0|O3] [--seed N] --out <file>\n\
+         [--mode minimal|fine|coarse] [--opt O0|O3] [--seed N] [--binary] --out <file>\n\
+         --binary writes the compact .titb format instead of text;\n\
          also writes <file>.platform.json with the bordereau model"
     );
     std::process::exit(2);
@@ -26,9 +27,11 @@ fn main() {
     let mut seed = 42u64;
     let mut mode = Instrumentation::Minimal;
     let mut opt = CompilerOpt::O3;
+    let mut binary = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--binary" => binary = true,
             "--class" => class = args.next().and_then(|v| LuClass::parse(&v)),
             "--procs" => procs = args.next().and_then(|v| v.parse().ok()),
             "--steps" => steps = args.next().and_then(|v| v.parse().ok()),
@@ -67,11 +70,19 @@ fn main() {
         opt
     );
     let acq = acquire(lu.sources(), mode, opt, seed);
-    let text = tit_replay::titrace::write::to_string(&acq.trace);
-    std::fs::write(&out, &text).unwrap_or_else(|e| {
-        eprintln!("titrace-gen: cannot write {out}: {e}");
-        std::process::exit(1);
-    });
+    if binary {
+        tit_replay::titrace::binfmt::write_file(&acq.trace, std::path::Path::new(&out), None)
+            .unwrap_or_else(|e| {
+                eprintln!("titrace-gen: cannot write {out}: {e}");
+                std::process::exit(1);
+            });
+    } else {
+        tit_replay::titrace::files::write_merged(&acq.trace, std::path::Path::new(&out))
+            .unwrap_or_else(|e| {
+                eprintln!("titrace-gen: cannot write {out}: {e}");
+                std::process::exit(1);
+            });
+    }
     let stats = tit_replay::titrace::TraceStats::of(&acq.trace);
     eprintln!(
         "wrote {} ({} actions, {} messages, {:.3e} instr/rank)",

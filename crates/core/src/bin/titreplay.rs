@@ -4,15 +4,25 @@
 //!
 //! ```text
 //! titreplay --platform platform.json --trace trace.txt --ranks 8 \
-//!           --rate 2.05e9 [--engine smpi|msg] [--validate] \
+//!           --rate 2.05e9 [--engine smpi|msg] [--validate] [--no-cache] \
 //!           [--sharing bottleneck|maxmin|maxmin-full]
+//! titreplay trace pack <trace.txt|trace.desc> <out.titb> --ranks 8
+//! titreplay trace unpack <in.titb> <out.txt>
 //! ```
 //!
-//! Prints the simulated execution time.
+//! The trace argument may be merged text, a `.desc` description file, or
+//! a packed `.titb` binary — the format is sniffed from the content.
+//! Merged text replays keep a `.titb` side-car next to the source
+//! (keyed on its size+mtime) so repeat replays skip the text parse;
+//! `--no-cache` disables both reading and writing it. Prints the
+//! simulated execution time.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use tit_replay::prelude::*;
+use tit_replay::titrace::stream::{self, CacheOutcome};
+use tit_replay::titrace::{binfmt, files, TraceInput};
 
 struct Args {
     platform: String,
@@ -22,15 +32,71 @@ struct Args {
     engine: ReplayEngine,
     sharing: tit_replay::netmodel::SharingPolicy,
     validate: bool,
+    cache: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: titreplay --platform <platform.json> --trace <trace.txt> \
+        "usage: titreplay --platform <platform.json> --trace <trace.txt|.desc|.titb> \
          --ranks <N> --rate <instr/s> [--engine smpi|msg] \
-         [--sharing bottleneck|maxmin|maxmin-full] [--validate]"
+         [--sharing bottleneck|maxmin|maxmin-full] [--validate] [--no-cache]\n\
+         \x20      titreplay trace pack <in.txt|in.desc> <out.titb> --ranks <N>\n\
+         \x20      titreplay trace unpack <in.titb> <out.txt>"
     );
     std::process::exit(2);
+}
+
+/// `titreplay trace pack|unpack` — convert between the text and binary
+/// trace formats.
+fn trace_command(args: &[String]) -> ! {
+    let sub = args.first().map(String::as_str);
+    match sub {
+        Some("pack") => {
+            let (Some(input), Some(output)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let mut ranks = None;
+            let mut rest = args[3..].iter();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--ranks" => ranks = rest.next().and_then(|v| v.parse().ok()),
+                    _ => usage(),
+                }
+            }
+            let Some(ranks) = ranks else { usage() };
+            let src = TraceInput::detect(Path::new(input))
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            let trace = stream::load_trace(&src, ranks).unwrap_or_else(|e| fail(&e.to_string()));
+            // Record the source signature so the output doubles as a
+            // valid side-car when written next to the text file.
+            let sig = stream::source_signature(Path::new(input)).ok();
+            binfmt::write_file(&trace, Path::new(output), sig)
+                .unwrap_or_else(|e| fail(&format!("cannot write {output}: {e}")));
+            let packed = std::fs::metadata(output).map_or(0, |m| m.len());
+            eprintln!(
+                "packed {input} -> {output} ({} ranks, {} actions, {packed} bytes)",
+                trace.ranks(),
+                trace.len()
+            );
+            std::process::exit(0);
+        }
+        Some("unpack") => {
+            let (Some(input), Some(output)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let trace =
+                binfmt::read_file(Path::new(input)).unwrap_or_else(|e| fail(&e.to_string()));
+            files::write_merged(&trace, Path::new(output))
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            eprintln!(
+                "unpacked {input} -> {output} ({} ranks, {} actions)",
+                trace.ranks(),
+                trace.len()
+            );
+            std::process::exit(0);
+        }
+        _ => usage(),
+    }
 }
 
 fn parse_args() -> Args {
@@ -41,6 +107,7 @@ fn parse_args() -> Args {
     let mut engine = ReplayEngine::Smpi;
     let mut sharing = tit_replay::netmodel::SharingPolicy::Bottleneck;
     let mut validate = false;
+    let mut cache = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -60,6 +127,7 @@ fn parse_args() -> Args {
                 _ => usage(),
             },
             "--validate" => validate = true,
+            "--no-cache" => cache = false,
             _ => usage(),
         }
     }
@@ -72,23 +140,45 @@ fn parse_args() -> Args {
             engine,
             sharing,
             validate,
+            cache,
         },
         _ => usage(),
     }
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("trace") {
+        trace_command(&argv[1..]);
+    }
     let args = parse_args();
     let spec_json = std::fs::read_to_string(&args.platform)
         .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", args.platform)));
     let platform = PlatformSpec::from_json(&spec_json)
         .unwrap_or_else(|e| fail(&format!("bad platform spec: {e}")))
         .build();
-    let trace_text = std::fs::read_to_string(&args.trace)
-        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", args.trace)));
-    let trace = tit_replay::titrace::parse::parse_merged(&trace_text, args.ranks)
+    let input = TraceInput::detect(Path::new(&args.trace))
         .unwrap_or_else(|e| fail(&e.to_string()));
+    // Merged text goes through the binary side-car cache; the other
+    // layouts already stream (binary) or fan out in parallel (split).
+    let input = match input {
+        TraceInput::MergedText(path) => {
+            let (trace, outcome) = stream::load_merged_cached(&path, args.ranks, args.cache)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            match outcome {
+                CacheOutcome::Hit => eprintln!("trace cache: hit ({})", path.display()),
+                CacheOutcome::MissStored => {
+                    eprintln!("trace cache: stored {}", stream::sidecar_path(&path).display());
+                }
+                CacheOutcome::MissUncached => {}
+            }
+            TraceInput::Memory(Arc::new(trace))
+        }
+        other => other,
+    };
     if args.validate {
+        let trace = stream::load_trace(&input, args.ranks)
+            .unwrap_or_else(|e| fail(&e.to_string()));
         let problems = tit_replay::titrace::validate::validate(&trace);
         if !problems.is_empty() {
             eprintln!("trace validation found {} issue(s):", problems.len());
@@ -106,7 +196,7 @@ fn main() {
         copy_model: None,
         sharing: args.sharing,
     };
-    match replay(&platform, &Arc::new(trace), &config) {
+    match replay_input(&platform, &input, args.ranks, &config) {
         Ok(result) => {
             println!("simulated_time_s {:.9}", result.time);
             eprintln!(

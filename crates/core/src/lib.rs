@@ -82,8 +82,8 @@ pub mod prelude {
     pub use calibrate::{calibrate, Calibration, CalibrationMethod};
     pub use emulator::Testbed;
     pub use platform::{Placement, Platform, PlatformSpec};
-    pub use replay::{replay, ReplayConfig, ReplayEngine};
+    pub use replay::{replay, replay_input, replay_sources, ReplayConfig, ReplayEngine};
     pub use simkernel::stats::{relative_percent, Summary};
-    pub use titrace::{Action, Rank, Trace};
+    pub use titrace::{Action, ActionSource, Rank, SourceError, Trace, TraceInput};
     pub use workloads::lu::{LuClass, LuConfig};
 }

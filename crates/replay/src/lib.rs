@@ -19,12 +19,12 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use calibrate::Calibration;
 use platform::{HostId, Placement, Platform};
 use smpi::FixedRateHooks;
-use titrace::{Action, Rank, Trace};
+use titrace::{Action, ActionSource, Rank, SourceError, Trace, TraceInput};
 use workloads::{ComputeBlock, MpiOp, OpSource};
 
 /// Which simulation back-end executes the trace.
@@ -194,6 +194,128 @@ pub fn trace_sources(trace: &Arc<Trace>) -> Vec<Box<dyn OpSource>> {
         .collect()
 }
 
+/// An [`OpSource`] that pulls actions incrementally from an
+/// [`ActionSource`] cursor (streamed from a split text file or a
+/// `.titb` block), so the full per-rank action list never has to be
+/// materialised. `OpSource::next_op` is infallible, so a cursor failure
+/// (I/O error, parse error, corrupt block) is parked in a slot shared
+/// with the other ranks and the stream ends; [`replay_sources`] checks
+/// the slot and surfaces the first fault instead of the engine's
+/// secondary deadlock diagnosis.
+pub struct StreamOpSource {
+    inner: Box<dyn ActionSource>,
+    rank: Rank,
+    fault: Arc<Mutex<Option<(Rank, SourceError)>>>,
+}
+
+impl OpSource for StreamOpSource {
+    fn next_op(&mut self) -> Option<MpiOp> {
+        match self.inner.next_action() {
+            Ok(Some(a)) => Some(action_to_op(&a)),
+            Ok(None) => None,
+            Err(e) => {
+                let mut slot = self.fault.lock().expect("fault slot poisoned");
+                if slot.is_none() {
+                    *slot = Some((self.rank, e));
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Replays per-rank streaming action cursors (from
+/// [`titrace::stream::open_sources`]) on `platform` under `config`.
+/// Resident memory stays bounded by the cursors' read windows instead
+/// of the whole trace.
+///
+/// # Errors
+/// Fails on placement errors, a deadlocked replay, or a cursor fault
+/// (I/O / parse / decode error discovered mid-replay).
+pub fn replay_sources(
+    platform: &Platform,
+    action_sources: Vec<Box<dyn ActionSource>>,
+    config: &ReplayConfig,
+) -> Result<ReplayResult, String> {
+    let ranks = action_sources.len() as u32;
+    assert!(ranks > 0, "empty source list");
+    let hosts: Vec<HostId> = config.placement.assign(platform, ranks)?;
+    let fault: Arc<Mutex<Option<(Rank, SourceError)>>> = Arc::new(Mutex::new(None));
+    let sources: Vec<Box<dyn OpSource>> = action_sources
+        .into_iter()
+        .enumerate()
+        .map(|(r, inner)| {
+            Box::new(StreamOpSource {
+                inner,
+                rank: Rank(r as u32),
+                fault: Arc::clone(&fault),
+            }) as Box<dyn OpSource>
+        })
+        .collect();
+    let outcome = run_engine(platform, &hosts, sources, config);
+    // A cursor fault truncates its rank's stream, which the engine can
+    // only see as early termination or deadlock — report the root cause.
+    if let Some((rank, e)) = fault.lock().expect("fault slot poisoned").take() {
+        return Err(format!("rank {rank} trace stream failed: {e}"));
+    }
+    outcome
+}
+
+/// Replays a trace directly from its on-disk (or in-memory) form,
+/// choosing the streaming path that fits the layout: merged text is
+/// decoded in parallel, split fragments and `.titb` blocks are streamed
+/// per rank.
+///
+/// # Errors
+/// Fails on I/O, parse, or decode errors, placement errors, or a
+/// deadlocked replay.
+pub fn replay_input(
+    platform: &Platform,
+    input: &TraceInput,
+    ranks: u32,
+    config: &ReplayConfig,
+) -> Result<ReplayResult, String> {
+    let sources = titrace::stream::open_sources(input, ranks).map_err(|e| e.to_string())?;
+    replay_sources(platform, sources, config)
+}
+
+fn run_engine(
+    platform: &Platform,
+    hosts: &[HostId],
+    sources: Vec<Box<dyn OpSource>>,
+    config: &ReplayConfig,
+) -> Result<ReplayResult, String> {
+    match config.engine {
+        ReplayEngine::Smpi => {
+            let mut smpi_cfg = smpi::SmpiConfig::smpi_replay();
+            smpi_cfg.copy = config.copy_model;
+            smpi_cfg.sharing = config.sharing;
+            let r = smpi::run_smpi(platform, hosts, sources, smpi_cfg, hooks_for(config, hosts))?;
+            Ok(ReplayResult {
+                time: r.total_time,
+                rank_times: r.rank_times,
+                messages: r.stats.messages,
+                events: r.events,
+            })
+        }
+        ReplayEngine::Msg => {
+            let mut msg_cfg = msgsim::MsgConfig::legacy();
+            msg_cfg.sharing = config.sharing;
+            let r = msgsim::run_msg(platform, hosts, sources, msg_cfg, hooks_for(config, hosts))?;
+            Ok(ReplayResult {
+                time: r.total_time,
+                rank_times: r.rank_times,
+                messages: r.stats.messages,
+                events: r.events,
+            })
+        }
+    }
+}
+
+fn hooks_for(config: &ReplayConfig, hosts: &[HostId]) -> Box<FixedRateHooks> {
+    Box::new(FixedRateHooks::uniform(config.rate, hosts.len() as u32))
+}
+
 /// Replays `trace` on `platform` under `config`.
 ///
 /// # Errors
@@ -206,33 +328,7 @@ pub fn replay(
     let ranks = trace.ranks();
     assert!(ranks > 0, "empty trace");
     let hosts: Vec<HostId> = config.placement.assign(platform, ranks)?;
-    let hooks = Box::new(FixedRateHooks::uniform(config.rate, ranks));
-    let sources = trace_sources(trace);
-    match config.engine {
-        ReplayEngine::Smpi => {
-            let mut smpi_cfg = smpi::SmpiConfig::smpi_replay();
-            smpi_cfg.copy = config.copy_model;
-            smpi_cfg.sharing = config.sharing;
-            let r = smpi::run_smpi(platform, &hosts, sources, smpi_cfg, hooks)?;
-            Ok(ReplayResult {
-                time: r.total_time,
-                rank_times: r.rank_times,
-                messages: r.stats.messages,
-                events: r.events,
-            })
-        }
-        ReplayEngine::Msg => {
-            let mut msg_cfg = msgsim::MsgConfig::legacy();
-            msg_cfg.sharing = config.sharing;
-            let r = msgsim::run_msg(platform, &hosts, sources, msg_cfg, hooks)?;
-            Ok(ReplayResult {
-                time: r.total_time,
-                rank_times: r.rank_times,
-                messages: r.stats.messages,
-                events: r.events,
-            })
-        }
-    }
+    run_engine(platform, &hosts, trace_sources(trace), config)
 }
 
 #[cfg(test)]
@@ -332,6 +428,82 @@ mod tests {
         let sim = replay(&tb.platform, &trace, &ReplayConfig::improved(rate)).unwrap();
         let err = (sim.time - truth.time) / truth.time * 100.0;
         assert!(err.abs() < 15.0, "replay error {err}% (sim {} truth {})", sim.time, truth.time);
+    }
+
+    #[test]
+    fn ingestion_paths_replay_bit_identically() {
+        // The acceptance bar for the streaming subsystem: in-memory,
+        // merged-text, split-description, and binary ingestion must all
+        // produce the same simulated time to the last bit.
+        let trace = small_trace();
+        let dir = std::env::temp_dir().join(format!("replay-ingest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let merged = dir.join("lu.trace");
+        titrace::files::write_merged(&trace, &merged).unwrap();
+        let desc = titrace::files::write_split(&trace, &dir, "lu").unwrap();
+        let bin = dir.join("lu.titb");
+        titrace::binfmt::write_file(&trace, &bin, None).unwrap();
+        let p = platform::clusters::bordereau();
+        for engine in [ReplayEngine::Msg, ReplayEngine::Smpi] {
+            let cfg = ReplayConfig {
+                engine,
+                rate: 2e9,
+                placement: Placement::OnePerNode,
+                copy_model: None,
+                sharing: netmodel::SharingPolicy::Bottleneck,
+            };
+            let base = replay(&p, &trace, &cfg).unwrap();
+            let inputs = [
+                TraceInput::Memory(Arc::clone(&trace)),
+                TraceInput::MergedText(merged.clone()),
+                TraceInput::Description(desc.clone()),
+                TraceInput::Binary(bin.clone()),
+            ];
+            for input in &inputs {
+                let r = replay_input(&p, input, trace.ranks(), &cfg)
+                    .unwrap_or_else(|e| panic!("{engine:?} {input:?}: {e}"));
+                assert_eq!(
+                    r.time.to_bits(),
+                    base.time.to_bits(),
+                    "{engine:?} {input:?}: {} != {}",
+                    r.time,
+                    base.time
+                );
+                assert_eq!(r, base, "{engine:?} {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_fault_is_surfaced_with_rank_and_cause() {
+        // Corrupt one split fragment mid-stream: the engine sees a
+        // truncated rank (deadlock), but the reported error must be the
+        // root cause from the failing cursor.
+        let trace = small_trace();
+        let dir = std::env::temp_dir().join(format!("replay-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let desc = titrace::files::write_split(&trace, &dir, "lu").unwrap();
+        let frag = dir.join("lu.rank1.trace");
+        let mut text = std::fs::read_to_string(&frag).unwrap();
+        let mid = text.len() / 2;
+        let cut = text[..mid].rfind('\n').map_or(0, |i| i + 1);
+        text.insert_str(cut, "p1 teleport 3\n");
+        std::fs::write(&frag, text).unwrap();
+        let p = platform::clusters::bordereau();
+        let err = replay_input(
+            &p,
+            &TraceInput::Description(desc),
+            trace.ranks(),
+            &ReplayConfig::improved(2e9),
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("trace stream failed") && err.contains("teleport"),
+            "fault not surfaced: {err}"
+        );
+        assert!(err.contains("p1"), "fault should name the rank: {err}");
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! (or assembled from per-process fragments acquired on *different*
 //! machines) can be replayed against any simulated platform — the paper's
 //! core idea. This crate defines the action model ([`Action`]), the text
-//! format ([`parse`] / [`mod@write`]), structural validation ([`validate`])
-//! and volume statistics ([`stats`]).
+//! format ([`parse`] / [`mod@write`]), the compact binary format and its
+//! side-car cache ([`binfmt`]), streaming/parallel ingestion ([`stream`]),
+//! structural validation ([`validate`]) and volume statistics ([`stats`]).
 //!
 //! Receive actions carry the message size: this is the format extension
 //! introduced in Section 3.3 of the paper ("we had to add the message size
@@ -26,13 +27,16 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod binfmt;
 pub mod files;
 pub mod parse;
 pub mod stats;
+pub mod stream;
 pub mod validate;
 pub mod write;
 
 pub use parse::ParseError;
+pub use stream::{ActionSource, SourceError, TraceInput};
 pub use stats::TraceStats;
 pub use validate::ValidationError;
 

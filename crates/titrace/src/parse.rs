@@ -4,8 +4,12 @@
 //! with or without the `p` prefix, blank lines, and `#` comments. Parsing
 //! a merged file demultiplexes lines into per-rank streams by their rank
 //! prefix.
+//!
+//! The `&str` entry points here are thin wrappers over the zero-copy
+//! byte decoder in [`crate::stream`], so both paths accept exactly the
+//! same language by construction.
 
-use crate::{Action, Rank, Trace};
+use crate::{stream, Action, Rank, Trace};
 
 /// A parse failure, with 1-based line number and explanation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,126 +28,16 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError {
-        line,
-        message: message.into(),
-    }
-}
-
-fn parse_rank(tok: &str, line: usize) -> Result<Rank, ParseError> {
-    let digits = tok.strip_prefix('p').unwrap_or(tok);
-    digits
-        .parse::<u32>()
-        .map(Rank)
-        .map_err(|_| err(line, format!("invalid rank token `{tok}`")))
-}
-
-fn parse_bytes(tok: &str, line: usize) -> Result<u64, ParseError> {
-    tok.parse::<u64>()
-        .map_err(|_| err(line, format!("invalid byte count `{tok}`")))
-}
-
-fn parse_amount(tok: &str, line: usize) -> Result<f64, ParseError> {
-    let v: f64 = tok
-        .parse()
-        .map_err(|_| err(line, format!("invalid compute amount `{tok}`")))?;
-    if !v.is_finite() || v < 0.0 {
-        return Err(err(line, format!("compute amount out of range: {v}")));
-    }
-    Ok(v)
-}
-
 /// Parses one trace line into `(rank, action)`. Returns `Ok(None)` for
 /// blank lines and comments.
 pub fn parse_line(text: &str, line: usize) -> Result<Option<(Rank, Action)>, ParseError> {
-    let text = text.trim();
-    if text.is_empty() || text.starts_with('#') {
-        return Ok(None);
-    }
-    let mut toks = text.split_ascii_whitespace();
-    let rank_tok = toks.next().expect("non-empty line has a first token");
-    let rank = parse_rank(rank_tok, line)?;
-    let verb = toks
-        .next()
-        .ok_or_else(|| err(line, "missing action verb"))?;
-    let mut next = |what: &str| {
-        toks.next()
-            .ok_or_else(|| err(line, format!("missing {what} for `{verb}`")))
-    };
-    let action = match verb {
-        "init" => Action::Init,
-        "finalize" => Action::Finalize,
-        "compute" => Action::Compute {
-            amount: parse_amount(next("amount")?, line)?,
-        },
-        "send" | "isend" => {
-            let dst = parse_rank(next("destination")?, line)?;
-            let bytes = parse_bytes(next("size")?, line)?;
-            if verb == "send" {
-                Action::Send { dst, bytes }
-            } else {
-                Action::Isend { dst, bytes }
-            }
-        }
-        "recv" | "irecv" => {
-            let src = parse_rank(next("source")?, line)?;
-            let bytes = parse_bytes(next("size")?, line)?;
-            if verb == "recv" {
-                Action::Recv { src, bytes }
-            } else {
-                Action::Irecv { src, bytes }
-            }
-        }
-        "wait" => Action::Wait,
-        "waitall" => Action::WaitAll,
-        "barrier" => Action::Barrier,
-        "bcast" => Action::Bcast {
-            bytes: parse_bytes(next("size")?, line)?,
-            root: parse_rank(next("root")?, line)?,
-        },
-        "reduce" => Action::Reduce {
-            bytes: parse_bytes(next("size")?, line)?,
-            root: parse_rank(next("root")?, line)?,
-        },
-        "allreduce" => Action::Allreduce {
-            bytes: parse_bytes(next("size")?, line)?,
-        },
-        "alltoall" => Action::Alltoall {
-            bytes: parse_bytes(next("size")?, line)?,
-        },
-        "gather" => Action::Gather {
-            bytes: parse_bytes(next("size")?, line)?,
-            root: parse_rank(next("root")?, line)?,
-        },
-        "allgather" => Action::Allgather {
-            bytes: parse_bytes(next("size")?, line)?,
-        },
-        other => return Err(err(line, format!("unknown action verb `{other}`"))),
-    };
-    if let Some(extra) = toks.next() {
-        return Err(err(line, format!("trailing token `{extra}` after `{verb}`")));
-    }
-    Ok(Some((rank, action)))
+    stream::parse_line_bytes(text.as_bytes(), line)
 }
 
 /// Parses a merged trace file containing the actions of `ranks` processes.
 /// Lines may appear in any order; each rank's relative order is preserved.
 pub fn parse_merged(text: &str, ranks: u32) -> Result<Trace, ParseError> {
-    let mut trace = Trace::new(ranks);
-    for (i, raw) in text.lines().enumerate() {
-        let line = i + 1;
-        if let Some((rank, action)) = parse_line(raw, line)? {
-            if rank.0 >= ranks {
-                return Err(err(
-                    line,
-                    format!("rank {rank} out of range (trace has {ranks} ranks)"),
-                ));
-            }
-            trace.push(rank, action);
-        }
-    }
-    Ok(trace)
+    stream::parse_merged_bytes(text.as_bytes(), ranks)
 }
 
 /// Parses per-rank trace fragments (one string per rank, as produced by a
@@ -157,10 +51,10 @@ pub fn parse_per_rank(fragments: &[&str]) -> Result<Trace, ParseError> {
             let line = i + 1;
             if let Some((rank, action)) = parse_line(raw, line)? {
                 if rank.as_usize() != expect {
-                    return Err(err(
+                    return Err(ParseError {
                         line,
-                        format!("fragment {expect} contains a line for rank {rank}"),
-                    ));
+                        message: format!("fragment {expect} contains a line for rank {rank}"),
+                    });
                 }
                 trace.push(rank, action);
             }

@@ -47,6 +47,37 @@ pub fn format_action(rank: Rank, action: &Action, out: &mut String) {
     };
 }
 
+/// Streams one rank's action stream as text into an `io::Write` — one
+/// reusable line buffer, no whole-trace `String`.
+///
+/// # Errors
+/// Propagates write failures.
+pub fn write_rank_to<W: std::io::Write>(
+    trace: &Trace,
+    rank: Rank,
+    out: &mut W,
+) -> std::io::Result<()> {
+    let mut line = String::new();
+    for a in trace.actions(rank) {
+        format_action(rank, a, &mut line);
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Streams the whole trace as merged text into an `io::Write`, rank by
+/// rank, without materialising the full text.
+///
+/// # Errors
+/// Propagates write failures.
+pub fn write_to<W: std::io::Write>(trace: &Trace, out: &mut W) -> std::io::Result<()> {
+    for (rank, _) in trace.iter() {
+        write_rank_to(trace, rank, out)?;
+    }
+    Ok(())
+}
+
 /// Writes one rank's action stream as text.
 pub fn rank_to_string(trace: &Trace, rank: Rank) -> String {
     let mut out = String::new();
@@ -152,5 +183,20 @@ mod tests {
         let s = to_string(&t);
         assert_eq!(s, "p0 init\np0 finalize\np1 init\np1 finalize\n");
         assert_eq!(&to_bytes(&t)[..], s.as_bytes());
+    }
+
+    #[test]
+    fn streaming_writers_match_string_builders() {
+        let mut t = Trace::new(2);
+        t.push(Rank(0), Action::Init);
+        t.push(Rank(0), Action::Compute { amount: 1.5 });
+        t.push(Rank(1), Action::Allreduce { bytes: 40 });
+        t.push(Rank(0), Action::Finalize);
+        let mut streamed = Vec::new();
+        write_to(&t, &mut streamed).unwrap();
+        assert_eq!(streamed, to_string(&t).into_bytes());
+        let mut rank0 = Vec::new();
+        write_rank_to(&t, Rank(0), &mut rank0).unwrap();
+        assert_eq!(rank0, rank_to_string(&t, Rank(0)).into_bytes());
     }
 }

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI gate: build, test, lint, and smoke-run the benches.
+# CI gate: build, test, lint, smoke-run the benches, and exercise the
+# trace ingestion paths end to end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,3 +9,34 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 # Smoke mode: each bench target runs its bodies once, no sampling.
 cargo bench -p bench -- --test
+
+# Ingest smoke: generate an LU class-B trace, pack it, and check that
+# text (sequential and parallel) and binary ingestion replay to the
+# same simulated time, and that pack -> unpack round-trips the text.
+ingest_dir="$(mktemp -d)"
+trap 'rm -rf "$ingest_dir"' EXIT
+gen=target/release/titrace-gen
+rep=target/release/titreplay
+"$gen" --class B --procs 8 --steps 10 --out "$ingest_dir/lu.trace"
+"$rep" trace pack "$ingest_dir/lu.trace" "$ingest_dir/lu.titb" --ranks 8
+"$rep" trace unpack "$ingest_dir/lu.titb" "$ingest_dir/lu.unpacked.trace"
+cmp "$ingest_dir/lu.trace" "$ingest_dir/lu.unpacked.trace"
+plat="$ingest_dir/lu.trace.platform.json"
+run_replay() { "$rep" --platform "$plat" --ranks 8 --rate 2e9 "$@" | awk '{print $2}'; }
+t_text=$(TITR_SWEEP_THREADS=1 run_replay --trace "$ingest_dir/lu.trace" --no-cache)
+t_par=$(TITR_SWEEP_THREADS=4 run_replay --trace "$ingest_dir/lu.trace" --no-cache)
+t_bin=$(run_replay --trace "$ingest_dir/lu.titb")
+# First cached run stores the side-car, second must hit it.
+t_store=$(run_replay --trace "$ingest_dir/lu.trace")
+[ -f "$ingest_dir/lu.trace.titb" ] || { echo "side-car cache not written" >&2; exit 1; }
+t_cache=$("$rep" --platform "$plat" --ranks 8 --rate 2e9 --trace "$ingest_dir/lu.trace" \
+    2>"$ingest_dir/cache.log" | awk '{print $2}')
+grep -q "trace cache: hit" "$ingest_dir/cache.log" \
+    || { echo "side-car cache not hit on second run" >&2; exit 1; }
+for t in "$t_par" "$t_bin" "$t_store" "$t_cache"; do
+    [ "$t" = "$t_text" ] || {
+        echo "ingestion paths disagree: $t_text vs $t" >&2
+        exit 1
+    }
+done
+echo "INGEST_SMOKE ok (simulated_time_s $t_text across text/parallel/titb/cache)"

@@ -1,11 +1,11 @@
 //! Property tests of the trace artifact across crate boundaries:
-//! generator → acquisition → text format → parser → replay.
+//! generator → acquisition → text/binary formats → parser → replay.
 
 use proptest::prelude::*;
 use std::sync::Arc;
 
 use tit_replay::prelude::*;
-use tit_replay::titrace::{parse, validate, write};
+use tit_replay::titrace::{binfmt, files, parse, stream, validate, write};
 
 /// Strategy: a small LU instance configuration.
 fn arb_lu() -> impl Strategy<Value = LuConfig> {
@@ -27,6 +27,58 @@ proptest! {
         let text = write::to_string(&acq.trace);
         let back = parse::parse_merged(&text, lu.procs).unwrap();
         prop_assert_eq!(back, acq.trace);
+    }
+
+    /// text ⇄ binary ⇄ Trace agree on any acquired trace: the binary
+    /// encoding is lossless, and parallel text decode at any worker
+    /// count equals the sequential parse.
+    #[test]
+    fn acquired_trace_survives_binary_and_parallel_ingestion(
+        lu in arb_lu(),
+        seed in 0u64..1000,
+        workers in 2usize..9,
+    ) {
+        let acq = acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, seed);
+        let from_bin = binfmt::decode(&binfmt::encode(&acq.trace)).unwrap();
+        prop_assert_eq!(&from_bin, &acq.trace);
+        let text = write::to_string(&acq.trace);
+        let parallel =
+            stream::parse_merged_parallel(text.as_bytes(), lu.procs, workers).unwrap();
+        prop_assert_eq!(&parallel, &acq.trace);
+        prop_assert_eq!(write::to_string(&from_bin), text);
+    }
+
+    /// Replay is bit-identical whether the trace is ingested from
+    /// memory, merged text, a split description, or the binary format.
+    #[test]
+    fn replay_is_identical_across_ingestion_paths(lu in arb_lu(), seed in 0u64..1000) {
+        let trace = Arc::new(
+            acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, seed).trace,
+        );
+        let dir = std::env::temp_dir()
+            .join(format!("titr-rt-{}-{seed}-{}", lu.label(), std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let merged = dir.join("lu.trace");
+        files::write_merged(&trace, &merged).unwrap();
+        let desc = files::write_split(&trace, &dir, "lu").unwrap();
+        let bin = dir.join("lu.titb");
+        binfmt::write_file(&trace, &bin, None).unwrap();
+        let platform = tit_replay::platform::clusters::graphene();
+        let cfg = ReplayConfig::improved(2e9);
+        let base = replay(&platform, &trace, &cfg).unwrap();
+        for input in [
+            TraceInput::Memory(Arc::clone(&trace)),
+            TraceInput::MergedText(merged),
+            TraceInput::Description(desc),
+            TraceInput::Binary(bin),
+        ] {
+            let r = replay_input(&platform, &input, trace.ranks(), &cfg).unwrap();
+            prop_assert_eq!(r.time.to_bits(), base.time.to_bits(),
+                "{:?}: {} != {}", input, r.time, base.time);
+            prop_assert_eq!(&r.rank_times, &base.rank_times, "{:?}", input);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Replay of any valid LU trace terminates (no deadlock) on both
