@@ -1,29 +1,35 @@
 //! Micro-benchmarks of the discrete-event kernel: event-queue throughput
-//! and activity scheduling churn (the simulator's innermost loops).
+//! and activity scheduling churn (the simulator's innermost loops), each
+//! measured under both future-event-list implementations so the
+//! ladder-vs-heap trade-off stays visible.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use tit_replay::simkernel::queue::{EventKind, EventQueue};
-use tit_replay::simkernel::{ActorId, Kernel, Time};
+use tit_replay::simkernel::{ActorId, FelImpl, Kernel, Time};
+
+const FELS: [(FelImpl, &str); 2] = [(FelImpl::Heap, "heap"), (FelImpl::Ladder, "ladder")];
 
 fn event_queue_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue");
     for n in [1_000u64, 100_000] {
         g.throughput(Throughput::Elements(n));
-        g.bench_function(format!("push_pop_{n}"), |b| {
-            b.iter_batched(
-                EventQueue::new,
-                |mut q| {
-                    for i in 0..n {
-                        // Pseudo-random interleaved timestamps.
-                        let t = ((i.wrapping_mul(2654435761)) % 1_000_000) as f64 * 1e-6;
-                        q.push(Time::from_secs(t), EventKind::Timer { actor: 0, key: i });
-                    }
-                    while q.pop().is_some() {}
-                    q
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        for (fel, name) in FELS {
+            g.bench_function(format!("push_pop_{n}_{name}"), |b| {
+                b.iter_batched(
+                    || EventQueue::with_fel(fel),
+                    |mut q| {
+                        for i in 0..n {
+                            // Pseudo-random interleaved timestamps.
+                            let t = ((i.wrapping_mul(2654435761)) % 1_000_000) as f64 * 1e-6;
+                            q.push(Time::from_secs(t), EventKind::Timer { actor: 0, key: i });
+                        }
+                        while q.pop().is_some() {}
+                        q
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
+        }
     }
     g.finish();
 }
@@ -32,37 +38,39 @@ fn activity_churn(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernel_activities");
     let n = 10_000u64;
     g.throughput(Throughput::Elements(n));
-    g.bench_function("start_complete_10k", |b| {
-        b.iter_batched(
-            Kernel::new,
-            |mut k| {
-                for i in 0..n {
-                    let a = k.start_activity(1.0 + (i % 7) as f64, 1.0);
-                    k.subscribe(a, ActorId(0));
-                }
-                while k.next_wake().is_some() {}
-                k
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.bench_function("rate_changes_10k", |b| {
-        b.iter_batched(
-            || {
-                let mut k = Kernel::new();
-                let acts: Vec<_> = (0..64).map(|_| k.start_activity(1e9, 1.0)).collect();
-                (k, acts)
-            },
-            |(mut k, acts)| {
-                for i in 0..n {
-                    let a = acts[(i % 64) as usize];
-                    k.set_rate(a, 1.0 + (i % 13) as f64);
-                }
-                (k, acts)
-            },
-            BatchSize::SmallInput,
-        );
-    });
+    for (fel, name) in FELS {
+        g.bench_function(format!("start_complete_10k_{name}"), |b| {
+            b.iter_batched(
+                || Kernel::with_capacity_fel(0, 0, fel),
+                |mut k| {
+                    for i in 0..n {
+                        let a = k.start_activity(1.0 + (i % 7) as f64, 1.0);
+                        k.subscribe(a, ActorId(0));
+                    }
+                    while k.next_wake().is_some() {}
+                    k
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        g.bench_function(format!("rate_changes_10k_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut k = Kernel::with_capacity_fel(0, 0, fel);
+                    let acts: Vec<_> = (0..64).map(|_| k.start_activity(1e9, 1.0)).collect();
+                    (k, acts)
+                },
+                |(mut k, acts)| {
+                    for i in 0..n {
+                        let a = acts[(i % 64) as usize];
+                        k.set_rate(a, 1.0 + (i % 13) as f64);
+                    }
+                    (k, acts)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
     g.finish();
 }
 

@@ -11,6 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use tit_replay::acquisition::{acquire, CompilerOpt, Instrumentation};
 use tit_replay::emulator::Testbed;
 use tit_replay::netmodel::SharingPolicy;
+use tit_replay::simkernel::FelImpl;
 use tit_replay::prelude::*;
 
 fn config(engine: ReplayEngine, sharing: SharingPolicy) -> ReplayConfig {
@@ -20,6 +21,7 @@ fn config(engine: ReplayEngine, sharing: SharingPolicy) -> ReplayConfig {
         placement: Placement::OnePerNode,
         copy_model: None,
         sharing,
+        fel: FelImpl::default(),
     }
 }
 

@@ -24,7 +24,46 @@ use tit_replay::emulator::Testbed;
 use tit_replay::netmodel::{FlowNet, SharingPolicy};
 use tit_replay::platform::{HostId, Platform};
 use tit_replay::prelude::*;
-use tit_replay::simkernel::Kernel;
+use tit_replay::simkernel::queue::{EventKind, EventQueue};
+use tit_replay::simkernel::{FelImpl, FelProfile, Kernel, Time};
+
+/// Counting wrapper around the system allocator. The steady-state rows
+/// of the `fel` section report the number of heap allocations observed
+/// across the second half of the churn workload — the zero-allocation
+/// claim of the event core, measured rather than asserted.
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    // SAFETY: pure delegation to `System`, plus a relaxed counter bump.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Heap allocations observed so far (monotone, process-wide).
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
 
 /// Top-level document written to `BENCH_replay.json`.
 #[derive(Debug, Serialize)]
@@ -44,6 +83,9 @@ struct Baseline {
     ingest: Vec<IngestSpeed>,
     /// Wall time per experiment cell of a small accuracy sweep.
     sweep_cells: Vec<SweepCell>,
+    /// Heap-vs-ladder future event list: churn microbenchmark with
+    /// hot-path counters plus end-to-end replay wall times.
+    fel: FelSection,
 }
 
 /// Events-per-second measurement of one back-end.
@@ -53,9 +95,71 @@ struct BackendSpeed {
     backend: String,
     /// Workload label.
     workload: String,
+    /// Future-event-list implementation ("Heap" = before, "Ladder" =
+    /// after; results are bit-identical, only wall time differs).
+    fel: String,
     /// Kernel events simulated per replay.
     events: f64,
     /// Best-of-N wall time for one replay, seconds.
+    wall_s: f64,
+    /// `events / wall_s`.
+    events_per_s: f64,
+}
+
+/// The heap-vs-ladder comparison rows.
+#[derive(Debug, Serialize)]
+struct FelSection {
+    /// High-churn FEL microbenchmark (hold model plus supersede churn),
+    /// one row per implementation.
+    churn: Vec<FelChurn>,
+    /// `heap ops/s` over `ladder ops/s` on the churn workload.
+    churn_speedup: f64,
+    /// End-to-end replay wall time per implementation on the
+    /// halo-exchange churn workload.
+    replay: Vec<FelReplay>,
+}
+
+/// One FEL implementation under the churn microbenchmark.
+#[derive(Debug, Serialize)]
+struct FelChurn {
+    /// "Heap" or "Ladder".
+    fel: String,
+    /// Live events held in the queue throughout.
+    live_events: f64,
+    /// Hold operations performed (pop + re-push).
+    hold_ops: f64,
+    /// Best-of-N wall time, seconds.
+    wall_s: f64,
+    /// Queue operations (events scheduled + popped).
+    fel_ops: f64,
+    /// `fel_ops / wall_s`.
+    fel_ops_per_s: f64,
+    /// Hot-path counters (requires the `profile` feature, which this
+    /// binary builds with).
+    scheduled: f64,
+    superseded: f64,
+    fired: f64,
+    stale_popped: f64,
+    spills: f64,
+    bucket_sorts: f64,
+    reseeds: f64,
+    compactions: f64,
+    /// Heap allocations observed during the second half of the workload
+    /// (the steady state) via the counting allocator. 0 = the hot path
+    /// is allocation-free.
+    steady_allocs: f64,
+}
+
+/// End-to-end replay wall time under one FEL implementation.
+#[derive(Debug, Serialize)]
+struct FelReplay {
+    /// Workload label.
+    workload: String,
+    /// "Heap" or "Ladder".
+    fel: String,
+    /// Kernel events simulated.
+    events: f64,
+    /// Best-of-N wall time, seconds.
     wall_s: f64,
     /// `events / wall_s`.
     events_per_s: f64,
@@ -140,25 +244,195 @@ fn replay_cfg(engine: ReplayEngine, sharing: SharingPolicy) -> ReplayConfig {
         placement: Placement::OnePerNode,
         copy_model: None,
         sharing,
+        fel: FelImpl::default(),
     }
 }
 
 fn backend_speeds(platform: &Platform, trace: &Arc<Trace>, workload: &str) -> Vec<BackendSpeed> {
-    [ReplayEngine::Smpi, ReplayEngine::Msg]
-        .into_iter()
-        .map(|engine| {
-            let cfg = replay_cfg(engine, SharingPolicy::Bottleneck);
+    let mut rows = Vec::new();
+    for engine in [ReplayEngine::Smpi, ReplayEngine::Msg] {
+        for fel in [FelImpl::Heap, FelImpl::Ladder] {
+            let mut cfg = replay_cfg(engine, SharingPolicy::Bottleneck);
+            cfg.fel = fel;
             let events = replay(platform, trace, &cfg).unwrap().events as f64;
             let wall_s = time_best(5, || replay(platform, trace, &cfg).unwrap());
-            BackendSpeed {
+            rows.push(BackendSpeed {
                 backend: format!("{engine:?}"),
                 workload: workload.into(),
+                fel: format!("{fel:?}"),
+                events,
+                wall_s,
+                events_per_s: events / wall_s,
+            });
+        }
+    }
+    rows
+}
+
+// ----------------------------------------------------------------------
+// FEL churn microbenchmark (hold model + supersede churn)
+// ----------------------------------------------------------------------
+
+/// Live events held in the queue throughout the churn workload. Sized
+/// like a large replay (P=8192 ranks × 8 in-flight activities): at this
+/// depth the heap pays ~16 comparisons per pop while the ladder stays
+/// O(1) amortized.
+const HOLD_LIVE: u64 = 1 << 16;
+/// Hold operations (pop + re-push) per run.
+const HOLD_OPS: u64 = 1 << 20;
+/// Every `DOOM_EVERY`-th hold op also pushes a doomed event that is
+/// immediately superseded, driving the lazy-cancellation and compaction
+/// machinery the replay runtimes exercise on every rate change.
+const DOOM_EVERY: u64 = 4;
+
+/// Deterministic xorshift64* stream (no external RNG dependency; the
+/// workload must be identical across implementations and runs).
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Builds a queue holding `live` events at pseudo-random times.
+fn hold_queue(fel: FelImpl, live: u64, rng: &mut u64) -> EventQueue {
+    let mut q = EventQueue::with_capacity_fel(2 * live as usize, fel);
+    for i in 0..live {
+        let t = (next_rand(rng) % 1_000_000) as f64 * 1e-6;
+        q.push(Time::from_secs(t), EventKind::Timer { actor: 0, key: i });
+    }
+    q
+}
+
+/// Runs hold operations `ops` on `q`: pop the minimum, push a successor a
+/// pseudo-random increment later — the classic FEL "hold" access pattern
+/// under which calendar/ladder queues beat binary heaps — with a doomed
+/// (superseded) event mixed in every [`DOOM_EVERY`] ops. Doomed events
+/// use `actor: 1` so pops can recognise and skip them, and compaction
+/// can drop them, exactly as the kernel does for rescheduled activities.
+fn hold_ops(q: &mut EventQueue, ops: std::ops::Range<u64>, rng: &mut u64) {
+    for i in ops {
+        let now;
+        loop {
+            let (t, kind) = q.pop().expect("hold queue never drains");
+            if matches!(kind, EventKind::Timer { actor: 1, .. }) {
+                q.note_stale_popped();
+                continue;
+            }
+            // Increment on the scale of the event window, so successors
+            // redistribute across the whole horizon (the standard hold
+            // model) instead of piling up just ahead of `now`.
+            let delta = 1e-6 * (1 + next_rand(rng) % 1_000_000) as f64;
+            q.push(Time::from_secs(t.as_secs() + delta), kind);
+            now = t.as_secs();
+            break;
+        }
+        if i % DOOM_EVERY == 0 {
+            // Superseded entries linger in the far future — exactly where
+            // a rescheduled activity leaves its stale completion event —
+            // until lazy compaction drops them.
+            let delta = 1e-6 * (1_000_000 + next_rand(rng) % 1_000_000) as f64;
+            q.push(
+                Time::from_secs(now + delta),
+                EventKind::Timer { actor: 1, key: i },
+            );
+            q.note_superseded();
+        }
+        if q.should_compact() {
+            q.compact(|kind| !matches!(kind, EventKind::Timer { actor: 1, .. }));
+        }
+    }
+}
+
+/// Checks the profile-counter invariants the smoke gate relies on.
+fn assert_counters_sane(fel: FelImpl, p: &FelProfile) {
+    assert_eq!(
+        p.popped,
+        p.fired() + p.stale_popped,
+        "{fel:?}: popped must split into fired + stale"
+    );
+    assert!(
+        p.scheduled >= p.popped,
+        "{fel:?}: popped more events than were ever scheduled"
+    );
+    assert!(
+        p.superseded >= p.stale_popped,
+        "{fel:?}: stale pops exceed superseded entries"
+    );
+    assert!(p.scheduled > 0 && p.popped > 0, "{fel:?}: counters dead");
+    if fel == FelImpl::Ladder {
+        assert!(p.bucket_sorts > 0, "ladder never sorted a bucket");
+        assert!(p.reseeds > 0, "ladder never reseeded an epoch");
+    }
+}
+
+/// One churn row: best-of-N wall time, then an uncounted run split in
+/// half around an allocation snapshot — the second half is the steady
+/// state and must not allocate for the ladder.
+fn fel_churn_row(fel: FelImpl, live: u64, hold_ops_n: u64) -> FelChurn {
+    let wall_s = time_best(3, || {
+        let mut rng = 0x5eed_5eed_5eed_5eedu64;
+        let mut q = hold_queue(fel, live, &mut rng);
+        hold_ops(&mut q, 0..hold_ops_n, &mut rng);
+        q
+    });
+    let mut rng = 0x5eed_5eed_5eed_5eedu64;
+    let mut q = hold_queue(fel, live, &mut rng);
+    hold_ops(&mut q, 0..hold_ops_n / 2, &mut rng);
+    let before = alloc_counter::allocations();
+    hold_ops(&mut q, hold_ops_n / 2..hold_ops_n, &mut rng);
+    let steady_allocs = (alloc_counter::allocations() - before) as f64;
+    let p = q.profile();
+    assert_counters_sane(fel, &p);
+    let fel_ops = (p.scheduled + p.popped) as f64;
+    FelChurn {
+        fel: format!("{fel:?}"),
+        live_events: live as f64,
+        hold_ops: hold_ops_n as f64,
+        wall_s,
+        fel_ops,
+        fel_ops_per_s: fel_ops / wall_s,
+        scheduled: p.scheduled as f64,
+        superseded: p.superseded as f64,
+        fired: p.fired() as f64,
+        stale_popped: p.stale_popped as f64,
+        spills: p.spills as f64,
+        bucket_sorts: p.bucket_sorts as f64,
+        reseeds: p.reseeds as f64,
+        compactions: p.compactions as f64,
+        steady_allocs,
+    }
+}
+
+fn fel_section(showcase: &Platform, halo: &Arc<Trace>) -> FelSection {
+    let churn: Vec<FelChurn> = [FelImpl::Heap, FelImpl::Ladder]
+        .into_iter()
+        .map(|fel| fel_churn_row(fel, HOLD_LIVE, HOLD_OPS))
+        .collect();
+    let churn_speedup = churn[0].wall_s / churn[1].wall_s;
+    let replay_rows = [FelImpl::Heap, FelImpl::Ladder]
+        .into_iter()
+        .map(|fel| {
+            let mut cfg = replay_cfg(ReplayEngine::Smpi, SharingPolicy::Bottleneck);
+            cfg.fel = fel;
+            let events = replay(showcase, halo, &cfg).unwrap().events as f64;
+            let wall_s = time_best(3, || replay(showcase, halo, &cfg).unwrap());
+            FelReplay {
+                workload: "halo-exchange-p128-iters200".into(),
+                fel: format!("{fel:?}"),
                 events,
                 wall_s,
                 events_per_s: events / wall_s,
             }
         })
-        .collect()
+        .collect();
+    FelSection {
+        churn,
+        churn_speedup,
+        replay: replay_rows,
+    }
 }
 
 fn sharing_speedup(platform: &Platform, trace: &Arc<Trace>, workload: &str) -> SharingSpeedup {
@@ -349,8 +623,33 @@ fn sweep_cells() -> Vec<SweepCell> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: perf_baseline [--out <BENCH_replay.json>]");
+    eprintln!("usage: perf_baseline [--out <BENCH_replay.json>] [--smoke]");
     std::process::exit(2);
+}
+
+/// CI gate: a reduced churn run per FEL implementation, checking the
+/// profile-counter invariants and that the ladder's steady state is
+/// allocation-free. Writes nothing.
+fn smoke() {
+    // Scaled down so compaction (and with it the steady state) is
+    // reached well inside the first half of the run.
+    let (live, ops) = (HOLD_LIVE / 16, HOLD_OPS / 16);
+    for fel in [FelImpl::Heap, FelImpl::Ladder] {
+        let row = fel_churn_row(fel, live, ops);
+        eprintln!(
+            "smoke {:>6}: {:.0} fel-ops/s, {} steady-state allocs, \
+             {} compactions",
+            row.fel, row.fel_ops_per_s, row.steady_allocs, row.compactions
+        );
+        if fel == FelImpl::Ladder {
+            assert_eq!(
+                row.steady_allocs, 0.0,
+                "ladder steady state allocated {} times",
+                row.steady_allocs
+            );
+        }
+    }
+    println!("PERF_SMOKE ok (counters sane, ladder steady state allocation-free)");
 }
 
 fn main() {
@@ -362,6 +661,10 @@ fn main() {
                 Some(path) => out_path = path,
                 None => usage(),
             },
+            "--smoke" => {
+                smoke();
+                return;
+            }
             _ => usage(),
         }
     }
@@ -396,6 +699,9 @@ fn main() {
     eprintln!("timing sweep cells (accuracy figure, bordereau)...");
     let cells = sweep_cells();
 
+    eprintln!("timing heap-vs-ladder FEL (churn microbench; halo replay)...");
+    let fel = fel_section(&showcase, &halo);
+
     let doc = Baseline {
         generated_by: "bench/perf_baseline".into(),
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()) as f64,
@@ -404,6 +710,7 @@ fn main() {
         component_churn: churn,
         ingest,
         sweep_cells: cells,
+        fel,
     };
     let json = serde_json::to_string_pretty(&doc).expect("baseline always serializes");
     std::fs::write(&out_path, json + "\n").expect("write baseline");

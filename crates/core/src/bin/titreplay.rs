@@ -195,6 +195,7 @@ fn main() {
         placement: Placement::OnePerNode,
         copy_model: None,
         sharing: args.sharing,
+        fel: tit_replay::simkernel::FelImpl::default(),
     };
     match replay_input(&platform, &input, args.ranks, &config) {
         Ok(result) => {

@@ -237,6 +237,7 @@ impl<'a> Predictor<'a> {
                     .expect("ground truth models the copy")
             }),
             sharing: netmodel::SharingPolicy::Bottleneck,
+            fel: simkernel::FelImpl::default(),
         };
         let sim = match self.cached_trace_path(instance, seed) {
             Some(path) if path.is_file() => {

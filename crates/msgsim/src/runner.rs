@@ -240,11 +240,12 @@ pub fn run_msg(
     assert!(ranks > 0);
     assert_eq!(hosts.len(), ranks);
     let transport = ActorId(ranks as u32);
+    let fel = cfg.fel;
     let world = MsgWorld::new(platform, hosts, cfg, hooks, transport);
-    // Same pre-sizing heuristic as the SMPI runner: a bounded number of
-    // live activities per rank, each holding one live completion event.
-    let activities = ranks * 8;
-    let mut sim = Sim::with_capacity(world, activities, 2 * activities);
+    // Same pre-sizing heuristic as the SMPI runner (see
+    // `simkernel::replay_sizing`).
+    let (activities, events) = simkernel::replay_sizing(ranks);
+    let mut sim = Sim::with_capacity_fel(world, activities, events, fel);
     for (r, source) in sources.into_iter().enumerate() {
         let me = ActorId(r as u32);
         let id = sim.spawn(Box::new(MsgRankActor::new(r as u32, me, source)));

@@ -7,12 +7,12 @@
 //! behaviour the paper identifies as the source of its communication
 //! inaccuracy.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use netmodel::{FlowId, FlowNet};
 use platform::{HostId, LinkId, Platform};
-use simkernel::{ActivityId, ActorId, Duration, Kernel, Wake};
-use smpi::slab::{Id, Slab};
+use simkernel::{ActorId, Duration, Kernel, Wake};
+use smpi::slab::{ActivityMap, Id, Slab, Waiters};
 
 use crate::{CollectiveModel, MsgConfig};
 
@@ -31,7 +31,7 @@ pub struct Task {
     recv_req: Option<ReqId>,
     /// Pending-recv record to retire at delivery.
     pending_recv: Option<RecvId>,
-    waiters: Vec<ActorId>,
+    waiters: Waiters,
 }
 
 /// A receive that arrived before any matching task.
@@ -117,7 +117,7 @@ pub struct MsgWorld {
     reqs: Slab<Req>,
     mailbox: Vec<VecDeque<TaskId>>,
     pending: Vec<VecDeque<RecvId>>,
-    flow_task: HashMap<ActivityId, TaskId>,
+    flow_task: ActivityMap<TaskId>,
     colls: Vec<CollSync>,
     coll_model: CollectiveModel,
     transport: ActorId,
@@ -170,12 +170,15 @@ impl MsgWorld {
             routes,
             pair_latency,
             pair_bandwidth,
-            tasks: Slab::new(),
-            recvs: Slab::new(),
-            reqs: Slab::new(),
-            mailbox: (0..n * n).map(|_| VecDeque::new()).collect(),
-            pending: (0..n * n).map(|_| VecDeque::new()).collect(),
-            flow_task: HashMap::new(),
+            // Pre-sized like the SMPI world: the per-rank in-flight bound
+            // the runners give the kernel also bounds live protocol
+            // records, so the steady state never regrows these.
+            tasks: Slab::with_capacity(n * simkernel::IN_FLIGHT_PER_RANK),
+            recvs: Slab::with_capacity(n * simkernel::IN_FLIGHT_PER_RANK),
+            reqs: Slab::with_capacity(n * simkernel::IN_FLIGHT_PER_RANK),
+            mailbox: (0..n * n).map(|_| VecDeque::with_capacity(4)).collect(),
+            pending: (0..n * n).map(|_| VecDeque::with_capacity(4)).collect(),
+            flow_task: ActivityMap::with_capacity(simkernel::replay_sizing(n).0),
             colls: Vec::new(),
             coll_model,
             transport,
@@ -235,7 +238,7 @@ impl MsgWorld {
             sender_req: None,
             recv_req: None,
             pending_recv: None,
-            waiters: Vec::new(),
+            waiters: Waiters::new(),
         });
         // A pending receive starts the transfer immediately.
         let slot = self.mbox(src, dst);
@@ -408,7 +411,7 @@ impl MsgWorld {
     pub fn on_transport_wake(&mut self, kernel: &mut Kernel, wake: Wake) {
         match wake {
             Wake::Activity(act) => {
-                let Some(task_id) = self.flow_task.remove(&act) else {
+                let Some(task_id) = self.flow_task.remove(act) else {
                     return;
                 };
                 let t = self.tasks.expect_mut(task_id);
@@ -457,9 +460,8 @@ impl MsgWorld {
         let sender_req = t.sender_req.take();
         let recv_req = t.recv_req.take();
         let pending_recv = t.pending_recv.take();
-        for w in waiters {
-            kernel.wake(w, Wake::Signal(task_id.pack()));
-        }
+        // Inline waiter list: taking and draining it allocates nothing.
+        waiters.for_each(|w| kernel.wake(w, Wake::Signal(task_id.pack())));
         for req in [sender_req, recv_req].into_iter().flatten() {
             if let Some(r) = self.reqs.get_mut(req) {
                 r.done = true;

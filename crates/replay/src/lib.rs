@@ -57,6 +57,10 @@ pub struct ReplayConfig {
     /// paper's published behaviour; the max-min policies trade speed for
     /// exact progressive-filling fairness.
     pub sharing: netmodel::SharingPolicy,
+    /// Future-event-list implementation of the simulation kernel,
+    /// forwarded to whichever back-end runs. Pop order is bit-identical
+    /// across variants, so this only affects replay wall time.
+    pub fel: simkernel::FelImpl,
 }
 
 impl ReplayConfig {
@@ -68,6 +72,7 @@ impl ReplayConfig {
             placement: Placement::OnePerNode,
             copy_model: None,
             sharing: netmodel::SharingPolicy::Bottleneck,
+            fel: simkernel::FelImpl::default(),
         }
     }
 
@@ -79,6 +84,7 @@ impl ReplayConfig {
             placement: Placement::OnePerNode,
             copy_model: None,
             sharing: netmodel::SharingPolicy::Bottleneck,
+            fel: simkernel::FelImpl::default(),
         }
     }
 
@@ -92,6 +98,7 @@ impl ReplayConfig {
             placement: Placement::OnePerNode,
             copy_model: Some(copy),
             sharing: netmodel::SharingPolicy::Bottleneck,
+            fel: simkernel::FelImpl::default(),
         }
     }
 
@@ -108,6 +115,7 @@ impl ReplayConfig {
             placement: Placement::OnePerNode,
             copy_model: None,
             sharing: netmodel::SharingPolicy::Bottleneck,
+            fel: simkernel::FelImpl::default(),
         }
     }
 }
@@ -290,6 +298,7 @@ fn run_engine(
             let mut smpi_cfg = smpi::SmpiConfig::smpi_replay();
             smpi_cfg.copy = config.copy_model;
             smpi_cfg.sharing = config.sharing;
+            smpi_cfg.fel = config.fel;
             let r = smpi::run_smpi(platform, hosts, sources, smpi_cfg, hooks_for(config, hosts))?;
             Ok(ReplayResult {
                 time: r.total_time,
@@ -301,6 +310,7 @@ fn run_engine(
         ReplayEngine::Msg => {
             let mut msg_cfg = msgsim::MsgConfig::legacy();
             msg_cfg.sharing = config.sharing;
+            msg_cfg.fel = config.fel;
             let r = msgsim::run_msg(platform, hosts, sources, msg_cfg, hooks_for(config, hosts))?;
             Ok(ReplayResult {
                 time: r.total_time,
@@ -354,6 +364,7 @@ mod tests {
                 placement: Placement::OnePerNode,
                 copy_model: None,
                 sharing: netmodel::SharingPolicy::Bottleneck,
+                fel: simkernel::FelImpl::default(),
             };
             let r = replay(&p, &trace, &cfg).unwrap_or_else(|e| panic!("{engine:?}: {e}"));
             assert!(r.time > 0.0, "{engine:?}");
@@ -452,6 +463,7 @@ mod tests {
                 placement: Placement::OnePerNode,
                 copy_model: None,
                 sharing: netmodel::SharingPolicy::Bottleneck,
+                fel: simkernel::FelImpl::default(),
             };
             let base = replay(&p, &trace, &cfg).unwrap();
             let inputs = [

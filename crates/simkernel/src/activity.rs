@@ -25,6 +25,14 @@ impl ActivityId {
     pub fn index(self) -> u32 {
         self.index
     }
+
+    /// The slot generation (instance identity). Together with
+    /// [`ActivityId::index`] this uniquely identifies an activity
+    /// instance, letting side tables index by slot and validate by
+    /// generation instead of hashing the whole id.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
 }
 
 /// Lifecycle state of an activity.

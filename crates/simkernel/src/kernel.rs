@@ -10,10 +10,28 @@ use std::collections::VecDeque;
 
 use crate::activity::{ActivityId, ActivityState, Slot};
 use crate::actor::{ActorId, Wake};
-use crate::queue::{EventKind, EventQueue};
+use crate::queue::{EventKind, EventQueue, FelImpl, FelProfile};
 use crate::time::{Duration, Time};
 
 const NO_FREE: u32 = u32::MAX;
+
+/// Upper bound on concurrently in-flight activities per simulated rank
+/// during a trace replay: one compute or blocking transfer plus a bounded
+/// window of detached eager sends. Used by [`replay_sizing`].
+pub const IN_FLIGHT_PER_RANK: usize = 8;
+
+/// The pre-sizing heuristic shared by the replay runners (`smpi::runner`
+/// and `msgsim::runner`): a `ranks`-process replay keeps at most
+/// [`IN_FLIGHT_PER_RANK`] activities in flight per rank, and each live
+/// activity accounts for at most two queued events (its scheduled
+/// completion plus one superseded predecessor awaiting its lazy skip).
+/// Returns `(activities, events)` suitable for
+/// [`Kernel::with_capacity`] / [`crate::sim::Sim::with_capacity`], so the
+/// activity slab and event queue never regrow mid-replay.
+pub fn replay_sizing(ranks: usize) -> (usize, usize) {
+    let activities = ranks * IN_FLIGHT_PER_RANK;
+    (activities, 2 * activities)
+}
 
 /// The simulation kernel. See the [module documentation](self).
 #[derive(Debug)]
@@ -26,6 +44,9 @@ pub struct Kernel {
     live_activities: usize,
     events_processed: u64,
     compactions: u64,
+    /// Reusable buffer swapped with a completing activity's waiter list,
+    /// so completions recycle capacity instead of allocating.
+    wake_scratch: Vec<u32>,
 }
 
 impl Default for Kernel {
@@ -44,17 +65,26 @@ impl Kernel {
     /// and `events` pending events, so the hot slab and heap never
     /// reallocate during steady-state replay. Callers that know their
     /// workload (e.g. a trace replayer with `P` ranks and a bounded number
-    /// of in-flight transfers per rank) should use this.
+    /// of in-flight transfers per rank) should use this; see
+    /// [`replay_sizing`] for the replay runners' shared heuristic.
     pub fn with_capacity(activities: usize, events: usize) -> Self {
+        Self::with_capacity_fel(activities, events, FelImpl::default())
+    }
+
+    /// [`Kernel::with_capacity`] with an explicit future-event-list
+    /// implementation (see [`FelImpl`]). Both implementations deliver
+    /// bit-identical event orders; `fel` only selects the cost profile.
+    pub fn with_capacity_fel(activities: usize, events: usize, fel: FelImpl) -> Self {
         Kernel {
             now: Time::ZERO,
-            queue: EventQueue::with_capacity(events),
+            queue: EventQueue::with_capacity_fel(events, fel),
             slots: Vec::with_capacity(activities),
             free_head: NO_FREE,
             ready: VecDeque::new(),
             live_activities: 0,
             events_processed: 0,
             compactions: 0,
+            wake_scratch: Vec::new(),
         }
     }
 
@@ -85,6 +115,17 @@ impl Kernel {
     /// entries (a diagnostic for re-sharing-heavy workloads).
     pub fn queue_compactions(&self) -> u64 {
         self.compactions
+    }
+
+    /// Which future-event-list implementation backs this kernel.
+    pub fn fel(&self) -> FelImpl {
+        self.queue.fel()
+    }
+
+    /// The event queue's hot-path counters (all zero unless the `profile`
+    /// cargo feature is enabled).
+    pub fn queue_profile(&self) -> FelProfile {
+        self.queue.profile()
     }
 
     // ------------------------------------------------------------------
@@ -323,17 +364,24 @@ impl Kernel {
         slot.remaining = 0.0;
         slot.state = ActivityState::Done;
         let id = ActivityId { index, generation };
-        let waiters = std::mem::take(&mut slot.waiters);
+        // Swap the waiter list with a reusable scratch buffer: capacities
+        // circulate between the scratch and the slots, so steady-state
+        // completions never touch the allocator.
+        let mut waiters = std::mem::take(&mut self.wake_scratch);
+        debug_assert!(waiters.is_empty());
+        std::mem::swap(&mut self.slots[index as usize].waiters, &mut waiters);
         self.live_activities -= 1;
         self.release(index);
         let mut first = None;
-        for (i, w) in waiters.into_iter().enumerate() {
+        for (i, &w) in waiters.iter().enumerate() {
             if i == 0 {
                 first = Some((ActorId(w), Wake::Activity(id)));
             } else {
                 self.ready.push_back((ActorId(w), Wake::Activity(id)));
             }
         }
+        waiters.clear();
+        self.wake_scratch = waiters;
         first.or_else(|| self.ready.pop_front())
     }
 
@@ -598,5 +646,50 @@ mod tests {
         assert_eq!(actor, ActorId(0));
         assert_eq!(wake, Wake::Activity(a));
         assert_eq!(k.now(), Time::from_secs(5.0));
+    }
+
+    #[test]
+    fn replay_sizing_is_the_runners_heuristic() {
+        let (activities, events) = crate::kernel::replay_sizing(16);
+        assert_eq!(activities, 16 * IN_FLIGHT_PER_RANK);
+        assert_eq!(events, 2 * activities);
+    }
+
+    /// The kernel-level differential check: an identical churn-heavy
+    /// workload (rate changes, timers, cancellations, compactions) run
+    /// under both FEL implementations must produce the same wake sequence
+    /// at bit-identical times.
+    #[test]
+    fn heap_and_ladder_kernels_agree_under_churn() {
+        let run = |fel: FelImpl| {
+            let mut k = Kernel::with_capacity_fel(0, 0, fel);
+            assert_eq!(k.fel(), fel);
+            let acts: Vec<_> = (0..48)
+                .map(|i| k.start_activity(1e6 + f64::from(i as u32), 1.0))
+                .collect();
+            let mut trace: Vec<(u32, f64)> = Vec::new();
+            for round in 0..200u32 {
+                for (i, &a) in acts.iter().enumerate() {
+                    k.set_rate(a, 1.0 + f64::from((round as usize + i) as u32 % 11));
+                }
+                k.set_timer(ActorId(999), Duration::from_secs(f64::from(round) * 0.01), u64::from(round));
+                if round % 7 == 0 {
+                    let (actor, _) = k.next_wake().unwrap();
+                    trace.push((actor.0, k.now().as_secs()));
+                }
+                if round == 150 {
+                    k.cancel(acts[3]);
+                }
+            }
+            for (i, &a) in acts.iter().enumerate() {
+                k.subscribe(a, ActorId(i as u32));
+            }
+            while let Some((actor, _)) = k.next_wake() {
+                trace.push((actor.0, k.now().as_secs()));
+            }
+            assert!(k.queue_compactions() > 0, "churn must trigger compaction");
+            (trace, k.now().as_secs().to_bits(), k.events_processed())
+        };
+        assert_eq!(run(FelImpl::Heap), run(FelImpl::Ladder));
     }
 }

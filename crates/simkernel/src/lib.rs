@@ -38,7 +38,8 @@ pub mod time;
 
 pub use actor::{Actor, ActorId, Status, Wake};
 pub use activity::{ActivityId, ActivityState};
-pub use kernel::Kernel;
+pub use kernel::{replay_sizing, Kernel, IN_FLIGHT_PER_RANK};
+pub use queue::{FelImpl, FelProfile};
 pub use rng::DetRng;
 pub use sim::{Sim, SimOutcome};
 pub use time::{Duration, Time};

@@ -1,21 +1,44 @@
 //! The future event list: a deterministic priority queue of timestamped
-//! events with lazy cancellation.
+//! events with lazy cancellation, available in two implementations behind
+//! one API.
 //!
 //! Events are ordered by `(time, sequence)`: the sequence number is assigned
 //! at insertion, so simultaneous events fire in insertion order. Cancellation
-//! is *lazy*: cancelled entries stay in the heap and are skipped when popped,
+//! is *lazy*: cancelled entries stay queued and are skipped when popped,
 //! identified by a generation counter stored alongside the target. This is
 //! the standard technique for activities whose completion time is
 //! rescheduled every time resource sharing changes.
 //!
+//! Two implementations are selected by [`FelImpl`]:
+//!
+//! * [`FelImpl::Heap`] — a binary heap, `O(log n)` push and pop. Kept as
+//!   the reference implementation; the differential tests in this module
+//!   prove the ladder pops the exact same `(time, seq)` sequence.
+//! * [`FelImpl::Ladder`] — the default: a ladder (calendar) queue. Events
+//!   land in one of [`LADDER_BUCKETS`] unsorted buckets partitioning the
+//!   current *epoch* of simulated time, `O(1)` per push; each bucket is
+//!   sorted once, when the simulation clock reaches it. Far-future events
+//!   wait in an overflow list that reseeds the next epoch. Because the
+//!   buckets partition time and `(time, seq)` is a unique total key, the
+//!   concatenation of per-bucket sorts reproduces the heap's pop order bit
+//!   for bit.
+//!
 //! Lazy cancellation has a pathology: workloads that re-share rates much
 //! more often than activities complete (large max-min components under
-//! churn) can grow the heap mostly full of dead entries, making every push
-//! and pop pay `O(log dead)`. The queue therefore tracks how many entries
-//! its owner has reported superseded ([`EventQueue::note_superseded`]) and
-//! supports an explicit rebuild ([`EventQueue::compact`]) that the owner
-//! triggers once stale entries exceed half the heap
-//! ([`EventQueue::should_compact`]).
+//! churn) can grow the queue mostly full of dead entries, making every
+//! push and pop pay for the dead weight. The queue therefore tracks how
+//! many entries its owner has reported superseded
+//! ([`EventQueue::note_superseded`]) and supports an explicit purge
+//! ([`EventQueue::compact`]) that the owner triggers once stale entries
+//! form a strict majority of a queue at least [`MIN_COMPACT_LEN`] entries
+//! long ([`EventQueue::should_compact`]). For the heap this is an `O(n)`
+//! rebuild; the ladder instead drops dead entries in place at bucket
+//! granularity (`Vec::retain` per bucket), never re-sorting survivors.
+//!
+//! With the `profile` cargo feature enabled the queue additionally counts
+//! scheduling traffic (events scheduled / superseded / popped, ladder
+//! bucket sorts, epoch reseeds, overflow spills, compactions) in a
+//! [`FelProfile`]; without the feature the counters compile to nothing.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -47,11 +70,20 @@ pub enum EventKind {
     },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     at: Time,
     seq: u64,
     kind: EventKind,
+}
+
+impl Entry {
+    /// The total order key: `(time, insertion sequence)`. Unique, since
+    /// `seq` is unique.
+    #[inline]
+    fn key(&self) -> (Time, u64) {
+        (self.at, self.seq)
+    }
 }
 
 impl PartialEq for Entry {
@@ -78,33 +110,311 @@ impl Ord for Entry {
     }
 }
 
-/// Once the heap holds at least this many entries, a majority of stale
-/// ones triggers [`EventQueue::should_compact`]. Below it, compaction would
-/// churn allocations without a measurable win.
-const MIN_COMPACT_LEN: usize = 64;
+/// Once the queue holds at least this many entries, a *strict majority* of
+/// stale ones triggers [`EventQueue::should_compact`]. Below this floor,
+/// compaction would churn memory without a measurable win. DESIGN.md §4
+/// ("Performance model") documents the same constant.
+pub const MIN_COMPACT_LEN: usize = 64;
 
-/// Deterministic future event list.
-#[derive(Debug, Default)]
+/// Number of rung buckets in the ladder implementation. Each epoch of
+/// simulated time is split evenly across this many unsorted buckets;
+/// events past the epoch wait in an overflow list.
+pub const LADDER_BUCKETS: usize = 64;
+
+/// Selects the future-event-list implementation backing an
+/// [`EventQueue`]. Both implementations pop the exact same `(time, seq)`
+/// sequence for the same pushes; they differ only in cost profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FelImpl {
+    /// Binary heap: `O(log n)` push/pop. The reference implementation.
+    Heap,
+    /// Ladder (calendar) queue: `O(1)` amortized push, one unstable sort
+    /// per bucket as the clock reaches it. The default.
+    #[default]
+    Ladder,
+}
+
+/// Hot-path counters for the event core, surfaced by
+/// [`EventQueue::profile`] and aggregated into `BENCH_replay.json` by the
+/// bench harness. All increments are compiled out unless the `profile`
+/// cargo feature is enabled, so shipping the fields costs nothing on the
+/// replay hot path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FelProfile {
+    /// Events pushed.
+    pub scheduled: u64,
+    /// Entries reported superseded (cumulative; `stale_len` is the live
+    /// count).
+    pub superseded: u64,
+    /// Entries popped, stale or live.
+    pub popped: u64,
+    /// Popped entries the owner reported as stale skips.
+    pub stale_popped: u64,
+    /// Ladder pushes that landed past the current epoch (overflow
+    /// spills).
+    pub spills: u64,
+    /// Ladder buckets sorted into the consumption buffer.
+    pub bucket_sorts: u64,
+    /// Ladder epoch reseeds from the overflow list.
+    pub reseeds: u64,
+    /// Explicit compactions performed.
+    pub compactions: u64,
+}
+
+impl FelProfile {
+    /// Events popped and actually delivered (popped minus stale skips).
+    pub fn fired(&self) -> u64 {
+        self.popped - self.stale_popped
+    }
+}
+
+/// Increments a profile counter; compiles to nothing without the
+/// `profile` feature.
+#[inline(always)]
+fn bump(_counter: &mut u64) {
+    #[cfg(feature = "profile")]
+    {
+        *_counter += 1;
+    }
+}
+
+/// The ladder queue. `bottom` holds the already-reached part of the
+/// epoch, sorted *descending* by `(time, seq)` so the next event pops
+/// from the back; `buckets[cur..]` partition the rest of the epoch into
+/// unsorted time slices; `overflow` holds everything past the epoch and
+/// seeds the next one. All buffers are recycled (swap + `drain`), so a
+/// warmed-up ladder performs no allocation.
+#[derive(Debug)]
+struct Ladder {
+    bottom: Vec<Entry>,
+    buckets: Vec<Vec<Entry>>,
+    /// First bucket not yet drained into `bottom`.
+    cur: usize,
+    /// Epoch origin, seconds. Meaningless until the first reseed.
+    epoch_start: f64,
+    /// Bucket width, seconds; zero until the first reseed.
+    width: f64,
+    overflow: Vec<Entry>,
+    /// Reusable reseed buffer.
+    scratch: Vec<Entry>,
+    len: usize,
+}
+
+impl Ladder {
+    fn with_capacity(capacity: usize) -> Ladder {
+        Ladder {
+            bottom: Vec::new(),
+            buckets: std::iter::repeat_with(Vec::new).take(LADDER_BUCKETS).collect(),
+            cur: LADDER_BUCKETS,
+            epoch_start: 0.0,
+            width: 0.0,
+            overflow: Vec::with_capacity(capacity),
+            scratch: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Bucket index of `t` under the current epoch. The `f64 → usize`
+    /// cast saturates, so times before the epoch map to 0 and far-future
+    /// times map past [`LADDER_BUCKETS`]; callers route on the result.
+    /// This is the *single* placement formula — push, reseed, and peek
+    /// all use it, so an entry's segment is always consistent with the
+    /// drain order.
+    #[inline]
+    fn slot(&self, t: f64) -> usize {
+        ((t - self.epoch_start) / self.width) as usize
+    }
+
+    fn push(&mut self, e: Entry, profile: &mut FelProfile) {
+        self.len += 1;
+        if self.width == 0.0 {
+            // No epoch yet: everything collects in overflow until the
+            // first pop reseeds.
+            self.overflow.push(e);
+            return;
+        }
+        let s = self.slot(e.at.as_secs());
+        if s < self.cur {
+            // The event lands in the already-drained region: merge it
+            // into the sorted bottom (descending, earliest at the back).
+            // Keys are unique, so the insertion point is unambiguous.
+            let key = e.key();
+            let pos = self.bottom.partition_point(|x| x.key() > key);
+            self.bottom.insert(pos, e);
+        } else if s < LADDER_BUCKETS {
+            self.buckets[s].push(e);
+        } else {
+            bump(&mut profile.spills);
+            self.overflow.push(e);
+        }
+    }
+
+    fn pop(&mut self, profile: &mut FelProfile) -> Option<Entry> {
+        loop {
+            if let Some(e) = self.bottom.pop() {
+                self.len -= 1;
+                return Some(e);
+            }
+            while self.cur < LADDER_BUCKETS {
+                if self.buckets[self.cur].is_empty() {
+                    self.cur += 1;
+                    continue;
+                }
+                // Reuse the bottom's storage for the bucket and vice
+                // versa; capacities circulate instead of reallocating.
+                std::mem::swap(&mut self.bottom, &mut self.buckets[self.cur]);
+                self.cur += 1;
+                // Unstable sort allocates nothing; keys are unique so
+                // stability is irrelevant. Descending: pop from the back.
+                self.bottom.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+                bump(&mut profile.bucket_sorts);
+                break;
+            }
+            if !self.bottom.is_empty() {
+                continue;
+            }
+            if self.overflow.is_empty() {
+                return None;
+            }
+            self.reseed(profile);
+        }
+    }
+
+    /// Starts a new epoch over the overflow list. The entry at the
+    /// minimum time always lands in bucket 0, so every reseed makes
+    /// progress; entries the placement formula still puts past the last
+    /// bucket (at most a rounding fringe) stay in overflow for the epoch
+    /// after.
+    fn reseed(&mut self, profile: &mut FelProfile) {
+        debug_assert!(self.bottom.is_empty());
+        debug_assert!(self.buckets.iter().all(Vec::is_empty));
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for e in &self.overflow {
+            let t = e.at.as_secs();
+            min = min.min(t);
+            max = max.max(t);
+        }
+        self.epoch_start = min;
+        let span = max - min;
+        self.width = if span > 0.0 {
+            span / LADDER_BUCKETS as f64
+        } else {
+            1.0
+        };
+        self.cur = 0;
+        std::mem::swap(&mut self.overflow, &mut self.scratch);
+        let (epoch_start, width) = (self.epoch_start, self.width);
+        for e in self.scratch.drain(..) {
+            // Same placement formula as `slot` (inlined: `drain` holds a
+            // field borrow).
+            let s = ((e.at.as_secs() - epoch_start) / width) as usize;
+            if s < LADDER_BUCKETS {
+                self.buckets[s].push(e);
+            } else {
+                self.overflow.push(e);
+            }
+        }
+        bump(&mut profile.reseeds);
+    }
+
+    /// Earliest pending time. Bottom answers in `O(1)`; otherwise the
+    /// first non-empty segment is scanned (segments are ordered by time,
+    /// so its minimum is the global minimum).
+    fn peek_time(&self) -> Option<Time> {
+        if let Some(e) = self.bottom.last() {
+            return Some(e.at);
+        }
+        for b in &self.buckets[self.cur.min(LADDER_BUCKETS)..] {
+            if !b.is_empty() {
+                return b.iter().map(|e| e.at).min();
+            }
+        }
+        self.overflow.iter().map(|e| e.at).min()
+    }
+
+    /// Drops dead entries in place, bucket by bucket. `Vec::retain`
+    /// preserves relative order (and the bottom's sortedness), so
+    /// survivors keep their exact pop ranks without any re-sort.
+    fn compact(&mut self, keep: &mut impl FnMut(&EventKind) -> bool) {
+        self.bottom.retain(|e| keep(&e.kind));
+        for b in &mut self.buckets {
+            b.retain(|e| keep(&e.kind));
+        }
+        self.overflow.retain(|e| keep(&e.kind));
+        self.len = self.bottom.len()
+            + self.buckets.iter().map(Vec::len).sum::<usize>()
+            + self.overflow.len();
+    }
+}
+
+#[derive(Debug)]
+enum Fel {
+    Heap(BinaryHeap<Entry>),
+    Ladder(Ladder),
+}
+
+/// Deterministic future event list. See the [module docs](self).
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Entry>,
+    fel: Fel,
     next_seq: u64,
-    /// Entries still in the heap that the owner has reported superseded.
+    /// Entries still queued that the owner has reported superseded.
     stale: usize,
+    profile: FelProfile,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default implementation
+    /// ([`FelImpl::Ladder`]).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_fel(FelImpl::default())
     }
 
-    /// Creates an empty queue with room for `capacity` events.
+    /// Creates an empty queue backed by `fel`.
+    pub fn with_fel(fel: FelImpl) -> Self {
+        Self::with_capacity_fel(0, fel)
+    }
+
+    /// Creates an empty queue with room for `capacity` events, using the
+    /// default implementation.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_fel(capacity, FelImpl::default())
+    }
+
+    /// Creates an empty queue with room for `capacity` events, backed by
+    /// `fel`.
+    pub fn with_capacity_fel(capacity: usize, fel: FelImpl) -> Self {
+        let fel = match fel {
+            FelImpl::Heap => Fel::Heap(BinaryHeap::with_capacity(capacity)),
+            FelImpl::Ladder => Fel::Ladder(Ladder::with_capacity(capacity)),
+        };
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            fel,
             next_seq: 0,
             stale: 0,
+            profile: FelProfile::default(),
         }
+    }
+
+    /// Which implementation backs this queue.
+    pub fn fel(&self) -> FelImpl {
+        match self.fel {
+            Fel::Heap(_) => FelImpl::Heap,
+            Fel::Ladder(_) => FelImpl::Ladder,
+        }
+    }
+
+    /// The hot-path counters gathered so far (all zero unless the
+    /// `profile` cargo feature is enabled).
+    pub fn profile(&self) -> FelProfile {
+        self.profile
     }
 
     /// Schedules `kind` to fire at `at`. Events scheduled for the same
@@ -113,7 +423,12 @@ impl EventQueue {
         debug_assert!(!at.is_never(), "cannot schedule an event at NEVER");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, kind });
+        bump(&mut self.profile.scheduled);
+        let e = Entry { at, seq, kind };
+        match &mut self.fel {
+            Fel::Heap(h) => h.push(e),
+            Fel::Ladder(l) => l.push(e, &mut self.profile),
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is
@@ -121,28 +436,40 @@ impl EventQueue {
     /// them (generation/schedule mismatch) and must report the skip with
     /// [`EventQueue::note_stale_popped`].
     pub fn pop(&mut self) -> Option<(Time, EventKind)> {
-        self.heap.pop().map(|e| (e.at, e.kind))
+        let e = match &mut self.fel {
+            Fel::Heap(h) => h.pop(),
+            Fel::Ladder(l) => l.pop(&mut self.profile),
+        }?;
+        bump(&mut self.profile.popped);
+        Some((e.at, e.kind))
     }
 
     /// The timestamp of the earliest pending entry — a *lower bound* on the
     /// next live event's time, since the earliest entry may be a stale one
-    /// that will be skipped. Always `O(1)`, compaction or not.
+    /// that will be skipped. `O(1)` for the heap; the ladder may scan its
+    /// first non-empty segment.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+        match &self.fel {
+            Fel::Heap(h) => h.peek().map(|e| e.at),
+            Fel::Ladder(l) => l.peek_time(),
+        }
     }
 
     /// Number of pending entries, *including* superseded (stale) ones that
     /// will be skipped when popped. Use [`EventQueue::live_len`] for the
     /// number of events that will actually fire.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.fel {
+            Fel::Heap(h) => h.len(),
+            Fel::Ladder(l) => l.len,
+        }
     }
 
     /// Number of pending entries that are still live (will fire), assuming
     /// every superseded entry was reported via
     /// [`EventQueue::note_superseded`].
     pub fn live_len(&self) -> usize {
-        self.heap.len() - self.stale
+        self.len() - self.stale
     }
 
     /// Number of entries reported superseded and not yet popped or
@@ -153,15 +480,16 @@ impl EventQueue {
 
     /// `true` when no entries are pending (live or stale).
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
-    /// Records that one entry currently in the heap has been superseded
-    /// (its target was rescheduled or cancelled) and will be skipped when
+    /// Records that one entry currently queued has been superseded (its
+    /// target was rescheduled or cancelled) and will be skipped when
     /// popped.
     pub fn note_superseded(&mut self) {
-        debug_assert!(self.stale < self.heap.len(), "more stale entries than entries");
+        debug_assert!(self.stale < self.len(), "more stale entries than entries");
         self.stale += 1;
+        bump(&mut self.profile.superseded);
     }
 
     /// Records that a popped entry turned out to be stale (the owner
@@ -169,24 +497,32 @@ impl EventQueue {
     pub fn note_stale_popped(&mut self) {
         debug_assert!(self.stale > 0, "stale pop without a matching note_superseded");
         self.stale = self.stale.saturating_sub(1);
+        bump(&mut self.profile.stale_popped);
     }
 
-    /// `true` when stale entries dominate the heap and a
+    /// `true` when stale entries form a strict majority of a queue at
+    /// least [`MIN_COMPACT_LEN`] entries long, so an
     /// [`EventQueue::compact`] would more than halve it.
     pub fn should_compact(&self) -> bool {
-        self.heap.len() >= MIN_COMPACT_LEN && self.stale * 2 > self.heap.len()
+        self.len() >= MIN_COMPACT_LEN && self.stale * 2 > self.len()
     }
 
-    /// Rebuilds the heap keeping only entries for which `keep` returns
-    /// `true`, and resets the stale count. `O(n)`: the retained entries are
-    /// re-heapified in bulk. Pop order of the survivors is unchanged — it
-    /// is fully determined by each entry's `(time, sequence)` key, which
-    /// compaction does not touch.
+    /// Drops every entry for which `keep` returns `false` and resets the
+    /// stale count. Pop order of the survivors is unchanged — it is fully
+    /// determined by each entry's `(time, sequence)` key, which compaction
+    /// does not touch. `O(n)` for the heap (bulk re-heapify); the ladder
+    /// retains in place at bucket granularity without re-sorting.
     pub fn compact(&mut self, mut keep: impl FnMut(&EventKind) -> bool) {
-        let mut entries = std::mem::take(&mut self.heap).into_vec();
-        entries.retain(|e| keep(&e.kind));
-        self.heap = BinaryHeap::from(entries);
+        match &mut self.fel {
+            Fel::Heap(h) => {
+                let mut entries = std::mem::take(h).into_vec();
+                entries.retain(|e| keep(&e.kind));
+                *h = BinaryHeap::from(entries);
+            }
+            Fel::Ladder(l) => l.compact(&mut keep),
+        }
         self.stale = 0;
+        bump(&mut self.profile.compactions);
     }
 }
 
@@ -198,57 +534,70 @@ mod tests {
         EventKind::Timer { actor, key }
     }
 
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(Time::from_secs(3.0), timer(0, 3));
-        q.push(Time::from_secs(1.0), timer(0, 1));
-        q.push(Time::from_secs(2.0), timer(0, 2));
-        let keys: Vec<u64> = std::iter::from_fn(|| q.pop())
+    fn drain_keys(q: &mut EventQueue) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop())
             .map(|(_, k)| match k {
                 EventKind::Timer { key, .. } => key,
-                _ => unreachable!(),
+                EventKind::ActivityComplete { .. } => unreachable!(),
             })
-            .collect();
-        assert_eq!(keys, vec![1, 2, 3]);
+            .collect()
+    }
+
+    #[test]
+    fn default_impl_is_ladder() {
+        assert_eq!(EventQueue::new().fel(), FelImpl::Ladder);
+        assert_eq!(EventQueue::with_capacity(16).fel(), FelImpl::Ladder);
+        assert_eq!(FelImpl::default(), FelImpl::Ladder);
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        for fel in [FelImpl::Heap, FelImpl::Ladder] {
+            let mut q = EventQueue::with_fel(fel);
+            q.push(Time::from_secs(3.0), timer(0, 3));
+            q.push(Time::from_secs(1.0), timer(0, 1));
+            q.push(Time::from_secs(2.0), timer(0, 2));
+            assert_eq!(drain_keys(&mut q), vec![1, 2, 3], "{fel:?}");
+        }
     }
 
     #[test]
     fn simultaneous_events_fire_in_insertion_order() {
-        let mut q = EventQueue::new();
-        let t = Time::from_secs(5.0);
-        for key in 0..10u64 {
-            q.push(t, timer(0, key));
+        for fel in [FelImpl::Heap, FelImpl::Ladder] {
+            let mut q = EventQueue::with_fel(fel);
+            let t = Time::from_secs(5.0);
+            for key in 0..10u64 {
+                q.push(t, timer(0, key));
+            }
+            assert_eq!(drain_keys(&mut q), (0..10).collect::<Vec<_>>(), "{fel:?}");
         }
-        let keys: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|(_, k)| match k {
-                EventKind::Timer { key, .. } => key,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(keys, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
     fn peek_matches_pop() {
-        let mut q = EventQueue::new();
-        q.push(Time::from_secs(2.0), timer(0, 0));
-        q.push(Time::from_secs(1.0), timer(0, 1));
-        assert_eq!(q.peek_time(), Some(Time::from_secs(1.0)));
-        let (t, _) = q.pop().unwrap();
-        assert_eq!(t, Time::from_secs(1.0));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        for fel in [FelImpl::Heap, FelImpl::Ladder] {
+            let mut q = EventQueue::with_fel(fel);
+            q.push(Time::from_secs(2.0), timer(0, 0));
+            q.push(Time::from_secs(1.0), timer(0, 1));
+            assert_eq!(q.peek_time(), Some(Time::from_secs(1.0)), "{fel:?}");
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, Time::from_secs(1.0));
+            assert_eq!(q.peek_time(), Some(Time::from_secs(2.0)), "{fel:?}");
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        }
     }
 
     #[test]
     fn empty_queue_behaviour() {
-        let mut q = EventQueue::new();
-        assert!(q.pop().is_none());
-        assert!(q.peek_time().is_none());
-        assert!(q.is_empty());
-        assert_eq!(q.live_len(), 0);
-        assert_eq!(q.stale_len(), 0);
+        for fel in [FelImpl::Heap, FelImpl::Ladder] {
+            let mut q = EventQueue::with_fel(fel);
+            assert!(q.pop().is_none());
+            assert!(q.peek_time().is_none());
+            assert!(q.is_empty());
+            assert_eq!(q.live_len(), 0);
+            assert_eq!(q.stale_len(), 0);
+        }
     }
 
     #[test]
@@ -270,29 +619,26 @@ mod tests {
 
     #[test]
     fn compact_drops_only_filtered_entries_and_preserves_order() {
-        let mut q = EventQueue::new();
-        // Interleave keepers (keys divisible by 3) and stale entries at
-        // identical timestamps so FIFO order is exercised across a rebuild.
-        for key in 0..99u64 {
-            q.push(Time::from_secs((key / 10) as f64), timer(0, key));
-            if key % 3 != 0 {
-                q.note_superseded();
+        for fel in [FelImpl::Heap, FelImpl::Ladder] {
+            let mut q = EventQueue::with_fel(fel);
+            // Interleave keepers (keys divisible by 3) and stale entries at
+            // identical timestamps so FIFO order is exercised across a
+            // purge.
+            for key in 0..99u64 {
+                q.push(Time::from_secs((key / 10) as f64), timer(0, key));
+                if key % 3 != 0 {
+                    q.note_superseded();
+                }
             }
+            assert!(q.should_compact(), "2/3 stale is a strict majority");
+            q.compact(|k| matches!(k, EventKind::Timer { key, .. } if key % 3 == 0));
+            assert_eq!(q.len(), 33);
+            assert_eq!(q.live_len(), 33);
+            assert_eq!(q.stale_len(), 0);
+            assert!(!q.should_compact());
+            let expect: Vec<u64> = (0..99).filter(|k| k % 3 == 0).collect();
+            assert_eq!(drain_keys(&mut q), expect, "{fel:?}");
         }
-        assert!(q.should_compact(), "2/3 stale is a strict majority");
-        q.compact(|k| matches!(k, EventKind::Timer { key, .. } if key % 3 == 0));
-        assert_eq!(q.len(), 33);
-        assert_eq!(q.live_len(), 33);
-        assert_eq!(q.stale_len(), 0);
-        assert!(!q.should_compact());
-        let keys: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|(_, k)| match k {
-                EventKind::Timer { key, .. } => key,
-                _ => unreachable!(),
-            })
-            .collect();
-        let expect: Vec<u64> = (0..99).filter(|k| k % 3 == 0).collect();
-        assert_eq!(keys, expect);
     }
 
     #[test]
@@ -304,8 +650,59 @@ mod tests {
         for _ in 0..9 {
             q.note_superseded();
         }
-        // 90% stale but below the size floor: not worth a rebuild.
+        // 90% stale but below the size floor: not worth a purge.
         assert!(!q.should_compact());
+    }
+
+    #[test]
+    fn ladder_reseeds_across_sparse_epochs() {
+        // Clusters of events separated by huge gaps force epoch turnover:
+        // every cluster past the first starts life in overflow.
+        let mut q = EventQueue::with_fel(FelImpl::Ladder);
+        let mut expect = Vec::new();
+        let mut key = 0u64;
+        for cluster in 0..5 {
+            let base = cluster as f64 * 1e9;
+            for i in 0..50u64 {
+                let t = base + ((i * 37) % 50) as f64;
+                q.push(Time::from_secs(t), timer(0, key));
+                expect.push((t, key));
+                key += 1;
+            }
+        }
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let got: Vec<(f64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, k)| match k {
+                EventKind::Timer { key, .. } => (t.as_secs(), key),
+                EventKind::ActivityComplete { .. } => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ladder_accepts_pushes_into_the_drained_region() {
+        // Pop half an epoch, then push events earlier than everything
+        // still queued (but later than the last pop): they must merge into
+        // the bottom and pop next.
+        let mut q = EventQueue::with_fel(FelImpl::Ladder);
+        for key in 0..100u64 {
+            q.push(Time::from_secs(key as f64), timer(0, key));
+        }
+        for expect in 0..50u64 {
+            let (_, EventKind::Timer { key, .. }) = q.pop().unwrap() else {
+                unreachable!()
+            };
+            assert_eq!(key, expect);
+        }
+        q.push(Time::from_secs(49.5), timer(0, 1000));
+        q.push(Time::from_secs(49.25), timer(0, 1001));
+        assert_eq!(q.peek_time(), Some(Time::from_secs(49.25)));
+        assert_eq!(drain_keys(&mut q), {
+            let mut v = vec![1001, 1000];
+            v.extend(50..100);
+            v
+        });
     }
 }
 
@@ -313,24 +710,27 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::HashSet;
 
     proptest! {
         /// Popping yields a non-decreasing sequence of times regardless of
-        /// insertion order.
+        /// insertion order, for both implementations.
         #[test]
         fn pop_order_is_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
-            let mut q = EventQueue::new();
-            for (i, t) in times.iter().enumerate() {
-                q.push(Time::from_secs(*t), EventKind::Timer { actor: 0, key: i as u64 });
+            for fel in [FelImpl::Heap, FelImpl::Ladder] {
+                let mut q = EventQueue::with_fel(fel);
+                for (i, t) in times.iter().enumerate() {
+                    q.push(Time::from_secs(*t), EventKind::Timer { actor: 0, key: i as u64 });
+                }
+                let mut last = Time::ZERO;
+                let mut n = 0;
+                while let Some((t, _)) = q.pop() {
+                    prop_assert!(t >= last);
+                    last = t;
+                    n += 1;
+                }
+                prop_assert_eq!(n, times.len());
             }
-            let mut last = Time::ZERO;
-            let mut n = 0;
-            while let Some((t, _)) = q.pop() {
-                prop_assert!(t >= last);
-                last = t;
-                n += 1;
-            }
-            prop_assert_eq!(n, times.len());
         }
 
         /// Compacting away a random subset of entries never perturbs the
@@ -339,46 +739,125 @@ mod proptests {
         fn compact_preserves_survivor_order(
             entries in proptest::collection::vec((0.0f64..100.0, proptest::prelude::any::<bool>()), 1..300),
         ) {
-            let mut q = EventQueue::new();
-            let mut reference = EventQueue::new();
-            for (i, (t, live)) in entries.iter().enumerate() {
-                q.push(Time::from_secs(*t), EventKind::Timer { actor: u32::from(*live), key: i as u64 });
-                if *live {
-                    reference.push(Time::from_secs(*t), EventKind::Timer { actor: 1, key: i as u64 });
-                } else {
-                    q.note_superseded();
+            for fel in [FelImpl::Heap, FelImpl::Ladder] {
+                let mut q = EventQueue::with_fel(fel);
+                let mut reference = EventQueue::with_fel(fel);
+                for (i, (t, live)) in entries.iter().enumerate() {
+                    q.push(Time::from_secs(*t), EventKind::Timer { actor: u32::from(*live), key: i as u64 });
+                    if *live {
+                        reference.push(Time::from_secs(*t), EventKind::Timer { actor: 1, key: i as u64 });
+                    } else {
+                        q.note_superseded();
+                    }
                 }
+                q.compact(|k| matches!(k, EventKind::Timer { actor: 1, .. }));
+                prop_assert_eq!(q.stale_len(), 0);
+                while let Some((t, EventKind::Timer { key, .. })) = q.pop() {
+                    // The reference queue saw the live entries pushed in the
+                    // same relative order, so (time, seq) ranks them
+                    // identically.
+                    let (rt, EventKind::Timer { key: rkey, .. }) = reference.pop().unwrap() else {
+                        unreachable!()
+                    };
+                    prop_assert_eq!(t, rt);
+                    prop_assert_eq!(key, rkey);
+                }
+                prop_assert!(reference.is_empty());
             }
-            q.compact(|k| matches!(k, EventKind::Timer { actor: 1, .. }));
-            prop_assert_eq!(q.stale_len(), 0);
-            while let Some((t, EventKind::Timer { key, .. })) = q.pop() {
-                // The reference queue saw the live entries pushed in the same
-                // relative order, so (time, seq) ranks them identically.
-                let (rt, EventKind::Timer { key: rkey, .. }) = reference.pop().unwrap() else {
-                    unreachable!()
-                };
-                prop_assert_eq!(t, rt);
-                prop_assert_eq!(key, rkey);
-            }
-            prop_assert!(reference.is_empty());
         }
 
         /// FIFO among equal timestamps holds for any partition of keys into
         /// timestamp groups.
         #[test]
         fn fifo_within_groups(groups in proptest::collection::vec(0u8..4, 1..100)) {
-            let mut q = EventQueue::new();
-            for (i, g) in groups.iter().enumerate() {
-                q.push(Time::from_secs(*g as f64), EventKind::Timer { actor: 0, key: i as u64 });
-            }
-            let mut seen_per_group: [Option<u64>; 4] = [None; 4];
-            while let Some((t, EventKind::Timer { key, .. })) = q.pop() {
-                let g = t.as_secs() as usize;
-                if let Some(prev) = seen_per_group[g] {
-                    prop_assert!(key > prev, "FIFO violated in group {}", g);
+            for fel in [FelImpl::Heap, FelImpl::Ladder] {
+                let mut q = EventQueue::with_fel(fel);
+                for (i, g) in groups.iter().enumerate() {
+                    q.push(Time::from_secs(*g as f64), EventKind::Timer { actor: 0, key: i as u64 });
                 }
-                seen_per_group[g] = Some(key);
+                let mut seen_per_group: [Option<u64>; 4] = [None; 4];
+                while let Some((t, EventKind::Timer { key, .. })) = q.pop() {
+                    let g = t.as_secs() as usize;
+                    if let Some(prev) = seen_per_group[g] {
+                        prop_assert!(key > prev, "FIFO violated in group {}", g);
+                    }
+                    seen_per_group[g] = Some(key);
+                }
             }
+        }
+
+        /// The differential acceptance test for the ladder: any random
+        /// interleaving of pushes (including time clusters far apart and
+        /// duplicate timestamps), pops, supersedes, and compactions
+        /// produces a pop sequence bit-identical to the binary heap's.
+        #[test]
+        fn fel_heap_vs_ladder_identical(
+            ops in proptest::collection::vec((0u8..12, 0u32..4, 0.0f64..100.0), 1..400),
+        ) {
+            let mut heap = EventQueue::with_fel(FelImpl::Heap);
+            let mut ladder = EventQueue::with_fel(FelImpl::Ladder);
+            // Keys pushed and not yet popped, oldest first, plus the set
+            // already marked superseded — the "owner" state driving both
+            // queues identically.
+            let mut pending: Vec<u64> = Vec::new();
+            let mut dead: HashSet<u64> = HashSet::new();
+            let mut next_key = 0u64;
+            let pop_both = |heap: &mut EventQueue,
+                            ladder: &mut EventQueue,
+                            pending: &mut Vec<u64>,
+                            dead: &mut HashSet<u64>| {
+                let a = heap.pop();
+                let b = ladder.pop();
+                prop_assert_eq!(a, b, "heap and ladder disagree");
+                if let Some((_, EventKind::Timer { key, .. })) = a {
+                    pending.retain(|k| *k != key);
+                    if dead.remove(&key) {
+                        heap.note_stale_popped();
+                        ladder.note_stale_popped();
+                    }
+                }
+            };
+            for (op, cluster, t) in ops {
+                match op {
+                    // Push: timestamps drawn from one of four clusters a
+                    // billion seconds apart, to exercise epoch reseeds.
+                    0..=5 => {
+                        let at = Time::from_secs(f64::from(cluster) * 1e9 + t);
+                        let key = next_key;
+                        next_key += 1;
+                        heap.push(at, EventKind::Timer { actor: 0, key });
+                        ladder.push(at, EventKind::Timer { actor: 0, key });
+                        pending.push(key);
+                    }
+                    // Pop and compare.
+                    6..=8 => {
+                        pop_both(&mut heap, &mut ladder, &mut pending, &mut dead);
+                    }
+                    // Supersede the oldest still-live pending entry.
+                    9..=10 => {
+                        if let Some(&key) = pending.iter().find(|k| !dead.contains(k)) {
+                            dead.insert(key);
+                            heap.note_superseded();
+                            ladder.note_superseded();
+                        }
+                    }
+                    // Compact both, dropping the dead set.
+                    _ => {
+                        prop_assert_eq!(heap.should_compact(), ladder.should_compact());
+                        heap.compact(|k| matches!(k, EventKind::Timer { key, .. } if !dead.contains(key)));
+                        ladder.compact(|k| matches!(k, EventKind::Timer { key, .. } if !dead.contains(key)));
+                        pending.retain(|k| !dead.contains(k));
+                        dead.clear();
+                    }
+                }
+                prop_assert_eq!(heap.len(), ladder.len());
+                prop_assert_eq!(heap.live_len(), ladder.live_len());
+                prop_assert_eq!(heap.peek_time(), ladder.peek_time());
+            }
+            while !heap.is_empty() || !ladder.is_empty() {
+                pop_both(&mut heap, &mut ladder, &mut pending, &mut dead);
+            }
+            prop_assert!(heap.pop().is_none() && ladder.pop().is_none());
         }
     }
 }

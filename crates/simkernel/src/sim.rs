@@ -3,6 +3,7 @@
 
 use crate::actor::{Actor, ActorId, Status, Wake};
 use crate::kernel::Kernel;
+use crate::queue::FelImpl;
 use crate::time::Time;
 
 /// Why [`Sim::run`] stopped.
@@ -58,8 +59,14 @@ impl<W> Sim<W> {
     /// that know the rank count and a per-rank in-flight bound should use
     /// this to avoid reallocation during replay.
     pub fn with_capacity(world: W, activities: usize, events: usize) -> Self {
+        Self::with_capacity_fel(world, activities, events, FelImpl::default())
+    }
+
+    /// [`Sim::with_capacity`] with an explicit future-event-list
+    /// implementation (see [`FelImpl`]).
+    pub fn with_capacity_fel(world: W, activities: usize, events: usize, fel: FelImpl) -> Self {
         Sim {
-            kernel: Kernel::with_capacity(activities, events),
+            kernel: Kernel::with_capacity_fel(activities, events, fel),
             world,
             actors: Vec::new(),
             states: Vec::new(),

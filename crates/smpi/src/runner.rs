@@ -9,12 +9,6 @@ use crate::hooks::ExecHooks;
 use crate::world::{SmpiWorld, WorldStats};
 use crate::SmpiConfig;
 
-/// Per-rank bound on simultaneously live activities used to pre-size the
-/// kernel: one compute burst plus a handful of overlapping transfers
-/// (point-to-point plus collective fan-in/out). Exceeding it only costs a
-/// reallocation.
-const IN_FLIGHT_PER_RANK: usize = 8;
-
 /// Outcome of one simulated execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SmpiResult {
@@ -82,16 +76,15 @@ fn run_inner(
     assert!(ranks > 0, "no ranks to run");
     assert_eq!(hosts.len(), ranks, "one host per rank required");
     let transport = ActorId(ranks as u32);
+    let fel = cfg.fel;
     let mut world = SmpiWorld::new(platform, hosts, cfg, hooks, transport);
     if record_timeline {
         world.enable_timeline();
     }
-    // Pre-size the kernel's hot collections from the workload shape: each
-    // rank keeps at most one compute activity plus a bounded number of
-    // in-flight transfers alive, and every activity contributes one live
-    // completion event (plus transient stale ones the queue compacts away).
-    let activities = ranks * IN_FLIGHT_PER_RANK;
-    let mut sim = Sim::with_capacity(world, activities, 2 * activities);
+    // Pre-size the kernel's hot collections from the workload shape (see
+    // `simkernel::replay_sizing` for the heuristic).
+    let (activities, events) = simkernel::replay_sizing(ranks);
+    let mut sim = Sim::with_capacity_fel(world, activities, events, fel);
     for (r, source) in sources.into_iter().enumerate() {
         let me = ActorId(r as u32);
         let id = sim.spawn(Box::new(RankActor::new(r as u32, me, source)));

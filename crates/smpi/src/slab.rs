@@ -1,7 +1,10 @@
 //! A small generational slab for runtime records (messages, posts,
-//! requests). Simulation runs create and retire millions of records;
-//! recycling slots keeps memory flat, and generations make stale handles
-//! detectable instead of silently aliasing.
+//! requests), plus the slab-indexed side tables the replay hot path uses
+//! instead of hash maps. Simulation runs create and retire millions of
+//! records; recycling slots keeps memory flat, and generations make stale
+//! handles detectable instead of silently aliasing.
+
+use simkernel::{ActivityId, ActorId};
 
 /// Typed handle into a [`Slab`].
 pub struct Id<T> {
@@ -73,8 +76,15 @@ impl<T> Default for Slab<T> {
 impl<T> Slab<T> {
     /// Empty slab.
     pub fn new() -> Slab<T> {
+        Slab::with_capacity(0)
+    }
+
+    /// Empty slab with room for `capacity` entries before the backing
+    /// vector regrows. Runners that know the rank count should pre-size
+    /// record slabs so the replay steady state never reallocates.
+    pub fn with_capacity(capacity: usize) -> Slab<T> {
         Slab {
-            entries: Vec::new(),
+            entries: Vec::with_capacity(capacity),
             free_head: NO_FREE,
             live: 0,
         }
@@ -162,6 +172,133 @@ impl<T> Slab<T> {
     }
 }
 
+/// A side table keyed by [`ActivityId`]: a dense `Vec` indexed by the
+/// activity's kernel slot, validated by its generation. This replaces
+/// `HashMap<ActivityId, T>` on the transport hot path — a lookup is one
+/// bounds check plus one generation compare, with no hashing and no
+/// rehash-driven allocation once the table has grown to the kernel's
+/// activity-slab width (which [`simkernel::replay_sizing`] pre-sizes).
+pub struct ActivityMap<T> {
+    entries: Vec<Option<(u32, T)>>,
+    live: usize,
+}
+
+impl<T> Default for ActivityMap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ActivityMap<T> {
+    /// Empty map.
+    pub fn new() -> ActivityMap<T> {
+        ActivityMap::with_capacity(0)
+    }
+
+    /// Empty map pre-sized for activity slots `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> ActivityMap<T> {
+        let mut entries = Vec::with_capacity(capacity);
+        entries.resize_with(capacity, || None);
+        ActivityMap { entries, live: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a value under `id`'s slot. An entry left behind by an
+    /// earlier generation of the slot is silently replaced (the kernel
+    /// only recycles a slot once its activity is dead); two *live*
+    /// activities can never share a slot, which the debug assertion
+    /// checks.
+    pub fn insert(&mut self, id: ActivityId, value: T) {
+        let index = id.index() as usize;
+        if index >= self.entries.len() {
+            self.entries.resize_with(index + 1, || None);
+        }
+        let slot = &mut self.entries[index];
+        debug_assert!(
+            slot.as_ref().is_none_or(|(g, _)| *g != id.generation()),
+            "two live entries for activity slot {index}"
+        );
+        if slot.replace((id.generation(), value)).is_none() {
+            self.live += 1;
+        }
+    }
+
+    /// Removes and returns the entry for `id`, or `None` when the slot is
+    /// empty or holds a different generation (a stale handle).
+    pub fn remove(&mut self, id: ActivityId) -> Option<T> {
+        let slot = self.entries.get_mut(id.index() as usize)?;
+        if slot.as_ref()?.0 != id.generation() {
+            return None;
+        }
+        self.live -= 1;
+        slot.take().map(|(_, value)| value)
+    }
+
+    /// Shared access; `None` when the handle is stale or absent.
+    pub fn get(&self, id: ActivityId) -> Option<&T> {
+        let (generation, value) = self.entries.get(id.index() as usize)?.as_ref()?;
+        (*generation == id.generation()).then_some(value)
+    }
+}
+
+/// A tiny inline waiter list for protocol records. A message or request
+/// blocks at most two actors in the shipped protocols (a rendezvous
+/// sender and a waiting receiver), so two inline slots cover the steady
+/// state without heap allocation; any excess spills into a `Vec` so the
+/// type stays correct under unusual actor patterns.
+#[derive(Debug, Default)]
+pub struct Waiters {
+    inline: [Option<ActorId>; 2],
+    spill: Vec<ActorId>,
+}
+
+impl Waiters {
+    /// Empty list.
+    pub fn new() -> Waiters {
+        Waiters::default()
+    }
+
+    /// `true` when no actor is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.inline[0].is_none() && self.spill.is_empty()
+    }
+
+    /// Number of waiting actors.
+    pub fn len(&self) -> usize {
+        self.inline.iter().filter(|s| s.is_some()).count() + self.spill.len()
+    }
+
+    /// Appends a waiter (FIFO order is preserved on iteration).
+    pub fn push(&mut self, actor: ActorId) {
+        for slot in &mut self.inline {
+            if slot.is_none() {
+                *slot = Some(actor);
+                return;
+            }
+        }
+        self.spill.push(actor);
+    }
+
+    /// Consumes the list, yielding waiters in push order.
+    pub fn for_each(self, mut f: impl FnMut(ActorId)) {
+        for actor in self.inline.into_iter().flatten() {
+            f(actor);
+        }
+        for actor in self.spill {
+            f(actor);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +354,57 @@ mod tests {
         let a = s.insert(1);
         s.remove(a);
         let _ = s.expect(a);
+    }
+
+    #[test]
+    fn activity_map_indexes_by_slot_and_checks_generation() {
+        let mut k = simkernel::Kernel::new();
+        let a = k.start_activity(1.0, 1.0);
+        let mut m: ActivityMap<u32> = ActivityMap::with_capacity(4);
+        assert!(m.is_empty());
+        m.insert(a, 7);
+        assert_eq!(m.get(a), Some(&7));
+        assert_eq!(m.len(), 1);
+
+        // Recycle the kernel slot: the old handle must not alias the new
+        // entry, and a leftover entry under the old generation is replaced.
+        k.cancel(a);
+        let b = k.start_activity(1.0, 1.0);
+        assert_eq!(b.index(), a.index(), "kernel should recycle the slot");
+        m.insert(b, 9);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(a), None);
+        assert_eq!(m.remove(a), None);
+        assert_eq!(m.remove(b), Some(9));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn activity_map_grows_past_presized_width() {
+        let mut k = simkernel::Kernel::new();
+        let ids: Vec<ActivityId> = (0..8).map(|_| k.start_activity(1.0, 1.0)).collect();
+        let mut m: ActivityMap<u64> = ActivityMap::with_capacity(2);
+        for (i, id) in ids.iter().enumerate() {
+            m.insert(*id, i as u64);
+        }
+        assert_eq!(m.len(), 8);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(m.remove(*id), Some(i as u64));
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn waiters_inline_then_spill_preserve_fifo() {
+        let mut w = Waiters::new();
+        assert!(w.is_empty());
+        for i in 0..4 {
+            w.push(ActorId(i));
+        }
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_empty());
+        let mut order = Vec::new();
+        w.for_each(|a| order.push(a));
+        assert_eq!(order, vec![ActorId(0), ActorId(1), ActorId(2), ActorId(3)]);
     }
 }

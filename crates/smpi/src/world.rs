@@ -23,14 +23,14 @@
 //! stale handle as *complete* — a record that no longer exists has, by
 //! construction, finished its protocol.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use netmodel::{FlowId, FlowNet};
 use platform::{HostId, LinkId, Platform};
-use simkernel::{ActivityId, ActorId, Duration, Kernel, Wake};
+use simkernel::{ActorId, Duration, Kernel, Wake};
 
 use crate::hooks::ExecHooks;
-use crate::slab::{Id, Slab};
+use crate::slab::{ActivityMap, Id, Slab, Waiters};
 use crate::timeline::{SegmentKind, Timeline};
 use crate::SmpiConfig;
 
@@ -55,7 +55,7 @@ pub struct Msg {
     delivered: bool,
     sender_req: Option<ReqId>,
     recv_req: Option<ReqId>,
-    waiters: Vec<ActorId>,
+    waiters: Waiters,
 }
 
 /// A posted receive not yet matched (or matched, awaiting arrival).
@@ -114,6 +114,12 @@ pub struct WorldStats {
     pub flows: u64,
     /// Collective operations executed (counted once per rank).
     pub collective_participations: u64,
+    /// High-water depth of any per-channel unexpected-message queue.
+    /// Only tracked with the `profile` feature; 0 otherwise.
+    pub max_unexpected_depth: u64,
+    /// High-water depth of any per-channel posted-receive queue.
+    /// Only tracked with the `profile` feature; 0 otherwise.
+    pub max_posted_depth: u64,
 }
 
 /// The shared MPI world. See the [module documentation](self).
@@ -141,8 +147,25 @@ pub struct SmpiWorld {
     reqs: Slab<Req>,
     unexpected: Vec<VecDeque<MsgId>>,
     posted: Vec<VecDeque<PostId>>,
-    flow_msg: HashMap<ActivityId, MsgId>,
+    flow_msg: ActivityMap<MsgId>,
     transport: ActorId,
+}
+
+/// Initial capacity of each per-channel match queue. Unexpected/posted
+/// queues are almost always depth ≤ 1 under trace replay (one
+/// outstanding message per (src, dst, channel) at a time); a few slots
+/// of slack mean the match path never regrows mid-replay.
+const CHAN_DEPTH: usize = 4;
+
+/// Records a queue-depth high-water mark. Compiles to nothing without
+/// the `profile` feature, so the match path pays for no bookkeeping.
+#[inline(always)]
+#[allow(unused_variables)]
+fn track_depth(max: &mut u64, depth: usize) {
+    #[cfg(feature = "profile")]
+    {
+        *max = (*max).max(depth as u64);
+    }
 }
 
 impl SmpiWorld {
@@ -183,12 +206,20 @@ impl SmpiWorld {
             routes,
             pair_latency,
             pair_bandwidth,
-            msgs: Slab::new(),
-            posts: Slab::new(),
-            reqs: Slab::new(),
-            unexpected: (0..n * n * CHANNELS).map(|_| VecDeque::new()).collect(),
-            posted: (0..n * n * CHANNELS).map(|_| VecDeque::new()).collect(),
-            flow_msg: HashMap::new(),
+            // Record slabs and the flow side table are pre-sized to the
+            // same per-rank in-flight bound the runners use for the
+            // kernel (see `simkernel::replay_sizing`), so the protocol
+            // steady state never regrows them.
+            msgs: Slab::with_capacity(n * simkernel::IN_FLIGHT_PER_RANK),
+            posts: Slab::with_capacity(n * simkernel::IN_FLIGHT_PER_RANK),
+            reqs: Slab::with_capacity(n * simkernel::IN_FLIGHT_PER_RANK),
+            unexpected: (0..n * n * CHANNELS)
+                .map(|_| VecDeque::with_capacity(CHAN_DEPTH))
+                .collect(),
+            posted: (0..n * n * CHANNELS)
+                .map(|_| VecDeque::with_capacity(CHAN_DEPTH))
+                .collect(),
+            flow_msg: ActivityMap::with_capacity(simkernel::replay_sizing(n).0),
             transport,
         }
     }
@@ -243,7 +274,7 @@ impl SmpiWorld {
             delivered: false,
             sender_req: None,
             recv_req: None,
-            waiters: Vec::new(),
+            waiters: Waiters::new(),
         });
         // Try to match an already-posted receive.
         let chan = self.chan(dst, src, ch);
@@ -258,6 +289,7 @@ impl SmpiWorld {
             self.msgs.expect_mut(msg_id).matched_post = Some(post_id);
         } else {
             self.unexpected[chan].push_back(msg_id);
+            track_depth(&mut self.stats.max_unexpected_depth, self.unexpected[chan].len());
         }
         if eager || matched.is_some() {
             self.start_transfer(kernel, msg_id);
@@ -344,6 +376,7 @@ impl SmpiWorld {
                 waiter: blocking.then_some(actor),
             });
             self.posted[chan].push_back(post_id);
+            track_depth(&mut self.stats.max_posted_depth, self.posted[chan].len());
             if blocking {
                 (RecvResult::WaitPost(post_id), None)
             } else {
@@ -423,7 +456,7 @@ impl SmpiWorld {
     pub fn on_transport_wake(&mut self, kernel: &mut Kernel, wake: Wake) {
         match wake {
             Wake::Activity(act) => {
-                let Some(msg_id) = self.flow_msg.remove(&act) else {
+                let Some(msg_id) = self.flow_msg.remove(act) else {
                     return; // flow of a retired message
                 };
                 let msg = self.msgs.expect_mut(msg_id);
@@ -482,9 +515,9 @@ impl SmpiWorld {
         let recv_req = msg.recv_req.take();
         let matched_post = msg.matched_post;
         let delivered = msg.delivered;
-        for w in waiters {
-            kernel.wake(w, Wake::Signal(msg_id.pack()));
-        }
+        // `Waiters` holds its (at most two) actors inline, so taking and
+        // draining it allocates nothing.
+        waiters.for_each(|w| kernel.wake(w, Wake::Signal(msg_id.pack())));
         if let Some(req) = sender_req {
             self.complete_req(kernel, req);
         }

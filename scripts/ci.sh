@@ -6,9 +6,13 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 # Smoke mode: each bench target runs its bodies once, no sampling.
 cargo bench -p bench -- --test
+
+# FEL smoke: scaled-down heap-vs-ladder churn pass; asserts the profile
+# counters are coherent and the ladder steady state allocation-free.
+cargo run --release -p bench --bin perf_baseline -- --smoke
 
 # Ingest smoke: generate an LU class-B trace, pack it, and check that
 # text (sequential and parallel) and binary ingestion replay to the
