@@ -86,6 +86,9 @@ struct Baseline {
     /// Heap-vs-ladder future event list: churn microbenchmark with
     /// hot-path counters plus end-to-end replay wall times.
     fel: FelSection,
+    /// Recorder overhead: replay with the span recorder disabled vs
+    /// enabled (the disabled column is the plain entry point).
+    obs: Vec<ObsOverhead>,
 }
 
 /// Events-per-second measurement of one back-end.
@@ -163,6 +166,29 @@ struct FelReplay {
     wall_s: f64,
     /// `events / wall_s`.
     events_per_s: f64,
+}
+
+/// Replay wall time with the span recorder off vs on. The disabled
+/// column *is* the plain replay path (every public entry point wraps
+/// the observed runner with recording off), so the delta is the full
+/// cost of structured tracing.
+#[derive(Debug, Serialize)]
+struct ObsOverhead {
+    /// Workload label.
+    workload: String,
+    /// Best-of-N wall time with no recorder installed, seconds.
+    disabled_wall_s: f64,
+    /// Best-of-N wall time with the span recorder installed, seconds.
+    enabled_wall_s: f64,
+    /// `(enabled - disabled) / disabled * 100`.
+    overhead_percent: f64,
+    /// Spans recorded by the enabled run.
+    spans: f64,
+    /// Network flows recorded by the enabled run.
+    flows: f64,
+    /// Simulated makespan — bit-identical with and without the
+    /// recorder, asserted when this row is measured.
+    simulated_s: f64,
 }
 
 /// End-to-end replay under the two exact-sharing policies.
@@ -435,6 +461,30 @@ fn fel_section(showcase: &Platform, halo: &Arc<Trace>) -> FelSection {
     }
 }
 
+fn obs_overhead(platform: &Platform, trace: &Arc<Trace>, workload: &str) -> ObsOverhead {
+    use tit_replay::replay::replay_observed;
+    let cfg = replay_cfg(ReplayEngine::Smpi, SharingPolicy::Bottleneck);
+    let plain = replay(platform, trace, &cfg).unwrap();
+    let enabled = replay_observed(platform, trace, &cfg, true).unwrap();
+    assert_eq!(
+        plain.time.to_bits(),
+        enabled.result.time.to_bits(),
+        "span recorder changed the simulated time"
+    );
+    let log = enabled.spans.as_ref().expect("recorder was enabled");
+    let disabled_wall_s = time_best(5, || replay(platform, trace, &cfg).unwrap());
+    let enabled_wall_s = time_best(5, || replay_observed(platform, trace, &cfg, true).unwrap());
+    ObsOverhead {
+        workload: workload.into(),
+        disabled_wall_s,
+        enabled_wall_s,
+        overhead_percent: (enabled_wall_s - disabled_wall_s) / disabled_wall_s * 100.0,
+        spans: log.total_spans() as f64,
+        flows: log.flows().len() as f64,
+        simulated_s: plain.time,
+    }
+}
+
 fn sharing_speedup(platform: &Platform, trace: &Arc<Trace>, workload: &str) -> SharingSpeedup {
     let run = |sharing| {
         let cfg = replay_cfg(ReplayEngine::Smpi, sharing);
@@ -649,7 +699,77 @@ fn smoke() {
             );
         }
     }
-    println!("PERF_SMOKE ok (counters sane, ladder steady state allocation-free)");
+    obs_smoke();
+    println!(
+        "PERF_SMOKE ok (counters sane, ladder steady state allocation-free, \
+         disabled recorder cost-free)"
+    );
+}
+
+/// Observability gate: with no recorder installed, replay must be the
+/// plain path — bit-identical simulated time, no workload-scaling heap
+/// allocations, and wall time within 1% of the plain entry point on a
+/// churn-heavy workload (the hold-model-style halo exchange that
+/// dominates the FEL bench).
+fn obs_smoke() {
+    use tit_replay::replay::replay_observed;
+    let bordereau = tit_replay::platform::clusters::bordereau();
+    let cfg = replay_cfg(ReplayEngine::Smpi, SharingPolicy::Bottleneck);
+
+    // Allocation check at two workload sizes: the observed entry point
+    // may pay a small per-run constant over the plain one (the metrics
+    // snapshot itself), but the difference must not grow with the
+    // workload — that would mean the disabled path allocates per event.
+    let mut deltas = Vec::new();
+    for steps in [2u32, 8] {
+        let lu = LuConfig::new(LuClass::S, 8).with_steps(steps);
+        let trace = Arc::new(
+            acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace,
+        );
+        // Warm-up so the counted runs see steady-state behaviour only.
+        let warm = replay(&bordereau, &trace, &cfg).unwrap().time;
+        let before = alloc_counter::allocations();
+        let plain = replay(&bordereau, &trace, &cfg).unwrap();
+        let plain_allocs = alloc_counter::allocations() - before;
+        let before = alloc_counter::allocations();
+        let report = replay_observed(&bordereau, &trace, &cfg, false).unwrap();
+        let observed_allocs = alloc_counter::allocations() - before;
+        assert!(report.spans.is_none(), "disabled recorder produced spans");
+        assert_eq!(
+            plain.time.to_bits(),
+            report.result.time.to_bits(),
+            "observed (disabled) replay changed the simulated time"
+        );
+        assert_eq!(warm.to_bits(), plain.time.to_bits(), "replay not deterministic");
+        deltas.push(observed_allocs as i64 - plain_allocs as i64);
+    }
+    eprintln!(
+        "smoke    obs: disabled-recorder alloc delta {} (steps=2) vs {} (steps=8)",
+        deltas[0], deltas[1]
+    );
+    assert_eq!(
+        deltas[0], deltas[1],
+        "disabled-recorder allocation overhead scales with the workload \
+         (want a per-run constant, i.e. zero steady-state allocations)"
+    );
+
+    // Wall-time check on the churn workload. Plain replay *is* the
+    // observed runner with recording off, so this bounds measurement
+    // noise plus any wrapper cost; a 1% band with a small absolute
+    // floor keeps the gate meaningful without being timer-flaky.
+    let halo = Arc::new(perfwork::halo_exchange_trace(32, 50, 1 << 18));
+    let showcase = perfwork::showcase_platform();
+    let plain_s = time_best(5, || replay(&showcase, &halo, &cfg).unwrap());
+    let disabled_s = time_best(5, || replay_observed(&showcase, &halo, &cfg, false).unwrap());
+    let slack = (plain_s * 0.01).max(1e-3);
+    eprintln!(
+        "smoke    obs: churn replay plain {plain_s:.6}s, disabled recorder {disabled_s:.6}s"
+    );
+    assert!(
+        disabled_s <= plain_s + slack,
+        "disabled-recorder path regressed the churn replay by more than 1%: \
+         {disabled_s:.6}s vs {plain_s:.6}s"
+    );
 }
 
 fn main() {
@@ -702,6 +822,12 @@ fn main() {
     eprintln!("timing heap-vs-ladder FEL (churn microbench; halo replay)...");
     let fel = fel_section(&showcase, &halo);
 
+    eprintln!("timing recorder overhead (LU S-16; halo exchange)...");
+    let obs = vec![
+        obs_overhead(&bordereau, &trace, "lu-s16-steps10"),
+        obs_overhead(&showcase, &halo, "halo-exchange-p128-iters200"),
+    ];
+
     let doc = Baseline {
         generated_by: "bench/perf_baseline".into(),
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()) as f64,
@@ -711,6 +837,7 @@ fn main() {
         ingest,
         sweep_cells: cells,
         fel,
+        obs,
     };
     let json = serde_json::to_string_pretty(&doc).expect("baseline always serializes");
     std::fs::write(&out_path, json + "\n").expect("write baseline");

@@ -3,9 +3,13 @@
 //! trace_description` workflow.
 //!
 //! ```text
-//! titreplay --platform platform.json --trace trace.txt --ranks 8 \
+//! titreplay [replay] --platform platform.json --trace trace.txt --ranks 8 \
 //!           --rate 2.05e9 [--engine smpi|msg] [--validate] [--no-cache] \
-//!           [--sharing bottleneck|maxmin|maxmin-full]
+//!           [--sharing bottleneck|maxmin|maxmin-full] \
+//!           [--trace-out <out.json>] [--state-csv <out.csv>] \
+//!           [--metrics <out.json>] [--manifest <out.json>] \
+//!           [--critical-path [out.json]]
+//! titreplay inspect --trace <trace.txt|.desc|.titb> --ranks 8
 //! titreplay trace pack <trace.txt|trace.desc> <out.titb> --ranks 8
 //! titreplay trace unpack <in.titb> <out.txt>
 //! ```
@@ -16,6 +20,14 @@
 //! (keyed on its size+mtime) so repeat replays skip the text parse;
 //! `--no-cache` disables both reading and writing it. Prints the
 //! simulated execution time.
+//!
+//! Observability flags: `--trace-out` writes a Chrome-trace (Perfetto)
+//! JSON of per-rank simulated-time spans and network flows,
+//! `--state-csv` the same data as a flat state timeline, `--metrics` the
+//! unified counter snapshot, `--manifest` the run-provenance record, and
+//! `--critical-path` reports the makespan-determining chain (with an
+//! optional JSON output path). `titreplay inspect` summarises a trace —
+//! ranks, action mix, volumes — without replaying it.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -33,13 +45,23 @@ struct Args {
     sharing: tit_replay::netmodel::SharingPolicy,
     validate: bool,
     cache: bool,
+    trace_out: Option<String>,
+    state_csv: Option<String>,
+    metrics: Option<String>,
+    manifest: Option<String>,
+    critical_path: bool,
+    critical_path_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: titreplay --platform <platform.json> --trace <trace.txt|.desc|.titb> \
+        "usage: titreplay [replay] --platform <platform.json> --trace <trace.txt|.desc|.titb> \
          --ranks <N> --rate <instr/s> [--engine smpi|msg] \
          [--sharing bottleneck|maxmin|maxmin-full] [--validate] [--no-cache]\n\
+         \x20          [--trace-out <chrome.json>] [--state-csv <states.csv>]\n\
+         \x20          [--metrics <metrics.json>] [--manifest <manifest.json>]\n\
+         \x20          [--critical-path [path.json]]\n\
+         \x20      titreplay inspect --trace <trace.txt|.desc|.titb> --ranks <N> [--no-cache]\n\
          \x20      titreplay trace pack <in.txt|in.desc> <out.titb> --ranks <N>\n\
          \x20      titreplay trace unpack <in.titb> <out.txt>"
     );
@@ -99,7 +121,7 @@ fn trace_command(args: &[String]) -> ! {
     }
 }
 
-fn parse_args() -> Args {
+fn parse_args(argv: &[String]) -> Args {
     let mut platform = None;
     let mut trace = None;
     let mut ranks = None;
@@ -108,19 +130,25 @@ fn parse_args() -> Args {
     let mut sharing = tit_replay::netmodel::SharingPolicy::Bottleneck;
     let mut validate = false;
     let mut cache = true;
-    let mut args = std::env::args().skip(1);
+    let mut trace_out = None;
+    let mut state_csv = None;
+    let mut metrics = None;
+    let mut manifest = None;
+    let mut critical_path = false;
+    let mut critical_path_out = None;
+    let mut args = argv.iter().peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--platform" => platform = args.next(),
-            "--trace" => trace = args.next(),
+            "--platform" => platform = args.next().cloned(),
+            "--trace" => trace = args.next().cloned(),
             "--ranks" => ranks = args.next().and_then(|v| v.parse().ok()),
             "--rate" => rate = args.next().and_then(|v| v.parse().ok()),
-            "--engine" => match args.next().as_deref() {
+            "--engine" => match args.next().map(String::as_str) {
                 Some("smpi") => engine = ReplayEngine::Smpi,
                 Some("msg") => engine = ReplayEngine::Msg,
                 _ => usage(),
             },
-            "--sharing" => match args.next().as_deref() {
+            "--sharing" => match args.next().map(String::as_str) {
                 Some("bottleneck") => sharing = tit_replay::netmodel::SharingPolicy::Bottleneck,
                 Some("maxmin") => sharing = tit_replay::netmodel::SharingPolicy::MaxMin,
                 Some("maxmin-full") => sharing = tit_replay::netmodel::SharingPolicy::MaxMinFull,
@@ -128,6 +156,19 @@ fn parse_args() -> Args {
             },
             "--validate" => validate = true,
             "--no-cache" => cache = false,
+            "--trace-out" => trace_out = args.next().cloned(),
+            "--state-csv" => state_csv = args.next().cloned(),
+            "--metrics" => metrics = args.next().cloned(),
+            "--manifest" => manifest = args.next().cloned(),
+            "--critical-path" => {
+                critical_path = true;
+                // Optional output path for the machine-readable chain.
+                if let Some(next) = args.peek() {
+                    if !next.starts_with("--") {
+                        critical_path_out = args.next().cloned();
+                    }
+                }
+            }
             _ => usage(),
         }
     }
@@ -141,17 +182,96 @@ fn parse_args() -> Args {
             sharing,
             validate,
             cache,
+            trace_out,
+            state_csv,
+            metrics,
+            manifest,
+            critical_path,
+            critical_path_out,
         },
         _ => usage(),
     }
 }
 
-fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("trace") {
-        trace_command(&argv[1..]);
+/// `titreplay inspect` — summarise a trace without replaying it.
+fn inspect_command(args: &[String]) -> ! {
+    let mut trace_path = None;
+    let mut ranks = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => trace_path = it.next().cloned(),
+            "--ranks" => ranks = it.next().and_then(|v| v.parse().ok()),
+            "--no-cache" => {}
+            _ => usage(),
+        }
     }
-    let args = parse_args();
+    let (Some(trace_path), Some(ranks)) = (trace_path, ranks) else {
+        usage()
+    };
+    let input = TraceInput::detect(Path::new(&trace_path))
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let sig = tit_replay::replay::trace_signature(&input, ranks);
+    let trace = stream::load_trace(&input, ranks).unwrap_or_else(|e| fail(&e.to_string()));
+    let mut sends = 0u64;
+    let mut recvs = 0u64;
+    let mut computes = 0u64;
+    let mut collectives = 0u64;
+    let mut waits = 0u64;
+    let mut bytes = 0u64;
+    let mut instructions = 0.0f64;
+    for r in 0..trace.ranks() {
+        for a in trace.actions(tit_replay::titrace::Rank(r)) {
+            use tit_replay::titrace::Action;
+            match a {
+                Action::Send { bytes: b, .. } | Action::Isend { bytes: b, .. } => {
+                    sends += 1;
+                    bytes += b;
+                }
+                Action::Recv { .. } | Action::Irecv { .. } => recvs += 1,
+                Action::Compute { amount } => {
+                    computes += 1;
+                    instructions += amount;
+                }
+                Action::Wait | Action::WaitAll => waits += 1,
+                Action::Init | Action::Finalize => {}
+                _ => collectives += 1,
+            }
+        }
+    }
+    println!("trace_signature {sig}");
+    println!("ranks {}", trace.ranks());
+    println!("actions {}", trace.len());
+    println!("sends {sends}");
+    println!("recvs {recvs}");
+    println!("waits {waits}");
+    println!("computes {computes}");
+    println!("collectives {collectives}");
+    println!("payload_bytes {bytes}");
+    println!("compute_instructions {instructions:.0}");
+    let problems = tit_replay::titrace::validate::validate(&trace);
+    println!("validation_issues {}", problems.len());
+    std::process::exit(0);
+}
+
+fn write_or_fail(path: &str, contents: &str) {
+    std::fs::write(path, contents)
+        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("trace") => trace_command(&argv[1..]),
+        Some("inspect") => inspect_command(&argv[1..]),
+        // `replay` is the default mode; the explicit token is accepted.
+        Some("replay") => {
+            argv.remove(0);
+        }
+        _ => {}
+    }
+    let args = parse_args(&argv);
     let spec_json = std::fs::read_to_string(&args.platform)
         .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", args.platform)));
     let platform = PlatformSpec::from_json(&spec_json)
@@ -159,6 +279,9 @@ fn main() {
         .build();
     let input = TraceInput::detect(Path::new(&args.trace))
         .unwrap_or_else(|e| fail(&e.to_string()));
+    // The manifest identifies the trace as given on the command line,
+    // before any cache substitution.
+    let signature = tit_replay::replay::trace_signature(&input, args.ranks);
     // Merged text goes through the binary side-car cache; the other
     // layouts already stream (binary) or fan out in parallel (split).
     let input = match input {
@@ -197,17 +320,59 @@ fn main() {
         sharing: args.sharing,
         fel: tit_replay::simkernel::FelImpl::default(),
     };
-    match replay_input(&platform, &input, args.ranks, &config) {
-        Ok(result) => {
-            println!("simulated_time_s {:.9}", result.time);
+    let record_spans =
+        args.trace_out.is_some() || args.state_csv.is_some() || args.critical_path;
+    let started = std::time::Instant::now();
+    let report = match replay_input_observed(&platform, &input, args.ranks, &config, record_spans)
+    {
+        Ok(report) => report,
+        Err(e) => fail(&e),
+    };
+    let wall = started.elapsed().as_secs_f64();
+    let result = &report.result;
+    println!("simulated_time_s {:.9}", result.time);
+    eprintln!(
+        "({} messages, {} simulation events, makespan over {} ranks)",
+        result.messages,
+        result.events,
+        result.rank_times.len()
+    );
+    if let Some(log) = report.spans.as_ref() {
+        if let Some(path) = &args.trace_out {
+            write_or_fail(path, &chrome_trace(log));
+        }
+        if let Some(path) = &args.state_csv {
+            write_or_fail(path, &state_csv(log));
+        }
+    }
+    if args.critical_path {
+        let path = report.critical_path().expect("spans were recorded");
+        println!("critical_path_end_s {:.9}", path.end_s);
+        eprintln!("critical path: {} steps", path.steps.len());
+        for b in &path.breakdown {
             eprintln!(
-                "({} messages, {} simulation events, makespan over {} ranks)",
-                result.messages,
-                result.events,
-                result.rank_times.len()
+                "  rank {:>3}: compute {:.6}s send {:.6}s recv {:.6}s wait {:.6}s \
+                 collective {:.6}s overhead {:.6}s idle {:.6}s",
+                b.rank,
+                b.by_kind[0],
+                b.by_kind[1],
+                b.by_kind[2],
+                b.by_kind[3],
+                b.by_kind[4],
+                b.by_kind[5],
+                b.idle_s
             );
         }
-        Err(e) => fail(&e),
+        if let Some(out) = &args.critical_path_out {
+            write_or_fail(out, &path.to_json());
+        }
+    }
+    if let Some(path) = &args.metrics {
+        write_or_fail(path, &report.metrics.to_json());
+    }
+    if let Some(path) = &args.manifest {
+        let man = tit_replay::replay::manifest(&platform, &signature, &config, &report, wall);
+        write_or_fail(path, &man.to_json());
     }
 }
 

@@ -8,6 +8,7 @@
 use std::collections::VecDeque;
 
 use platform::{HostId, Platform};
+use simkernel::obs::{Metrics, Recorder, RunObservation, SpanKind, SpanLog};
 use simkernel::{Actor, ActorId, Duration, Kernel, Sim, SimOutcome, Status, Wake};
 use workloads::{MpiOp, OpSource};
 
@@ -43,6 +44,14 @@ pub struct MsgRankActor {
     waiting: Waiting,
     staged: Option<Staged>,
     coll_index: usize,
+    /// Instant at which the current blocking condition began (span
+    /// recording).
+    blocked_at: f64,
+    /// Classification of the current blocking condition, captured when
+    /// the block is entered.
+    block_kind: SpanKind,
+    /// The remote rank whose action will resolve the block, when known.
+    block_peer: Option<u32>,
 }
 
 impl MsgRankActor {
@@ -55,11 +64,22 @@ impl MsgRankActor {
             pending: VecDeque::new(),
             waiting: Waiting::Ready,
             staged: None,
-        coll_index: 0,
+            coll_index: 0,
+            blocked_at: 0.0,
+            block_kind: SpanKind::Wait,
+            block_peer: None,
         }
     }
 
-    fn absorb_wake(&mut self, world: &mut MsgWorld, wake: Wake) {
+    /// Notes what the rank is about to block on (consumed by
+    /// `absorb_wake` when the condition resolves).
+    fn note_block(&mut self, kind: SpanKind, peer: Option<u32>) {
+        self.block_kind = kind;
+        self.block_peer = peer;
+    }
+
+    fn absorb_wake(&mut self, world: &mut MsgWorld, now: f64, wake: Wake) {
+        let was_blocked = !matches!(self.waiting, Waiting::Ready);
         match (&mut self.waiting, wake) {
             (Waiting::Ready, _) => {}
             (Waiting::Delay, Wake::Timer(DELAY_KEY)) => self.waiting = Waiting::Ready,
@@ -90,6 +110,9 @@ impl MsgRankActor {
             }
             _ => {}
         }
+        if was_blocked && matches!(self.waiting, Waiting::Ready) {
+            world.record_span(self.rank, self.blocked_at, now, self.block_kind, self.block_peer);
+        }
     }
 
     fn perform(&mut self, kernel: &mut Kernel, world: &mut MsgWorld, staged: Staged) {
@@ -103,6 +126,7 @@ impl MsgRankActor {
                     let act = kernel.start_activity(plan.work, plan.rate);
                     kernel.subscribe(act, self.me);
                     self.waiting = Waiting::Compute(act);
+                    self.note_block(SpanKind::Compute, None);
                     self.staged = Some(Staged {
                         op,
                         plan: Some(plan),
@@ -117,6 +141,7 @@ impl MsgRankActor {
                     world.send(kernel, self.rank, dst, bytes, blocking, false, self.me);
                 if let MsgSendResult::Wait(t) = res {
                     self.waiting = Waiting::Task(t);
+                    self.note_block(SpanKind::Send, Some(dst));
                 }
             }
             MpiOp::Isend { dst, bytes } => {
@@ -129,6 +154,7 @@ impl MsgRankActor {
                     MsgRecvResult::WaitTask(t) => self.waiting = Waiting::Task(t),
                     MsgRecvResult::WaitPending(p) => self.waiting = Waiting::Pending(p),
                 }
+                self.note_block(SpanKind::Recv, Some(src));
             }
             MpiOp::Irecv { src, bytes } => {
                 let (_, req) = world.recv(kernel, self.rank, src, bytes, false, self.me);
@@ -141,6 +167,7 @@ impl MsgRankActor {
                     .unwrap_or_else(|| panic!("rank {}: wait with no pending request", self.rank));
                 if !world.take_req(req, self.me) {
                     self.waiting = Waiting::Reqs(vec![req]);
+                    self.note_block(SpanKind::Wait, None);
                 }
             }
             MpiOp::WaitAll => {
@@ -153,6 +180,7 @@ impl MsgRankActor {
                 }
                 if !incomplete.is_empty() {
                     self.waiting = Waiting::Reqs(incomplete);
+                    self.note_block(SpanKind::Wait, None);
                 }
             }
             collective => {
@@ -160,6 +188,7 @@ impl MsgRankActor {
                 self.coll_index += 1;
                 if world.enter_collective(kernel, index, &collective) {
                     self.waiting = Waiting::Collective;
+                    self.note_block(SpanKind::Collective, None);
                 }
             }
         }
@@ -168,9 +197,10 @@ impl MsgRankActor {
 
 impl Actor<MsgWorld> for MsgRankActor {
     fn resume(&mut self, kernel: &mut Kernel, world: &mut MsgWorld, wake: Wake) -> Status {
-        self.absorb_wake(world, wake);
+        self.absorb_wake(world, kernel.now().as_secs(), wake);
         loop {
             if !matches!(self.waiting, Waiting::Ready) {
+                self.blocked_at = kernel.now().as_secs();
                 return Status::Blocked;
             }
             if let Some(staged) = self.staged.take() {
@@ -193,6 +223,8 @@ impl Actor<MsgWorld> for MsgRankActor {
                 kernel.set_timer(self.me, Duration::from_secs(delay), DELAY_KEY);
                 self.staged = Some(Staged { op, plan });
                 self.waiting = Waiting::Delay;
+                self.note_block(SpanKind::Overhead, None);
+                self.blocked_at = kernel.now().as_secs();
                 return Status::Blocked;
             }
             self.staged = Some(Staged { op, plan });
@@ -236,12 +268,64 @@ pub fn run_msg(
     cfg: MsgConfig,
     hooks: Box<dyn smpi::ExecHooks>,
 ) -> Result<MsgResult, String> {
+    run_inner(platform, hosts, sources, cfg, hooks, None).map(|(r, _)| r)
+}
+
+/// Like [`run_msg`], with per-rank span recording enabled; returns the
+/// Gantt data (same structure the SMPI runner produces) alongside the
+/// result.
+///
+/// # Errors
+/// See [`run_msg`].
+pub fn run_msg_traced(
+    platform: &Platform,
+    hosts: &[HostId],
+    sources: Vec<Box<dyn OpSource>>,
+    cfg: MsgConfig,
+    hooks: Box<dyn smpi::ExecHooks>,
+) -> Result<(MsgResult, smpi::Timeline), String> {
+    run_msg_observed(platform, hosts, sources, cfg, hooks, true).map(|(r, obs)| {
+        let log = obs.spans.expect("span recording was enabled");
+        (r, smpi::Timeline::from_spans(&log))
+    })
+}
+
+/// Like [`run_msg`], returning the unified observation alongside the
+/// result: the [`Metrics`] snapshot always, and the recorded
+/// [`SpanLog`] when `record_spans` is set.
+///
+/// # Errors
+/// See [`run_msg`].
+pub fn run_msg_observed(
+    platform: &Platform,
+    hosts: &[HostId],
+    sources: Vec<Box<dyn OpSource>>,
+    cfg: MsgConfig,
+    hooks: Box<dyn smpi::ExecHooks>,
+    record_spans: bool,
+) -> Result<(MsgResult, RunObservation), String> {
+    let recorder: Option<Box<dyn Recorder>> =
+        record_spans.then(|| Box::new(SpanLog::new(sources.len() as u32)) as Box<dyn Recorder>);
+    run_inner(platform, hosts, sources, cfg, hooks, recorder)
+}
+
+fn run_inner(
+    platform: &Platform,
+    hosts: &[HostId],
+    sources: Vec<Box<dyn OpSource>>,
+    cfg: MsgConfig,
+    hooks: Box<dyn smpi::ExecHooks>,
+    recorder: Option<Box<dyn Recorder>>,
+) -> Result<(MsgResult, RunObservation), String> {
     let ranks = sources.len();
     assert!(ranks > 0);
     assert_eq!(hosts.len(), ranks);
     let transport = ActorId(ranks as u32);
     let fel = cfg.fel;
-    let world = MsgWorld::new(platform, hosts, cfg, hooks, transport);
+    let mut world = MsgWorld::new(platform, hosts, cfg, hooks, transport);
+    if let Some(recorder) = recorder {
+        world.set_recorder(recorder);
+    }
     // Same pre-sizing heuristic as the SMPI runner (see
     // `simkernel::replay_sizing`).
     let (activities, events) = simkernel::replay_sizing(ranks);
@@ -265,13 +349,35 @@ pub fn run_msg(
     let rank_times: Vec<f64> = (0..ranks)
         .map(|r| sim.finish_time(ActorId(r as u32)).as_secs())
         .collect();
-    Ok(MsgResult {
-        total_time: rank_times.iter().copied().fold(0.0, f64::max),
-        rank_times,
-        compute_seconds: sim.world.compute_seconds.clone(),
-        stats: sim.world.stats,
-        events: sim.kernel.events_processed(),
-    })
+    let total_time = rank_times.iter().copied().fold(0.0, f64::max);
+    let stats = sim.world.stats;
+    let mut metrics = Metrics::new("msg", ranks as u32);
+    metrics.simulated_time_s = total_time;
+    sim.kernel.observe(&mut metrics);
+    metrics.messages = stats.messages;
+    // The MSG async threshold plays the protocol role the eager
+    // threshold plays under SMPI; report it in the same column.
+    metrics.eager_messages = stats.async_messages;
+    metrics.rendezvous_messages = stats.messages - stats.async_messages;
+    metrics.bytes = stats.bytes;
+    metrics.collectives = stats.collectives;
+    let net = sim.world.net.stats();
+    metrics.flows_created = net.flows_opened;
+    metrics.flows_resolved = net.flows_closed;
+    metrics.sharing_resolves = net.resolves;
+    metrics.sharing_rate_updates = net.rate_updates;
+    let spans = sim.world.recorder.take().and_then(|r| r.finish());
+    metrics.recorder_counts = spans.as_ref().map(|l| l.counts());
+    Ok((
+        MsgResult {
+            total_time,
+            rank_times,
+            compute_seconds: sim.world.compute_seconds.clone(),
+            stats,
+            events: sim.kernel.events_processed(),
+        },
+        RunObservation { metrics, spans },
+    ))
 }
 
 #[cfg(test)]
@@ -546,6 +652,102 @@ mod more_tests {
         let r = run((0..4).map(prog).collect());
         assert_eq!(r.stats.collectives, coll_ops.len() as u64);
         assert!(r.total_time > 0.0);
+    }
+
+    #[test]
+    fn observed_msg_run_mirrors_smpi_observation_shape() {
+        use simkernel::obs::SpanKind;
+        let p = tiny(2);
+        let hosts: Vec<HostId> = (0..2).map(HostId).collect();
+        let sources: Vec<Box<dyn OpSource>> = vec![
+            Box::new(VecSource::new(vec![
+                MpiOp::Compute(ComputeBlock::plain(1e9)),
+                MpiOp::Send { dst: 1, bytes: 1000 },
+            ])),
+            Box::new(VecSource::new(vec![MpiOp::Recv { src: 0, bytes: 1000 }])),
+        ];
+        let (r, obs) = run_msg_observed(
+            &p,
+            &hosts,
+            sources,
+            MsgConfig::legacy(),
+            Box::new(FixedRateHooks::uniform(1e9, 2)),
+            true,
+        )
+        .unwrap();
+        assert_eq!(obs.metrics.engine, "msg");
+        assert_eq!(obs.metrics.ranks, 2);
+        assert_eq!(obs.metrics.simulated_time_s.to_bits(), r.total_time.to_bits());
+        assert_eq!(obs.metrics.messages, 1);
+        assert_eq!(obs.metrics.eager_messages, 1);
+        assert_eq!(obs.metrics.flows_created, 1);
+        assert_eq!(obs.metrics.flows_resolved, 1);
+        let log = obs.spans.expect("spans recorded");
+        assert_eq!(log.open_flows(), 0);
+        assert_eq!(log.flows().len(), 1);
+        assert!(log.total(0, SpanKind::Compute) > 0.99);
+        // The MSG receiver waits out the sender's compute AND the
+        // transfer (start-at-match semantics).
+        assert!(log.total(1, SpanKind::Recv) > 1.0);
+    }
+
+    #[test]
+    fn traced_msg_run_renders_like_smpi() {
+        let p = tiny(2);
+        let hosts: Vec<HostId> = (0..2).map(HostId).collect();
+        let sources: Vec<Box<dyn OpSource>> = vec![
+            Box::new(VecSource::new(vec![
+                MpiOp::Compute(ComputeBlock::plain(1e9)),
+                MpiOp::Send { dst: 1, bytes: 1000 },
+            ])),
+            Box::new(VecSource::new(vec![MpiOp::Recv { src: 0, bytes: 1000 }])),
+        ];
+        let (r, timeline) = run_msg_traced(
+            &p,
+            &hosts,
+            sources,
+            MsgConfig::legacy(),
+            Box::new(FixedRateHooks::uniform(1e9, 2)),
+        )
+        .unwrap();
+        assert!((timeline.total(0, smpi::SegmentKind::Compute) - 1.0).abs() < 1e-9);
+        assert!(timeline.total(1, smpi::SegmentKind::Wait) > 0.99);
+        let chart = timeline.render(40, r.total_time);
+        assert_eq!(chart.lines().count(), 2);
+        assert!(chart.contains('#') && chart.contains('.'), "{chart}");
+    }
+
+    #[test]
+    fn observed_msg_run_without_spans_is_bit_identical() {
+        let mk = || -> Vec<Box<dyn OpSource>> {
+            vec![
+                Box::new(VecSource::new(vec![MpiOp::Send { dst: 1, bytes: 1000 }])),
+                Box::new(VecSource::new(vec![MpiOp::Recv { src: 0, bytes: 1000 }])),
+            ]
+        };
+        let p = tiny(2);
+        let hosts: Vec<HostId> = (0..2).map(HostId).collect();
+        let plain = run_msg(
+            &p,
+            &hosts,
+            mk(),
+            MsgConfig::legacy(),
+            Box::new(FixedRateHooks::uniform(1e9, 2)),
+        )
+        .unwrap();
+        let (r, obs) = run_msg_observed(
+            &p,
+            &hosts,
+            mk(),
+            MsgConfig::legacy(),
+            Box::new(FixedRateHooks::uniform(1e9, 2)),
+            false,
+        )
+        .unwrap();
+        assert_eq!(plain.rank_times, r.rank_times);
+        assert_eq!(plain.events, r.events);
+        assert!(obs.spans.is_none());
+        assert!(obs.metrics.recorder_counts.is_none());
     }
 
     #[test]

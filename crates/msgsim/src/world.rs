@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use netmodel::{FlowId, FlowNet};
 use platform::{HostId, LinkId, Platform};
+use simkernel::obs::{Counter, Recorder, SpanKind};
 use simkernel::{ActorId, Duration, Kernel, Wake};
 use smpi::slab::{ActivityMap, Id, Slab, Waiters};
 
@@ -108,6 +109,10 @@ pub struct MsgWorld {
     pub stats: MsgStats,
     /// Per-rank compute seconds.
     pub compute_seconds: Vec<f64>,
+    /// Optional observation sink (off by default; see [`simkernel::obs`]).
+    /// When `None`, every recording call site is a branch on this option
+    /// and nothing else — the disabled path allocates nothing.
+    pub recorder: Option<Box<dyn Recorder>>,
     ranks: u32,
     routes: Vec<Vec<LinkId>>,
     pair_latency: Vec<f64>,
@@ -166,6 +171,7 @@ impl MsgWorld {
             hooks,
             stats: MsgStats::default(),
             compute_seconds: vec![0.0; n],
+            recorder: None,
             ranks,
             routes,
             pair_latency,
@@ -188,6 +194,23 @@ impl MsgWorld {
     /// Number of ranks.
     pub fn ranks(&self) -> u32 {
         self.ranks
+    }
+
+    /// Installs an observation sink for this run.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// `true` when an observation sink is installed.
+    pub fn recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Records one simulated-time span, if a sink is installed.
+    pub fn record_span(&mut self, rank: u32, start: f64, end: f64, kind: SpanKind, peer: Option<u32>) {
+        if let Some(r) = self.recorder.as_mut() {
+            r.span(rank, start, end, kind, peer);
+        }
     }
 
     /// The monolithic collective cost model in effect.
@@ -256,6 +279,9 @@ impl MsgWorld {
             self.start_transfer(kernel, task_id);
         } else {
             self.mailbox[slot].push_back(task_id);
+            if let Some(r) = self.recorder.as_mut() {
+                r.count(Counter::MailboxEnqueued, 1);
+            }
         }
         if blocking {
             self.tasks.expect_mut(task_id).waiters.push(actor);
@@ -309,6 +335,9 @@ impl MsgWorld {
                 matched: None,
             });
             self.pending[slot].push_back(recv_id);
+            if let Some(r) = self.recorder.as_mut() {
+                r.count(Counter::PendingEnqueued, 1);
+            }
             let req = if blocking {
                 None
             } else {
@@ -418,6 +447,9 @@ impl MsgWorld {
                 let flow = t.flow.take().expect("flow completion without flow");
                 let (src, dst, bytes) = (t.src, t.dst, t.bytes);
                 self.net.close(kernel, flow);
+                if let Some(r) = self.recorder.as_mut() {
+                    r.flow_close(task_id.pack(), kernel.now().as_secs());
+                }
                 let pair = self.pair(src, dst);
                 let lat = self.cfg.latency_multiplier
                     * self
@@ -438,6 +470,9 @@ impl MsgWorld {
         if self.routes[pair].is_empty() {
             let d = self.cfg.loopback_latency + bytes as f64 / self.cfg.loopback_bandwidth;
             kernel.set_timer(self.transport, Duration::from_secs(d), task_id.pack());
+            if let Some(r) = self.recorder.as_mut() {
+                r.count(Counter::LoopbackTransfers, 1);
+            }
         } else {
             let cap = self
                 .cfg
@@ -450,6 +485,9 @@ impl MsgWorld {
             kernel.subscribe(act, self.transport);
             self.flow_task.insert(act, task_id);
             self.tasks.expect_mut(task_id).flow = Some(flow);
+            if let Some(r) = self.recorder.as_mut() {
+                r.flow_open(task_id.pack(), src, dst, bytes, kernel.now().as_secs());
+            }
         }
     }
 

@@ -90,6 +90,22 @@ impl sharing::SharingProblem for NetView<'_> {
     }
 }
 
+/// Always-on counters of the sharing solver's administrative work.
+/// Plain integer increments on the (cold) open/close/re-solve paths —
+/// they cannot perturb simulated times and need no feature gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Flows opened.
+    pub flows_opened: u64,
+    /// Flows closed.
+    pub flows_closed: u64,
+    /// Sharing re-solves: bottleneck neighbor recomputations or max-min
+    /// component solves.
+    pub resolves: u64,
+    /// Rate changes pushed to the kernel.
+    pub rate_updates: u64,
+}
+
 /// The live network: link occupancies and flow allotments.
 #[derive(Debug)]
 pub struct FlowNet {
@@ -116,6 +132,7 @@ pub struct FlowNet {
     /// applied to the kernel in ascending flow order so the event
     /// sequence is independent of component discovery order.
     pending: Vec<u32>,
+    stats: NetStats,
 }
 
 impl FlowNet {
@@ -146,7 +163,13 @@ impl FlowNet {
             link_mark: vec![0; nlinks],
             epoch: 0,
             pending: Vec::new(),
+            stats: NetStats::default(),
         }
+    }
+
+    /// Counters of the sharing work performed so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
     }
 
     /// The sharing policy in effect.
@@ -202,6 +225,7 @@ impl FlowNet {
             self.per_link[l.as_usize()].push(index);
         }
         self.live_count += 1;
+        self.stats.flows_opened += 1;
         let id = FlowId {
             index,
             generation: self.flows[index as usize].generation,
@@ -239,6 +263,7 @@ impl FlowNet {
             v.swap_remove(pos);
         }
         self.live_count -= 1;
+        self.stats.flows_closed += 1;
         let f = &mut self.flows[id.index as usize];
         f.route = route; // keep the allocation for reuse
         f.next_free = self.free_head;
@@ -251,6 +276,8 @@ impl FlowNet {
             SharingPolicy::Bottleneck => {
                 // Affected flows: every flow sharing a link with the new one.
                 self.collect_neighbors(new_flow);
+                self.stats.resolves += 1;
+                self.stats.rate_updates += self.scratch.len() as u64;
                 let mut scratch = std::mem::take(&mut self.scratch);
                 for idx in &scratch {
                     let rate = self.bottleneck_rate(*idx);
@@ -277,6 +304,8 @@ impl FlowNet {
                 }
                 self.scratch.sort_unstable();
                 self.scratch.dedup();
+                self.stats.resolves += 1;
+                self.stats.rate_updates += self.scratch.len() as u64;
                 let mut scratch = std::mem::take(&mut self.scratch);
                 for idx in &scratch {
                     let rate = self.bottleneck_rate(*idx);
@@ -413,6 +442,7 @@ impl FlowNet {
         if self.comp_flows.is_empty() {
             return;
         }
+        self.stats.resolves += 1;
         self.comp_flows.sort_unstable();
         let view = NetView {
             links: &self.links,
@@ -433,6 +463,7 @@ impl FlowNet {
     /// sequence the kernel records does not depend on which order
     /// components were discovered in.
     fn flush_rates(&mut self, kernel: &mut Kernel) {
+        self.stats.rate_updates += self.pending.len() as u64;
         self.pending.sort_unstable();
         for i in 0..self.pending.len() {
             let f = self.pending[i] as usize;
@@ -523,6 +554,26 @@ mod tests {
         for (id, rate) in rates {
             assert!(id == f1 || id == f2);
             assert_eq!(rate, 75.0);
+        }
+    }
+
+    #[test]
+    fn stats_count_opens_closes_and_resolves() {
+        for policy in [
+            SharingPolicy::Bottleneck,
+            SharingPolicy::MaxMin,
+            SharingPolicy::MaxMinFull,
+        ] {
+            let (p, mut net, mut k) = net(policy);
+            let f1 = net.open(&mut k, &route(&p, 0, 1), 1e6, 1e9);
+            let f2 = net.open(&mut k, &route(&p, 2, 3), 1e6, 1e9);
+            net.close(&mut k, f1);
+            net.close(&mut k, f2);
+            let s = net.stats();
+            assert_eq!(s.flows_opened, 2, "{policy:?}");
+            assert_eq!(s.flows_closed, 2, "{policy:?}");
+            assert!(s.resolves >= 3, "{policy:?}: {s:?}");
+            assert!(s.rate_updates >= 2, "{policy:?}: {s:?}");
         }
     }
 

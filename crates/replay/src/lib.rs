@@ -23,6 +23,7 @@ use std::sync::{Arc, Mutex};
 
 use calibrate::Calibration;
 use platform::{HostId, Placement, Platform};
+use simkernel::obs::{CriticalPath, Manifest, Metrics, RunObservation, SpanLog};
 use smpi::FixedRateHooks;
 use titrace::{Action, ActionSource, Rank, SourceError, Trace, TraceInput};
 use workloads::{ComputeBlock, MpiOp, OpSource};
@@ -131,6 +132,30 @@ pub struct ReplayResult {
     pub messages: u64,
     /// Simulation events processed (performance metric).
     pub events: u64,
+}
+
+/// Outcome of an observed replay: the engine result plus the unified
+/// observability payload (see [`simkernel::obs`]).
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// The engine result, identical to what the plain entry points
+    /// return.
+    pub result: ReplayResult,
+    /// Unified counter snapshot.
+    pub metrics: Metrics,
+    /// Recorded simulated-time spans (present iff span recording was
+    /// requested).
+    pub spans: Option<SpanLog>,
+}
+
+impl ReplayReport {
+    /// The makespan-determining chain through the recorded spans.
+    /// `None` when spans were not recorded.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        self.spans
+            .as_ref()
+            .map(|log| simkernel::obs::critical_path(log, &self.result.rank_times))
+    }
 }
 
 /// An [`OpSource`] reading one rank of a shared trace.
@@ -245,6 +270,20 @@ pub fn replay_sources(
     action_sources: Vec<Box<dyn ActionSource>>,
     config: &ReplayConfig,
 ) -> Result<ReplayResult, String> {
+    replay_sources_observed(platform, action_sources, config, false).map(|r| r.result)
+}
+
+/// Like [`replay_sources`], returning the unified observation (metrics
+/// always, spans when `record_spans` is set) alongside the result.
+///
+/// # Errors
+/// See [`replay_sources`].
+pub fn replay_sources_observed(
+    platform: &Platform,
+    action_sources: Vec<Box<dyn ActionSource>>,
+    config: &ReplayConfig,
+    record_spans: bool,
+) -> Result<ReplayReport, String> {
     let ranks = action_sources.len() as u32;
     assert!(ranks > 0, "empty source list");
     let hosts: Vec<HostId> = config.placement.assign(platform, ranks)?;
@@ -260,7 +299,7 @@ pub fn replay_sources(
             }) as Box<dyn OpSource>
         })
         .collect();
-    let outcome = run_engine(platform, &hosts, sources, config);
+    let outcome = run_engine(platform, &hosts, sources, config, record_spans);
     // A cursor fault truncates its rank's stream, which the engine can
     // only see as early termination or deadlock — report the root cause.
     if let Some((rank, e)) = fault.lock().expect("fault slot poisoned").take() {
@@ -283,8 +322,23 @@ pub fn replay_input(
     ranks: u32,
     config: &ReplayConfig,
 ) -> Result<ReplayResult, String> {
+    replay_input_observed(platform, input, ranks, config, false).map(|r| r.result)
+}
+
+/// Like [`replay_input`], returning the unified observation (metrics
+/// always, spans when `record_spans` is set) alongside the result.
+///
+/// # Errors
+/// See [`replay_input`].
+pub fn replay_input_observed(
+    platform: &Platform,
+    input: &TraceInput,
+    ranks: u32,
+    config: &ReplayConfig,
+    record_spans: bool,
+) -> Result<ReplayReport, String> {
     let sources = titrace::stream::open_sources(input, ranks).map_err(|e| e.to_string())?;
-    replay_sources(platform, sources, config)
+    replay_sources_observed(platform, sources, config, record_spans)
 }
 
 fn run_engine(
@@ -292,34 +346,60 @@ fn run_engine(
     hosts: &[HostId],
     sources: Vec<Box<dyn OpSource>>,
     config: &ReplayConfig,
-) -> Result<ReplayResult, String> {
-    match config.engine {
+    record_spans: bool,
+) -> Result<ReplayReport, String> {
+    let (result, obs): (ReplayResult, RunObservation) = match config.engine {
         ReplayEngine::Smpi => {
             let mut smpi_cfg = smpi::SmpiConfig::smpi_replay();
             smpi_cfg.copy = config.copy_model;
             smpi_cfg.sharing = config.sharing;
             smpi_cfg.fel = config.fel;
-            let r = smpi::run_smpi(platform, hosts, sources, smpi_cfg, hooks_for(config, hosts))?;
-            Ok(ReplayResult {
-                time: r.total_time,
-                rank_times: r.rank_times,
-                messages: r.stats.messages,
-                events: r.events,
-            })
+            let (r, obs) = smpi::run_smpi_observed(
+                platform,
+                hosts,
+                sources,
+                smpi_cfg,
+                hooks_for(config, hosts),
+                record_spans,
+            )?;
+            (
+                ReplayResult {
+                    time: r.total_time,
+                    rank_times: r.rank_times,
+                    messages: r.stats.messages,
+                    events: r.events,
+                },
+                obs,
+            )
         }
         ReplayEngine::Msg => {
             let mut msg_cfg = msgsim::MsgConfig::legacy();
             msg_cfg.sharing = config.sharing;
             msg_cfg.fel = config.fel;
-            let r = msgsim::run_msg(platform, hosts, sources, msg_cfg, hooks_for(config, hosts))?;
-            Ok(ReplayResult {
-                time: r.total_time,
-                rank_times: r.rank_times,
-                messages: r.stats.messages,
-                events: r.events,
-            })
+            let (r, obs) = msgsim::run_msg_observed(
+                platform,
+                hosts,
+                sources,
+                msg_cfg,
+                hooks_for(config, hosts),
+                record_spans,
+            )?;
+            (
+                ReplayResult {
+                    time: r.total_time,
+                    rank_times: r.rank_times,
+                    messages: r.stats.messages,
+                    events: r.events,
+                },
+                obs,
+            )
         }
-    }
+    };
+    Ok(ReplayReport {
+        result,
+        metrics: obs.metrics,
+        spans: obs.spans,
+    })
 }
 
 fn hooks_for(config: &ReplayConfig, hosts: &[HostId]) -> Box<FixedRateHooks> {
@@ -335,10 +415,90 @@ pub fn replay(
     trace: &Arc<Trace>,
     config: &ReplayConfig,
 ) -> Result<ReplayResult, String> {
+    replay_observed(platform, trace, config, false).map(|r| r.result)
+}
+
+/// Like [`replay`], returning the unified observation (metrics always,
+/// spans when `record_spans` is set) alongside the result.
+///
+/// # Errors
+/// See [`replay`].
+pub fn replay_observed(
+    platform: &Platform,
+    trace: &Arc<Trace>,
+    config: &ReplayConfig,
+    record_spans: bool,
+) -> Result<ReplayReport, String> {
     let ranks = trace.ranks();
     assert!(ranks > 0, "empty trace");
     let hosts: Vec<HostId> = config.placement.assign(platform, ranks)?;
-    run_engine(platform, &hosts, trace_sources(trace), config)
+    run_engine(platform, &hosts, trace_sources(trace), config, record_spans)
+}
+
+/// A compact, deterministic identity string for a trace input: its
+/// storage form, origin, and size. Used in the run manifest to tie a
+/// result to its input without hashing whole trace files.
+pub fn trace_signature(input: &TraceInput, ranks: u32) -> String {
+    match input {
+        TraceInput::Memory(trace) => {
+            let actions: usize = (0..trace.ranks())
+                .map(|r| trace.actions(Rank(r)).len())
+                .sum();
+            format!("memory:{} ranks,{} actions", trace.ranks(), actions)
+        }
+        TraceInput::MergedText(p) | TraceInput::Description(p) | TraceInput::Binary(p) => {
+            let kind = match input {
+                TraceInput::MergedText(_) => "text",
+                TraceInput::Description(_) => "split",
+                _ => "titb",
+            };
+            let size = std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+            format!("{kind}:{}:{size} bytes,{ranks} ranks", p.display())
+        }
+    }
+}
+
+/// Flat key/value rendering of a [`ReplayConfig`] for the run manifest.
+pub fn config_fields(config: &ReplayConfig) -> Vec<(String, String)> {
+    vec![
+        ("engine".into(), format!("{:?}", config.engine)),
+        ("rate".into(), format!("{}", config.rate)),
+        ("placement".into(), format!("{:?}", config.placement)),
+        (
+            "copy_model".into(),
+            match config.copy_model {
+                Some(c) => format!(
+                    "base_seconds={} bytes_per_second={}",
+                    c.base_seconds, c.bytes_per_second
+                ),
+                None => "none".into(),
+            },
+        ),
+        ("sharing".into(), format!("{:?}", config.sharing)),
+        ("fel".into(), format!("{:?}", config.fel)),
+    ]
+}
+
+/// Assembles the run-manifest record for one observed replay.
+/// `wall_time_s` is measured by the caller (the only non-deterministic
+/// field; everything else is reproducible from the inputs).
+pub fn manifest(
+    platform: &Platform,
+    signature: &str,
+    config: &ReplayConfig,
+    report: &ReplayReport,
+    wall_time_s: f64,
+) -> Manifest {
+    Manifest {
+        tool: concat!("titreplay ", env!("CARGO_PKG_VERSION")).to_string(),
+        platform: platform.name.clone(),
+        ranks: report.metrics.ranks,
+        trace_signature: signature.to_string(),
+        config: config_fields(config),
+        simulated_time_s: report.result.time,
+        wall_time_s,
+        metrics: report.metrics.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -544,6 +704,219 @@ mod tests {
             let op = action_to_op(&a);
             assert_eq!(workloads::op_to_action(&op), a);
         }
+    }
+}
+
+#[cfg(test)]
+mod observability_tests {
+    use super::*;
+    use acquisition::{acquire, CompilerOpt, Instrumentation};
+    use simkernel::obs::{chrome_trace, state_csv, SpanKind};
+    use workloads::lu::{LuClass, LuConfig};
+
+    fn lu_s8_trace() -> Arc<Trace> {
+        let lu = LuConfig::new(LuClass::S, 8).with_steps(3);
+        Arc::new(acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace)
+    }
+
+    fn cfg(engine: ReplayEngine, fel: simkernel::FelImpl) -> ReplayConfig {
+        ReplayConfig {
+            engine,
+            rate: 2e9,
+            placement: Placement::OnePerNode,
+            copy_model: None,
+            sharing: netmodel::SharingPolicy::Bottleneck,
+            fel,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_byte_identical_across_runs_and_fel_impls() {
+        let trace = lu_s8_trace();
+        let p = platform::clusters::bordereau();
+        for engine in [ReplayEngine::Msg, ReplayEngine::Smpi] {
+            let mut exports = Vec::new();
+            for fel in [simkernel::FelImpl::Heap, simkernel::FelImpl::Ladder] {
+                for _ in 0..2 {
+                    let report =
+                        replay_observed(&p, &trace, &cfg(engine, fel), true).unwrap();
+                    let log = report.spans.as_ref().expect("spans recorded");
+                    exports.push(chrome_trace(log));
+                }
+            }
+            for e in &exports[1..] {
+                assert_eq!(
+                    *e, exports[0],
+                    "{engine:?}: chrome-trace export not byte-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spans_balance_against_rank_finish_times() {
+        // Invariant: each rank's recorded spans are chronological,
+        // non-overlapping, within [0, finish]; every flow closed.
+        let trace = lu_s8_trace();
+        let p = platform::clusters::bordereau();
+        for engine in [ReplayEngine::Msg, ReplayEngine::Smpi] {
+            let report = replay_observed(
+                &p,
+                &trace,
+                &cfg(engine, simkernel::FelImpl::default()),
+                true,
+            )
+            .unwrap();
+            let log = report.spans.as_ref().unwrap();
+            assert_eq!(log.open_flows(), 0, "{engine:?}: flows left open");
+            assert!(log.total_spans() > 0, "{engine:?}: nothing recorded");
+            for rank in 0..log.rank_count() {
+                let finish = report.result.rank_times[rank as usize];
+                let mut cursor = 0.0;
+                let mut tracked = 0.0;
+                for s in log.rank(rank) {
+                    assert!(
+                        s.start >= cursor - 1e-12,
+                        "{engine:?} rank {rank}: span at {} overlaps previous ending {cursor}",
+                        s.start
+                    );
+                    assert!(s.end > s.start);
+                    cursor = s.end;
+                    tracked += s.end - s.start;
+                }
+                assert!(
+                    cursor <= finish + 1e-9,
+                    "{engine:?} rank {rank}: spans exceed finish {finish}"
+                );
+                assert!(
+                    tracked <= finish + 1e-9,
+                    "{engine:?} rank {rank}: tracked {tracked} exceeds finish {finish}"
+                );
+            }
+            for f in log.flows() {
+                assert!(f.end >= f.start, "flow ends before it starts");
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_end_bit_matches_reported_time() {
+        let trace = lu_s8_trace();
+        let p = platform::clusters::bordereau();
+        for engine in [ReplayEngine::Msg, ReplayEngine::Smpi] {
+            let report = replay_observed(
+                &p,
+                &trace,
+                &cfg(engine, simkernel::FelImpl::default()),
+                true,
+            )
+            .unwrap();
+            let path = report.critical_path().expect("spans recorded");
+            assert_eq!(
+                path.end_s.to_bits(),
+                report.result.time.to_bits(),
+                "{engine:?}: critical-path end {} != simulated time {}",
+                path.end_s,
+                report.result.time
+            );
+            assert!(!path.steps.is_empty());
+            // Steps tile [0, end] back-to-back.
+            let mut t = 0.0;
+            for s in &path.steps {
+                assert!((s.start_s - t).abs() < 1e-9, "gap at {t}");
+                t = s.end_s;
+            }
+            assert!((t - path.end_s).abs() < 1e-12);
+            assert_eq!(path.breakdown.len(), 8);
+        }
+    }
+
+    #[test]
+    fn observed_time_is_bit_identical_to_plain_replay() {
+        // The recorder must not perturb simulation results.
+        let trace = lu_s8_trace();
+        let p = platform::clusters::bordereau();
+        for engine in [ReplayEngine::Msg, ReplayEngine::Smpi] {
+            let c = cfg(engine, simkernel::FelImpl::default());
+            let plain = replay(&p, &trace, &c).unwrap();
+            let observed = replay_observed(&p, &trace, &c, true).unwrap();
+            assert_eq!(
+                plain.time.to_bits(),
+                observed.result.time.to_bits(),
+                "{engine:?}"
+            );
+            assert_eq!(plain.rank_times, observed.result.rank_times);
+            assert_eq!(plain.events, observed.result.events);
+        }
+    }
+
+    #[test]
+    fn metrics_fold_replay_and_network_counters() {
+        let trace = lu_s8_trace();
+        let p = platform::clusters::bordereau();
+        let report = replay_observed(
+            &p,
+            &trace,
+            &cfg(ReplayEngine::Smpi, simkernel::FelImpl::default()),
+            false,
+        )
+        .unwrap();
+        let m = &report.metrics;
+        assert_eq!(m.engine, "smpi");
+        assert_eq!(m.ranks, 8);
+        assert_eq!(m.messages, report.result.messages);
+        assert_eq!(m.messages, m.eager_messages + m.rendezvous_messages);
+        assert_eq!(m.events_processed, report.result.events);
+        assert!(m.flows_created > 0);
+        assert_eq!(m.flows_created, m.flows_resolved);
+        assert!(m.sharing_resolves > 0);
+        let json = m.to_json();
+        assert!(json.contains("\"engine\": \"smpi\""));
+        assert!(json.contains("\"network\""));
+    }
+
+    #[test]
+    fn exporters_cover_all_recorded_state() {
+        let trace = lu_s8_trace();
+        let p = platform::clusters::bordereau();
+        let report = replay_observed(
+            &p,
+            &trace,
+            &cfg(ReplayEngine::Smpi, simkernel::FelImpl::default()),
+            true,
+        )
+        .unwrap();
+        let log = report.spans.as_ref().unwrap();
+        let json = chrome_trace(log);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("compute"));
+        let csv = state_csv(log);
+        let lines = csv.lines().count();
+        // Header + one row per span + one per flow.
+        assert_eq!(lines, 1 + log.total_spans() + log.flows().len());
+        // Every span kind that occurred appears in the CSV.
+        for kind in [SpanKind::Compute, SpanKind::Send, SpanKind::Recv] {
+            if (0..log.rank_count()).any(|r| log.total(r, kind) > 0.0) {
+                assert!(csv.contains(kind.label()), "{} missing", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_embeds_config_and_signature() {
+        let trace = lu_s8_trace();
+        let p = platform::clusters::bordereau();
+        let c = cfg(ReplayEngine::Smpi, simkernel::FelImpl::default());
+        let report = replay_observed(&p, &trace, &c, false).unwrap();
+        let input = TraceInput::Memory(Arc::clone(&trace));
+        let sig = trace_signature(&input, trace.ranks());
+        assert!(sig.starts_with("memory:8 ranks"));
+        let man = manifest(&p, &sig, &c, &report, 0.25);
+        let json = man.to_json();
+        assert!(json.contains("\"trace_signature\": \"memory:8 ranks"));
+        assert!(json.contains("\"engine\": \"Smpi\""));
+        assert!(json.contains("\"wall_time_s\": 0.25"));
+        assert!(json.contains("\"metrics\": {"));
     }
 }
 

@@ -128,6 +128,16 @@ impl Kernel {
         self.queue.profile()
     }
 
+    /// Fills the kernel-owned fields of a metrics snapshot: events
+    /// processed, queue compactions, and the FEL profile together with
+    /// whether its counters were compiled in.
+    pub fn observe(&self, metrics: &mut crate::obs::Metrics) {
+        metrics.events_processed = self.events_processed();
+        metrics.queue_compactions = self.queue_compactions();
+        metrics.fel_profile_enabled = crate::queue::profile_enabled();
+        metrics.fel = self.queue_profile();
+    }
+
     // ------------------------------------------------------------------
     // Activities
     // ------------------------------------------------------------------

@@ -30,6 +30,7 @@
 pub mod actor;
 pub mod activity;
 pub mod kernel;
+pub mod obs;
 pub mod queue;
 pub mod rng;
 pub mod sim;
@@ -39,7 +40,7 @@ pub mod time;
 pub use actor::{Actor, ActorId, Status, Wake};
 pub use activity::{ActivityId, ActivityState};
 pub use kernel::{replay_sizing, Kernel, IN_FLIGHT_PER_RANK};
-pub use queue::{FelImpl, FelProfile};
+pub use queue::{profile_enabled, FelImpl, FelProfile};
 pub use rng::DetRng;
 pub use sim::{Sim, SimOutcome};
 pub use time::{Duration, Time};

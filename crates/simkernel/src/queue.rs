@@ -168,6 +168,13 @@ impl FelProfile {
     }
 }
 
+/// Whether the `profile` cargo feature compiled the FEL counters in.
+/// Lets consumers (the `obs::Metrics` snapshot, reports) distinguish
+/// "zero events" from "not measured" without recompiling.
+pub const fn profile_enabled() -> bool {
+    cfg!(feature = "profile")
+}
+
 /// Increments a profile counter; compiles to nothing without the
 /// `profile` feature.
 #[inline(always)]

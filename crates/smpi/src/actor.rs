@@ -12,12 +12,12 @@
 
 use std::collections::VecDeque;
 
+use simkernel::obs::SpanKind;
 use simkernel::{Actor, ActorId, Duration, Kernel, Status, Wake};
 use workloads::{MpiOp, OpSource};
 
 use crate::collectives;
 use crate::hooks::ComputePlan;
-use crate::timeline::SegmentKind;
 use crate::world::{
     MsgId, PostId, RecvResult, ReqId, SendResult, SmpiWorld, CH_APP, CH_COLL,
 };
@@ -52,8 +52,14 @@ pub struct RankActor {
     pending: [VecDeque<ReqId>; 2],
     waiting: Waiting,
     staged: Option<Staged>,
-    /// Instant at which the current blocking condition began (timeline).
+    /// Instant at which the current blocking condition began (span
+    /// recording).
     blocked_at: f64,
+    /// Classification of the current blocking condition, captured when
+    /// the block is entered (the staged op is consumed by then).
+    block_kind: SpanKind,
+    /// The remote rank whose action will resolve the block, when known.
+    block_peer: Option<u32>,
 }
 
 impl RankActor {
@@ -69,23 +75,33 @@ impl RankActor {
             waiting: Waiting::Ready,
             staged: None,
             blocked_at: 0.0,
+            block_kind: SpanKind::Wait,
+            block_peer: None,
         }
     }
 
-    /// Timeline classification of the condition just resolved.
-    fn segment_kind(waiting: &Waiting) -> Option<SegmentKind> {
-        match waiting {
-            Waiting::Ready => None,
-            Waiting::Delay => Some(SegmentKind::Overhead),
-            Waiting::Compute(_) => Some(SegmentKind::Compute),
-            Waiting::Msg(_) | Waiting::Post(_) | Waiting::Reqs(_) => Some(SegmentKind::Wait),
+    /// Notes what the rank is about to block on (consumed by
+    /// `absorb_wake` when the condition resolves). Two register stores;
+    /// unconditional, like the old timeline classification.
+    fn note_block(&mut self, kind: SpanKind, peer: Option<u32>) {
+        self.block_kind = kind;
+        self.block_peer = peer;
+    }
+
+    /// Wait-class span kind for `channel` (collective sub-programs are
+    /// reported as collective time whatever the blocked primitive is).
+    fn wait_kind(channel: u8, kind: SpanKind) -> SpanKind {
+        if channel == CH_COLL {
+            SpanKind::Collective
+        } else {
+            kind
         }
     }
 
     /// Re-evaluates the blocking condition after a wake-up, recording a
-    /// timeline segment when one resolves.
+    /// span when one resolves.
     fn absorb_wake(&mut self, world: &mut SmpiWorld, now: f64, wake: Wake) {
-        let kind = Self::segment_kind(&self.waiting);
+        let was_blocked = !matches!(self.waiting, Waiting::Ready);
         match (&mut self.waiting, wake) {
             (Waiting::Ready, _) => {}
             (Waiting::Delay, Wake::Timer(DELAY_KEY)) => {
@@ -115,10 +131,8 @@ impl RankActor {
             }
             _ => {} // spurious wake for a superseded condition
         }
-        if matches!(self.waiting, Waiting::Ready) {
-            if let Some(kind) = kind {
-                world.record_segment(self.rank, self.blocked_at, now, kind);
-            }
+        if was_blocked && matches!(self.waiting, Waiting::Ready) {
+            world.record_span(self.rank, self.blocked_at, now, self.block_kind, self.block_peer);
         }
     }
 
@@ -152,6 +166,7 @@ impl RankActor {
                     let act = kernel.start_activity(plan.work, plan.rate);
                     kernel.subscribe(act, self.me);
                     self.waiting = Waiting::Compute(act);
+                    self.note_block(SpanKind::Compute, None);
                     self.staged = Some(Staged {
                         op,
                         channel,
@@ -163,7 +178,10 @@ impl RankActor {
                 let (res, _) = world.send(kernel, self.rank, dst, bytes, channel, true, self.me);
                 match res {
                     SendResult::Done => {}
-                    SendResult::Wait(m) => self.waiting = Waiting::Msg(m),
+                    SendResult::Wait(m) => {
+                        self.waiting = Waiting::Msg(m);
+                        self.note_block(Self::wait_kind(channel, SpanKind::Send), Some(dst));
+                    }
                 }
             }
             MpiOp::Isend { dst, bytes } => {
@@ -175,8 +193,14 @@ impl RankActor {
                 let (res, _) = world.recv(kernel, self.rank, src, bytes, channel, true, self.me);
                 match res {
                     RecvResult::Done => {}
-                    RecvResult::WaitMsg(m) => self.waiting = Waiting::Msg(m),
-                    RecvResult::WaitPost(p) => self.waiting = Waiting::Post(p),
+                    RecvResult::WaitMsg(m) => {
+                        self.waiting = Waiting::Msg(m);
+                        self.note_block(Self::wait_kind(channel, SpanKind::Recv), Some(src));
+                    }
+                    RecvResult::WaitPost(p) => {
+                        self.waiting = Waiting::Post(p);
+                        self.note_block(Self::wait_kind(channel, SpanKind::Recv), Some(src));
+                    }
                 }
             }
             MpiOp::Irecv { src, bytes } => {
@@ -190,6 +214,7 @@ impl RankActor {
                     .unwrap_or_else(|| panic!("rank {}: wait with no pending request", self.rank));
                 if !world.take_req(req, self.me) {
                     self.waiting = Waiting::Reqs(vec![req]);
+                    self.note_block(Self::wait_kind(channel, SpanKind::Wait), None);
                 }
             }
             MpiOp::WaitAll => {
@@ -202,6 +227,7 @@ impl RankActor {
                 }
                 if !incomplete.is_empty() {
                     self.waiting = Waiting::Reqs(incomplete);
+                    self.note_block(Self::wait_kind(channel, SpanKind::Wait), None);
                 }
             }
             collective => {
@@ -264,6 +290,7 @@ impl Actor<SmpiWorld> for RankActor {
                 kernel.set_timer(self.me, Duration::from_secs(delay), DELAY_KEY);
                 self.staged = Some(staged);
                 self.waiting = Waiting::Delay;
+                self.note_block(SpanKind::Overhead, None);
                 self.blocked_at = kernel.now().as_secs();
                 return Status::Blocked;
             }

@@ -1,6 +1,7 @@
 //! Assembling and running a complete SMPI simulation.
 
 use platform::{HostId, Platform};
+use simkernel::obs::{Metrics, Recorder, RunObservation, SpanLog};
 use simkernel::{ActorId, Sim, SimOutcome};
 use workloads::OpSource;
 
@@ -45,7 +46,7 @@ pub fn run_smpi(
     cfg: SmpiConfig,
     hooks: Box<dyn ExecHooks>,
 ) -> Result<SmpiResult, String> {
-    run_inner(platform, hosts, sources, cfg, hooks, false).map(|(r, _)| r)
+    run_inner(platform, hosts, sources, cfg, hooks, None).map(|(r, _)| r)
 }
 
 /// Like [`run_smpi`], with per-rank timeline recording enabled; returns
@@ -60,8 +61,29 @@ pub fn run_smpi_traced(
     cfg: SmpiConfig,
     hooks: Box<dyn ExecHooks>,
 ) -> Result<(SmpiResult, crate::timeline::Timeline), String> {
-    run_inner(platform, hosts, sources, cfg, hooks, true)
-        .map(|(r, t)| (r, t.expect("timeline was enabled")))
+    run_smpi_observed(platform, hosts, sources, cfg, hooks, true).map(|(r, obs)| {
+        let log = obs.spans.expect("span recording was enabled");
+        (r, crate::timeline::Timeline::from_spans(&log))
+    })
+}
+
+/// Like [`run_smpi`], returning the unified observation alongside the
+/// result: the [`Metrics`] snapshot always, and the recorded
+/// [`SpanLog`] when `record_spans` is set.
+///
+/// # Errors
+/// See [`run_smpi`].
+pub fn run_smpi_observed(
+    platform: &Platform,
+    hosts: &[HostId],
+    sources: Vec<Box<dyn OpSource>>,
+    cfg: SmpiConfig,
+    hooks: Box<dyn ExecHooks>,
+    record_spans: bool,
+) -> Result<(SmpiResult, RunObservation), String> {
+    let recorder: Option<Box<dyn Recorder>> =
+        record_spans.then(|| Box::new(SpanLog::new(sources.len() as u32)) as Box<dyn Recorder>);
+    run_inner(platform, hosts, sources, cfg, hooks, recorder)
 }
 
 fn run_inner(
@@ -70,16 +92,16 @@ fn run_inner(
     sources: Vec<Box<dyn OpSource>>,
     cfg: SmpiConfig,
     hooks: Box<dyn ExecHooks>,
-    record_timeline: bool,
-) -> Result<(SmpiResult, Option<crate::timeline::Timeline>), String> {
+    recorder: Option<Box<dyn Recorder>>,
+) -> Result<(SmpiResult, RunObservation), String> {
     let ranks = sources.len();
     assert!(ranks > 0, "no ranks to run");
     assert_eq!(hosts.len(), ranks, "one host per rank required");
     let transport = ActorId(ranks as u32);
     let fel = cfg.fel;
     let mut world = SmpiWorld::new(platform, hosts, cfg, hooks, transport);
-    if record_timeline {
-        world.enable_timeline();
+    if let Some(recorder) = recorder {
+        world.set_recorder(recorder);
     }
     // Pre-size the kernel's hot collections from the workload shape (see
     // `simkernel::replay_sizing` for the heuristic).
@@ -110,15 +132,35 @@ fn run_inner(
         (0, 0, 0),
         "protocol records leaked"
     );
+    let total_time = rank_times.iter().copied().fold(0.0, f64::max);
+    let stats = sim.world.stats;
+    let mut metrics = Metrics::new("smpi", ranks as u32);
+    metrics.simulated_time_s = total_time;
+    sim.kernel.observe(&mut metrics);
+    metrics.messages = stats.messages;
+    metrics.eager_messages = stats.eager_messages;
+    metrics.rendezvous_messages = stats.messages - stats.eager_messages;
+    metrics.bytes = stats.bytes;
+    metrics.collectives = stats.collective_participations;
+    metrics.match_depth_tracked = simkernel::profile_enabled();
+    metrics.max_unexpected_depth = stats.max_unexpected_depth;
+    metrics.max_posted_depth = stats.max_posted_depth;
+    let net = sim.world.net.stats();
+    metrics.flows_created = net.flows_opened;
+    metrics.flows_resolved = net.flows_closed;
+    metrics.sharing_resolves = net.resolves;
+    metrics.sharing_rate_updates = net.rate_updates;
+    let spans = sim.world.recorder.take().and_then(|r| r.finish());
+    metrics.recorder_counts = spans.as_ref().map(|l| l.counts());
     Ok((
         SmpiResult {
-            total_time: rank_times.iter().copied().fold(0.0, f64::max),
+            total_time,
             rank_times,
             compute_seconds: sim.world.compute_seconds.clone(),
-            stats: sim.world.stats,
+            stats,
             events: sim.kernel.events_processed(),
         },
-        sim.world.timeline.take(),
+        RunObservation { metrics, spans },
     ))
 }
 
@@ -457,6 +499,82 @@ mod tests {
         let chart = timeline.render(40, r.total_time);
         assert!(chart.lines().count() == 2);
         assert!(chart.contains('#') && chart.contains('.'), "{chart}");
+    }
+
+    #[test]
+    fn observed_run_reports_metrics_and_spans() {
+        let p = tiny_platform(2);
+        let progs = vec![
+            vec![
+                MpiOp::Compute(ComputeBlock::plain(1e9)),
+                MpiOp::Send { dst: 1, bytes: 1000 },
+            ],
+            vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+        ];
+        let sources: Vec<Box<dyn workloads::OpSource>> = progs
+            .into_iter()
+            .map(|ops| Box::new(VecSource::new(ops)) as Box<dyn workloads::OpSource>)
+            .collect();
+        let (r, obs) = run_smpi_observed(
+            &p,
+            &hosts(2),
+            sources,
+            cfg_no_copy(),
+            Box::new(FixedRateHooks::uniform(1e9, 2)),
+            true,
+        )
+        .unwrap();
+        assert_eq!(obs.metrics.engine, "smpi");
+        assert_eq!(obs.metrics.ranks, 2);
+        assert_eq!(obs.metrics.simulated_time_s.to_bits(), r.total_time.to_bits());
+        assert_eq!(obs.metrics.events_processed, r.events);
+        assert_eq!(obs.metrics.messages, 1);
+        assert_eq!(obs.metrics.eager_messages, 1);
+        assert_eq!(obs.metrics.rendezvous_messages, 0);
+        assert_eq!(obs.metrics.flows_created, 1);
+        assert_eq!(obs.metrics.flows_resolved, 1);
+        let log = obs.spans.expect("spans recorded");
+        assert_eq!(log.open_flows(), 0);
+        assert_eq!(log.flows().len(), 1);
+        assert!(log.total(0, simkernel::obs::SpanKind::Compute) > 0.99);
+        assert!(log.total(1, simkernel::obs::SpanKind::Recv) > 0.99);
+        assert_eq!(obs.metrics.recorder_counts.unwrap(), log.counts());
+    }
+
+    #[test]
+    fn observed_run_without_spans_matches_plain_run() {
+        let p = tiny_platform(2);
+        let mk = || {
+            let progs = vec![
+                vec![MpiOp::Send { dst: 1, bytes: 1000 }],
+                vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+            ];
+            progs
+                .into_iter()
+                .map(|ops| Box::new(VecSource::new(ops)) as Box<dyn workloads::OpSource>)
+                .collect::<Vec<_>>()
+        };
+        let plain = run_smpi(
+            &p,
+            &hosts(2),
+            mk(),
+            cfg_no_copy(),
+            Box::new(FixedRateHooks::uniform(1e9, 2)),
+        )
+        .unwrap();
+        let (r, obs) = run_smpi_observed(
+            &p,
+            &hosts(2),
+            mk(),
+            cfg_no_copy(),
+            Box::new(FixedRateHooks::uniform(1e9, 2)),
+            false,
+        )
+        .unwrap();
+        assert_eq!(plain.rank_times, r.rank_times);
+        assert_eq!(plain.events, r.events);
+        assert!(obs.spans.is_none());
+        assert!(obs.metrics.recorder_counts.is_none());
     }
 
     #[test]

@@ -54,6 +54,28 @@ impl Timeline {
         }
     }
 
+    /// Collapses a recorded span log into Gantt segments. All blocked
+    /// kinds (send/recv/wait/collective) render as [`SegmentKind::Wait`],
+    /// preserving the three-glyph chart this module has always drawn.
+    pub fn from_spans(log: &simkernel::obs::SpanLog) -> Timeline {
+        use simkernel::obs::SpanKind;
+        let mut t = Timeline::new(log.rank_count());
+        for rank in 0..log.rank_count() {
+            for s in log.rank(rank) {
+                let kind = match s.kind {
+                    SpanKind::Compute => SegmentKind::Compute,
+                    SpanKind::Overhead => SegmentKind::Overhead,
+                    SpanKind::Send
+                    | SpanKind::Recv
+                    | SpanKind::Wait
+                    | SpanKind::Collective => SegmentKind::Wait,
+                };
+                t.record(rank, s.start, s.end, kind);
+            }
+        }
+        t
+    }
+
     /// Records one segment (zero-length segments are dropped).
     pub fn record(&mut self, rank: u32, start: f64, end: f64, kind: SegmentKind) {
         if end > start {

@@ -27,11 +27,11 @@ use std::collections::VecDeque;
 
 use netmodel::{FlowId, FlowNet};
 use platform::{HostId, LinkId, Platform};
+use simkernel::obs::{Counter, Recorder, SpanKind};
 use simkernel::{ActorId, Duration, Kernel, Wake};
 
 use crate::hooks::ExecHooks;
 use crate::slab::{ActivityMap, Id, Slab, Waiters};
-use crate::timeline::{SegmentKind, Timeline};
 use crate::SmpiConfig;
 
 /// Application point-to-point channel.
@@ -135,9 +135,10 @@ pub struct SmpiWorld {
     /// Seconds each rank spent computing (planned durations; used by
     /// calibration).
     pub compute_seconds: Vec<f64>,
-    /// Optional per-rank execution timeline (off by default; see
-    /// [`crate::timeline`]).
-    pub timeline: Option<Timeline>,
+    /// Optional observation sink (off by default; see [`simkernel::obs`]).
+    /// When `None`, every recording call site is a branch on this option
+    /// and nothing else — the disabled path allocates nothing.
+    pub recorder: Option<Box<dyn Recorder>>,
     ranks: u32,
     routes: Vec<Vec<LinkId>>,
     pair_latency: Vec<f64>,
@@ -201,7 +202,7 @@ impl SmpiWorld {
             hooks,
             stats: WorldStats::default(),
             compute_seconds: vec![0.0; n],
-            timeline: None,
+            recorder: None,
             ranks,
             routes,
             pair_latency,
@@ -290,6 +291,9 @@ impl SmpiWorld {
         } else {
             self.unexpected[chan].push_back(msg_id);
             track_depth(&mut self.stats.max_unexpected_depth, self.unexpected[chan].len());
+            if let Some(r) = self.recorder.as_mut() {
+                r.count(Counter::UnexpectedEnqueued, 1);
+            }
         }
         if eager || matched.is_some() {
             self.start_transfer(kernel, msg_id);
@@ -377,6 +381,9 @@ impl SmpiWorld {
             });
             self.posted[chan].push_back(post_id);
             track_depth(&mut self.stats.max_posted_depth, self.posted[chan].len());
+            if let Some(r) = self.recorder.as_mut() {
+                r.count(Counter::PostedEnqueued, 1);
+            }
             if blocking {
                 (RecvResult::WaitPost(post_id), None)
             } else {
@@ -430,15 +437,21 @@ impl SmpiWorld {
         self.compute_seconds[rank as usize] += seconds;
     }
 
-    /// Turns on timeline recording.
-    pub fn enable_timeline(&mut self) {
-        self.timeline = Some(Timeline::new(self.ranks));
+    /// Installs an observation sink (span/flow/counter recording).
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
     }
 
-    /// Records a timeline segment when recording is enabled.
-    pub fn record_segment(&mut self, rank: u32, start: f64, end: f64, kind: SegmentKind) {
-        if let Some(t) = self.timeline.as_mut() {
-            t.record(rank, start, end, kind);
+    /// Whether a recorder is installed (actors skip span classification
+    /// entirely when not).
+    pub fn recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Records a per-rank span when recording is enabled.
+    pub fn record_span(&mut self, rank: u32, start: f64, end: f64, kind: SpanKind, peer: Option<u32>) {
+        if let Some(r) = self.recorder.as_mut() {
+            r.span(rank, start, end, kind, peer);
         }
     }
 
@@ -464,6 +477,9 @@ impl SmpiWorld {
                 let (src, dst, bytes) = (msg.src, msg.dst, msg.bytes);
                 let pair = self.pair(src, dst);
                 self.net.close(kernel, flow);
+                if let Some(r) = self.recorder.as_mut() {
+                    r.flow_close(msg_id.pack(), kernel.now().as_secs());
+                }
                 // Tail latency: protocol-corrected route latency.
                 let lat = self
                     .cfg
@@ -491,6 +507,9 @@ impl SmpiWorld {
             // Intra-host: a memory copy.
             let d = self.cfg.loopback_latency + bytes as f64 / self.cfg.loopback_bandwidth;
             kernel.set_timer(self.transport, Duration::from_secs(d), msg_id.pack());
+            if let Some(r) = self.recorder.as_mut() {
+                r.count(Counter::LoopbackTransfers, 1);
+            }
         } else {
             let cap = self
                 .cfg
@@ -504,6 +523,9 @@ impl SmpiWorld {
             self.flow_msg.insert(act, flow_msg_value(msg_id));
             self.msgs.expect_mut(msg_id).flow = Some(flow);
             self.stats.flows += 1;
+            if let Some(r) = self.recorder.as_mut() {
+                r.flow_open(msg_id.pack(), src, dst, bytes, kernel.now().as_secs());
+            }
         }
     }
 

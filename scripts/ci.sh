@@ -44,3 +44,47 @@ for t in "$t_par" "$t_bin" "$t_store" "$t_cache"; do
     }
 done
 echo "INGEST_SMOKE ok (simulated_time_s $t_text across text/parallel/titb/cache)"
+
+# Observability smoke: replay an LU class-S trace with the recorder
+# enabled, check that the exported artifacts are valid JSON, and that
+# the critical path ends exactly at the reported simulated time.
+"$gen" --class S --procs 8 --steps 10 --out "$ingest_dir/lu-s.trace"
+splat="$ingest_dir/lu-s.trace.platform.json"
+"$rep" --platform "$splat" --ranks 8 --rate 2e9 --trace "$ingest_dir/lu-s.trace" \
+    --no-cache \
+    --trace-out "$ingest_dir/chrome.json" \
+    --state-csv "$ingest_dir/states.csv" \
+    --metrics "$ingest_dir/metrics.json" \
+    --manifest "$ingest_dir/manifest.json" \
+    --critical-path "$ingest_dir/critical_path.json" \
+    >"$ingest_dir/obs.out" 2>/dev/null
+t_sim=$(awk '$1 == "simulated_time_s" {print $2}' "$ingest_dir/obs.out")
+t_cp=$(awk '$1 == "critical_path_end_s" {print $2}' "$ingest_dir/obs.out")
+[ -n "$t_sim" ] && [ "$t_sim" = "$t_cp" ] || {
+    echo "critical path end ($t_cp) != simulated time ($t_sim)" >&2
+    exit 1
+}
+head -1 "$ingest_dir/states.csv" | grep -q '^rank,start_s,end_s,state,peer,bytes$' \
+    || { echo "state CSV header malformed" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$ingest_dir" <<'EOF'
+import json, os, sys
+d = sys.argv[1]
+trace = json.load(open(os.path.join(d, "chrome.json")))
+assert trace["traceEvents"], "chrome trace has no events"
+metrics = json.load(open(os.path.join(d, "metrics.json")))
+assert metrics["engine"] == "smpi", metrics["engine"]
+assert metrics["replay"]["messages"] > 0, "no messages counted"
+manifest = json.load(open(os.path.join(d, "manifest.json")))
+assert manifest["trace_signature"].startswith("text:"), manifest["trace_signature"]
+assert manifest["metrics"]["simulated_time_s"] == metrics["simulated_time_s"]
+cp = json.load(open(os.path.join(d, "critical_path.json")))
+assert cp["steps"] and cp["breakdown"], "critical path empty"
+EOF
+else
+    echo "python3 unavailable; skipped JSON validation" >&2
+fi
+"$rep" inspect --trace "$ingest_dir/lu-s.trace" --ranks 8 >"$ingest_dir/inspect.out"
+grep -q '^validation_issues 0$' "$ingest_dir/inspect.out" \
+    || { echo "inspect reported validation issues" >&2; exit 1; }
+echo "OBS_SMOKE ok (critical_path_end_s == simulated_time_s == $t_sim)"
