@@ -143,7 +143,11 @@ mod tests {
         ] {
             let acq = acquire(lu().sources(), mode, CompilerOpt::O0, 42);
             let errors = titrace::validate::validate(&acq.trace);
-            assert!(errors.is_empty(), "{mode:?}: {:?}", &errors[..errors.len().min(3)]);
+            assert!(
+                errors.is_empty(),
+                "{mode:?}: {:?}",
+                &errors[..errors.len().min(3)]
+            );
         }
     }
 

@@ -52,7 +52,8 @@ mod tests {
         // once the call path is dropped.
         // On a ~2 GHz core the call-path instructions add ≈12 µs,
         // making fine events several times costlier than minimal ones.
-        let fine_total_at_2ghz = FINE_MPI_EVENT_SECONDS + FINE_MPI_EVENT_INSTR / (PROBE_IPC_FACTOR * 2.05e9);
+        let fine_total_at_2ghz =
+            FINE_MPI_EVENT_SECONDS + FINE_MPI_EVENT_INSTR / (PROBE_IPC_FACTOR * 2.05e9);
         assert!(fine_total_at_2ghz > 4.0 * MINIMAL_MPI_EVENT_SECONDS);
     }
 

@@ -11,8 +11,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use tit_replay::acquisition::{acquire, CompilerOpt, Instrumentation};
 use tit_replay::emulator::Testbed;
 use tit_replay::netmodel::SharingPolicy;
-use tit_replay::simkernel::FelImpl;
 use tit_replay::prelude::*;
+use tit_replay::simkernel::FelImpl;
 
 fn config(engine: ReplayEngine, sharing: SharingPolicy) -> ReplayConfig {
     ReplayConfig {
@@ -22,20 +22,26 @@ fn config(engine: ReplayEngine, sharing: SharingPolicy) -> ReplayConfig {
         copy_model: None,
         sharing,
         fel: FelImpl::default(),
+        // Pinned sequential: these benches measure the single-thread
+        // hot path regardless of the environment.
+        threads: 1,
+        window_s: None,
     }
 }
 
 fn replay_speed(c: &mut Criterion) {
     let lu = LuConfig::new(LuClass::S, 16).with_steps(10);
-    let trace = Arc::new(
-        acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace,
-    );
+    let trace = Arc::new(acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace);
     let platform = tit_replay::platform::clusters::bordereau();
     // Measure the event count once per engine for throughput reporting.
     let events = |engine| {
-        replay(&platform, &trace, &config(engine, SharingPolicy::Bottleneck))
-            .unwrap()
-            .events
+        replay(
+            &platform,
+            &trace,
+            &config(engine, SharingPolicy::Bottleneck),
+        )
+        .unwrap()
+        .events
     };
     let mut g = c.benchmark_group("replay_speed");
     g.sample_size(20);
@@ -46,8 +52,12 @@ fn replay_speed(c: &mut Criterion) {
             &engine,
             |b, engine| {
                 b.iter(|| {
-                    replay(&platform, &trace, &config(*engine, SharingPolicy::Bottleneck))
-                        .unwrap()
+                    replay(
+                        &platform,
+                        &trace,
+                        &config(*engine, SharingPolicy::Bottleneck),
+                    )
+                    .unwrap()
                 })
             },
         );
@@ -78,9 +88,7 @@ fn replay_speed(c: &mut Criterion) {
             BenchmarkId::new("halo_p128", format!("{sharing:?}")),
             &sharing,
             |b, sharing| {
-                b.iter(|| {
-                    replay(&showcase, &halo, &config(ReplayEngine::Smpi, *sharing)).unwrap()
-                })
+                b.iter(|| replay(&showcase, &halo, &config(ReplayEngine::Smpi, *sharing)).unwrap())
             },
         );
     }
@@ -95,7 +103,10 @@ fn replay_speed(c: &mut Criterion) {
         .events;
     g.throughput(Throughput::Elements(ev));
     g.bench_function("testbed_lu_s16", |b| {
-        b.iter(|| tb.run_lu(&lu, Instrumentation::None, CompilerOpt::O3).unwrap())
+        b.iter(|| {
+            tb.run_lu(&lu, Instrumentation::None, CompilerOpt::O3)
+                .unwrap()
+        })
     });
     g.finish();
 }

@@ -38,9 +38,7 @@ fn trace_ingest(c: &mut Criterion) {
     });
     for workers in [2usize, 4] {
         g.bench_function(format!("text_parallel_{workers}"), |b| {
-            b.iter(|| {
-                stream::parse_merged_parallel(text.as_bytes(), 16, workers).expect("parse")
-            })
+            b.iter(|| stream::parse_merged_parallel(text.as_bytes(), 16, workers).expect("parse"))
         });
     }
     g.bench_function("pack", |b| b.iter(|| binfmt::encode(&trace)));

@@ -32,7 +32,10 @@ fn main() {
     }
     emit(&all, &["real_s", "simulated_s", "rel_err_pct"], &opts);
     println!();
-    println!("{:<40}{:>12}{:>12}{:>10}", "pipeline", "min_err%", "max_err%", "width");
+    println!(
+        "{:<40}{:>12}{:>12}{:>10}",
+        "pipeline", "min_err%", "max_err%", "width"
+    );
     for (name, band) in bands {
         println!(
             "{:<40}{:>12.1}{:>12.1}{:>10.1}",

@@ -16,7 +16,14 @@ fn main() {
     );
     emit(
         &records,
-        &["min_pct", "q1_pct", "median_pct", "q3_pct", "max_pct", "mean_pct"],
+        &[
+            "min_pct",
+            "q1_pct",
+            "median_pct",
+            "q3_pct",
+            "max_pct",
+            "mean_pct",
+        ],
         &opts,
     );
 }

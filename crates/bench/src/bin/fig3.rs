@@ -17,5 +17,9 @@ fn main() {
         Pipeline::legacy(),
         &opts,
     );
-    emit(&records, &["real_s", "simulated_s", "rel_err_pct", "rate_ips"], &opts);
+    emit(
+        &records,
+        &["real_s", "simulated_s", "rel_err_pct", "rate_ips"],
+        &opts,
+    );
 }

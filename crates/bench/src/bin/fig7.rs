@@ -15,5 +15,9 @@ fn main() {
         Pipeline::improved(),
         &opts,
     );
-    emit(&records, &["real_s", "simulated_s", "rel_err_pct", "rate_ips"], &opts);
+    emit(
+        &records,
+        &["real_s", "simulated_s", "rel_err_pct", "rate_ips"],
+        &opts,
+    );
 }

@@ -37,7 +37,10 @@ fn main() {
     }
     emit(&all, &["real_s", "simulated_s", "rel_err_pct"], &opts);
     println!();
-    println!("{:<34}{:>12}{:>12}{:>10}", "configuration", "min_err%", "max_err%", "width");
+    println!(
+        "{:<34}{:>12}{:>12}{:>10}",
+        "configuration", "min_err%", "max_err%", "width"
+    );
     for (name, band) in bands {
         println!(
             "{:<34}{:>12.1}{:>12.1}{:>10.1}",

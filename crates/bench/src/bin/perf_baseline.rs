@@ -76,6 +76,9 @@ struct Baseline {
     backends: Vec<BackendSpeed>,
     /// Incremental vs full-recompute max-min sharing, end to end.
     sharing: Vec<SharingSpeedup>,
+    /// Conservative parallel replay: wall-clock speedup over thread
+    /// counts, with bit-identical results asserted at every count.
+    parallel: Vec<ParallelSpeedup>,
     /// Netmodel-level churn with per-cabinet sharing components.
     component_churn: Vec<ChurnSpeedup>,
     /// Trace ingestion throughput per path (text cold, text parallel,
@@ -206,6 +209,25 @@ struct SharingSpeedup {
     simulated_s: f64,
 }
 
+/// Parallel replay at one thread count.
+#[derive(Debug, Serialize)]
+struct ParallelSpeedup {
+    /// Workload label.
+    workload: String,
+    /// Worker threads configured.
+    threads: f64,
+    /// Coupling islands the trace decomposes into (1 = the parallel
+    /// path degenerates to the sequential replay).
+    islands: f64,
+    /// Best-of-N wall time, seconds.
+    wall_s: f64,
+    /// Wall time at threads=1 over this row's wall time.
+    speedup: f64,
+    /// Simulated makespan — bit-identical across thread counts by
+    /// construction (asserted before the row is emitted).
+    simulated_s: f64,
+}
+
 /// Netmodel flow churn at a given live-flow count.
 #[derive(Debug, Serialize)]
 struct ChurnSpeedup {
@@ -271,6 +293,9 @@ fn replay_cfg(engine: ReplayEngine, sharing: SharingPolicy) -> ReplayConfig {
         copy_model: None,
         sharing,
         fel: FelImpl::default(),
+        // Pinned sequential; the `parallel` section opts in explicitly.
+        threads: 1,
+        window_s: None,
     }
 }
 
@@ -429,6 +454,61 @@ fn fel_churn_row(fel: FelImpl, live: u64, hold_ops_n: u64) -> FelChurn {
         reseeds: p.reseeds as f64,
         compactions: p.compactions as f64,
         steady_allocs,
+    }
+}
+
+/// Times one workload across thread counts and asserts bit-identical
+/// simulated times at every count. The >=2x speedup expectation at 4
+/// threads only applies on hosts that can actually run 4 workers (and
+/// to traces that decompose into more than one island); the identity
+/// assertions are unconditional.
+fn parallel_rows(
+    platform: &Platform,
+    trace: &Arc<Trace>,
+    workload: &str,
+    rows: &mut Vec<ParallelSpeedup>,
+) {
+    use tit_replay::replay::partition;
+    let islands = {
+        let input = TraceInput::Memory(Arc::clone(trace));
+        let sources = tit_replay::titrace::stream::open_sources(&input, trace.ranks()).unwrap();
+        let scan = partition::scan_sources(sources).unwrap();
+        let hosts = Placement::OnePerNode
+            .assign(platform, trace.ranks())
+            .unwrap();
+        partition::partition_ranks(&scan, platform, &hosts)
+            .islands
+            .len()
+    };
+    let mut base: Option<(f64, u64)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut cfg = replay_cfg(ReplayEngine::Smpi, SharingPolicy::Bottleneck);
+        cfg.threads = threads;
+        let result = replay(platform, trace, &cfg).unwrap();
+        let wall_s = time_best(3, || replay(platform, trace, &cfg).unwrap());
+        let (base_wall, base_bits) = *base.get_or_insert((wall_s, result.time.to_bits()));
+        assert_eq!(
+            result.time.to_bits(),
+            base_bits,
+            "{workload}: parallel replay at {threads} threads diverged"
+        );
+        rows.push(ParallelSpeedup {
+            workload: workload.into(),
+            threads: threads as f64,
+            islands: islands as f64,
+            wall_s,
+            speedup: base_wall / wall_s,
+            simulated_s: result.time,
+        });
+    }
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if islands >= 4 && host >= 4 {
+        let four = rows.iter().rfind(|r| r.threads == 4.0).unwrap();
+        assert!(
+            four.speedup >= 2.0,
+            "{workload}: expected >=2x speedup at 4 threads, got {:.2}x",
+            four.speedup
+        );
     }
 }
 
@@ -700,9 +780,51 @@ fn smoke() {
         }
     }
     obs_smoke();
+    parallel_smoke();
     println!(
         "PERF_SMOKE ok (counters sane, ladder steady state allocation-free, \
-         disabled recorder cost-free)"
+         disabled recorder cost-free, threads=1 dispatch cost-free, \
+         parallel replay bit-identical)"
+    );
+}
+
+/// Parallel-replay gate: the threads=1 entry point must cost the same
+/// as the raw sequential runner (the parallel dispatch short-circuits
+/// before any scan work), and a multi-island replay at 4 threads must
+/// be bit-identical to the sequential result.
+fn parallel_smoke() {
+    use tit_replay::replay::replay_sources_observed;
+    use tit_replay::titrace::stream;
+    let showcase = perfwork::showcase_platform();
+    let halo = Arc::new(perfwork::halo_exchange_trace(32, 50, 1 << 18));
+    let input = TraceInput::Memory(Arc::clone(&halo));
+    let cfg = replay_cfg(ReplayEngine::Smpi, SharingPolicy::Bottleneck);
+    assert_eq!(cfg.threads, 1, "bench config must pin the sequential path");
+    let raw_s = time_best(5, || {
+        let sources = stream::open_sources(&input, halo.ranks()).unwrap();
+        replay_sources_observed(&showcase, sources, &cfg, false).unwrap()
+    });
+    let dispatch_s = time_best(5, || replay(&showcase, &halo, &cfg).unwrap());
+    let slack = (raw_s * 0.01).max(1e-3);
+    eprintln!("smoke    par: raw sequential {raw_s:.6}s, threads=1 dispatch {dispatch_s:.6}s");
+    assert!(
+        dispatch_s <= raw_s + slack,
+        "threads=1 replay regressed the sequential path by more than 1%: \
+         {dispatch_s:.6}s vs {raw_s:.6}s"
+    );
+
+    let base = replay(&showcase, &halo, &cfg).unwrap();
+    let mut cfg4 = cfg.clone();
+    cfg4.threads = 4;
+    let par = replay(&showcase, &halo, &cfg4).unwrap();
+    assert_eq!(
+        base.time.to_bits(),
+        par.time.to_bits(),
+        "parallel replay at 4 threads diverged from the sequential result"
+    );
+    eprintln!(
+        "smoke    par: 4-thread replay bit-identical (simulated {:.6}s)",
+        base.time
     );
 }
 
@@ -723,9 +845,8 @@ fn obs_smoke() {
     let mut deltas = Vec::new();
     for steps in [2u32, 8] {
         let lu = LuConfig::new(LuClass::S, 8).with_steps(steps);
-        let trace = Arc::new(
-            acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace,
-        );
+        let trace =
+            Arc::new(acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace);
         // Warm-up so the counted runs see steady-state behaviour only.
         let warm = replay(&bordereau, &trace, &cfg).unwrap().time;
         let before = alloc_counter::allocations();
@@ -740,7 +861,11 @@ fn obs_smoke() {
             report.result.time.to_bits(),
             "observed (disabled) replay changed the simulated time"
         );
-        assert_eq!(warm.to_bits(), plain.time.to_bits(), "replay not deterministic");
+        assert_eq!(
+            warm.to_bits(),
+            plain.time.to_bits(),
+            "replay not deterministic"
+        );
         deltas.push(observed_allocs as i64 - plain_allocs as i64);
     }
     eprintln!(
@@ -760,11 +885,11 @@ fn obs_smoke() {
     let halo = Arc::new(perfwork::halo_exchange_trace(32, 50, 1 << 18));
     let showcase = perfwork::showcase_platform();
     let plain_s = time_best(5, || replay(&showcase, &halo, &cfg).unwrap());
-    let disabled_s = time_best(5, || replay_observed(&showcase, &halo, &cfg, false).unwrap());
+    let disabled_s = time_best(5, || {
+        replay_observed(&showcase, &halo, &cfg, false).unwrap()
+    });
     let slack = (plain_s * 0.01).max(1e-3);
-    eprintln!(
-        "smoke    obs: churn replay plain {plain_s:.6}s, disabled recorder {disabled_s:.6}s"
-    );
+    eprintln!("smoke    obs: churn replay plain {plain_s:.6}s, disabled recorder {disabled_s:.6}s");
     assert!(
         disabled_s <= plain_s + slack,
         "disabled-recorder path regressed the churn replay by more than 1%: \
@@ -791,9 +916,7 @@ fn main() {
 
     eprintln!("timing replay back-ends (LU S-16, bordereau)...");
     let lu = LuConfig::new(LuClass::S, 16).with_steps(10);
-    let trace = Arc::new(
-        acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace,
-    );
+    let trace = Arc::new(acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace);
     let bordereau = tit_replay::platform::clusters::bordereau();
     let backends = backend_speeds(&bordereau, &trace, "lu-s16-steps10");
 
@@ -801,14 +924,33 @@ fn main() {
     let showcase = perfwork::showcase_platform();
     let halo = Arc::new(perfwork::halo_exchange_trace(128, 200, 1 << 20));
     let big = LuConfig::new(LuClass::S, 64).with_steps(10);
-    let big_trace = Arc::new(
-        acquire(big.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace,
-    );
+    let big_trace =
+        Arc::new(acquire(big.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace);
     let graphene = tit_replay::platform::clusters::graphene();
     let sharing = vec![
         sharing_speedup(&showcase, &halo, "halo-exchange-p128-iters200"),
         sharing_speedup(&graphene, &big_trace, "lu-s64-steps10-smpi"),
     ];
+
+    eprintln!("timing parallel replay (halo exchange P=128; LU C-64, graphene)...");
+    let mut parallel = Vec::new();
+    parallel_rows(
+        &showcase,
+        &halo,
+        "halo-exchange-p128-iters200",
+        &mut parallel,
+    );
+    let lu_c64 = LuConfig::new(LuClass::C, 64).with_steps(10);
+    let lu_c64_trace = Arc::new(
+        acquire(
+            lu_c64.sources(),
+            Instrumentation::Minimal,
+            CompilerOpt::O3,
+            1,
+        )
+        .trace,
+    );
+    parallel_rows(&graphene, &lu_c64_trace, "lu-c64-steps10", &mut parallel);
 
     eprintln!("timing component churn (16-cabinet cluster)...");
     let churn = component_churn();
@@ -833,6 +975,7 @@ fn main() {
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()) as f64,
         backends,
         sharing,
+        parallel,
         component_churn: churn,
         ingest,
         sweep_cells: cells,

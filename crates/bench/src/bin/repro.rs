@@ -76,16 +76,47 @@ fn main() {
         &overhead_cols,
     );
 
-    let counter_cols: [(&str, &str); 3] =
-        [("min_pct", "min %"), ("median_pct", "median %"), ("max_pct", "max %")];
+    let counter_cols: [(&str, &str); 3] = [
+        ("min_pct", "min %"),
+        ("median_pct", "median %"),
+        ("max_pct", "max %"),
+    ];
     for (fig, cluster, grid, mode, opt) in [
-        ("Figure 1", "bordereau", bordereau_grid(), Instrumentation::legacy_default(), CompilerOpt::O0),
-        ("Figure 2", "graphene", graphene_grid(), Instrumentation::legacy_default(), CompilerOpt::O0),
-        ("Figure 4", "bordereau", bordereau_grid(), Instrumentation::Minimal, CompilerOpt::O3),
-        ("Figure 5", "graphene", graphene_grid(), Instrumentation::Minimal, CompilerOpt::O3),
+        (
+            "Figure 1",
+            "bordereau",
+            bordereau_grid(),
+            Instrumentation::legacy_default(),
+            CompilerOpt::O0,
+        ),
+        (
+            "Figure 2",
+            "graphene",
+            graphene_grid(),
+            Instrumentation::legacy_default(),
+            CompilerOpt::O0,
+        ),
+        (
+            "Figure 4",
+            "bordereau",
+            bordereau_grid(),
+            Instrumentation::Minimal,
+            CompilerOpt::O3,
+        ),
+        (
+            "Figure 5",
+            "graphene",
+            graphene_grid(),
+            Instrumentation::Minimal,
+            CompilerOpt::O3,
+        ),
     ] {
         eprintln!("== {fig} ==");
-        println!("## {fig} — counter discrepancy, {} ({})\n", cluster, mode.label());
+        println!(
+            "## {fig} — counter discrepancy, {} ({})\n",
+            cluster,
+            mode.label()
+        );
         md_table(
             &counter_discrepancy_figure(fig, cluster, &grid, mode, opt, &opts),
             &counter_cols,
@@ -99,9 +130,24 @@ fn main() {
     ];
     let mut bands: Vec<(String, ErrorBand)> = Vec::new();
     for (fig, testbed, grid, pipeline) in [
-        ("Figure 3 — legacy accuracy, bordereau", &bordereau, bordereau_grid(), Pipeline::legacy()),
-        ("Figure 6 — improved accuracy, bordereau", &bordereau, bordereau_grid(), Pipeline::improved()),
-        ("Figure 7 — improved accuracy, graphene", &graphene, graphene_grid(), Pipeline::improved()),
+        (
+            "Figure 3 — legacy accuracy, bordereau",
+            &bordereau,
+            bordereau_grid(),
+            Pipeline::legacy(),
+        ),
+        (
+            "Figure 6 — improved accuracy, bordereau",
+            &bordereau,
+            bordereau_grid(),
+            Pipeline::improved(),
+        ),
+        (
+            "Figure 7 — improved accuracy, graphene",
+            &graphene,
+            graphene_grid(),
+            Pipeline::improved(),
+        ),
     ] {
         eprintln!("== {fig} ==");
         println!("## {fig}\n");
@@ -124,7 +170,12 @@ fn main() {
         eprintln!("  -- {name}");
         let records = accuracy_figure(&name, &bordereau, &bordereau_grid(), pipeline, &opts);
         let b = band(&records, "rel_err_pct");
-        println!("| {name} | {:.1} | {:.1} | {:.1} |", b.min, b.max, b.width());
+        println!(
+            "| {name} | {:.1} | {:.1} | {:.1} |",
+            b.min,
+            b.max,
+            b.width()
+        );
     }
     println!();
     println!("## Accuracy bands\n");

@@ -44,7 +44,13 @@ fn main() {
     for procs in [8u32, 16, 32, 64, 128, 256, 512] {
         let lu = LuConfig::new(LuClass::C, procs).with_steps(opts.steps);
         let trace = Arc::new(
-            acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, opts.seed).trace,
+            acquire(
+                lu.sources(),
+                Instrumentation::Minimal,
+                CompilerOpt::O3,
+                opts.seed,
+            )
+            .trace,
         );
         let sim = replay(&platform, &trace, &ReplayConfig::improved(5.0e9))
             .unwrap_or_else(|e| panic!("C-{procs}: {e}"));

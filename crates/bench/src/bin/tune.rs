@@ -9,7 +9,10 @@ use tit_replay::prelude::*;
 fn main() {
     let opts = Options::from_args();
     let tb = Testbed::bordereau();
-    eprintln!("== B-8 absolute anchor (x{} of official steps) ==", opts.steps);
+    eprintln!(
+        "== B-8 absolute anchor (x{} of official steps) ==",
+        opts.steps
+    );
     let b8 = opts.instance(LuClass::B, 8);
     let orig = tb
         .run_lu(&b8, Instrumentation::None, CompilerOpt::O0)

@@ -280,7 +280,10 @@ pub mod perfwork {
     /// concurrently, so up to `2 * ranks` flows are live at once —
     /// split across `ranks / PER_CAB` disjoint sharing components.
     pub fn halo_exchange_trace(ranks: u32, iters: u32, bytes: u64) -> Trace {
-        assert!(ranks.is_multiple_of(PER_CAB), "ranks must fill whole cabinets");
+        assert!(
+            ranks.is_multiple_of(PER_CAB),
+            "ranks must fill whole cabinets"
+        );
         let mut trace = Trace::new(ranks);
         let neighbour = |r: u32, step: u32| {
             let cab = r / PER_CAB;

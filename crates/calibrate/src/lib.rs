@@ -227,7 +227,9 @@ fn measure_rate_curve(
         .rank_counters;
         let compute = run.compute_seconds[0];
         if compute <= 0.0 {
-            return Err(format!("micro-benchmark at ws={ws} recorded no compute time"));
+            return Err(format!(
+                "micro-benchmark at ws={ws} recorded no compute time"
+            ));
         }
         curve.push((ws, counters[0] / compute));
     }
@@ -251,7 +253,9 @@ fn measure_rate(
     let total_instr: f64 = counters.iter().sum();
     let total_compute: f64 = run.compute_seconds.iter().sum();
     if total_compute <= 0.0 {
-        return Err(format!("calibration run {class}-4 recorded no compute time"));
+        return Err(format!(
+            "calibration run {class}-4 recorded no compute time"
+        ));
     }
     Ok(total_instr / total_compute)
 }
@@ -269,7 +273,15 @@ mod tests {
     #[test]
     fn simple_calibration_measures_cache_resident_rate() {
         let tb = Testbed::bordereau();
-        let cal = calibrate(&tb, CalibrationMethod::Simple, CompilerOpt::O0, &[], Instrumentation::Coarse, 1).unwrap();
+        let cal = calibrate(
+            &tb,
+            CalibrationMethod::Simple,
+            CompilerOpt::O0,
+            &[],
+            Instrumentation::Coarse,
+            1,
+        )
+        .unwrap();
         // A-4 (32×32 blocks) is cache-resident on bordereau, so the rate
         // must be close to the host's base speed.
         let base = platform::clusters::BORDEREAU_SPEED;
@@ -296,7 +308,12 @@ mod tests {
         .unwrap();
         let b = cal.class_rates[&LuClass::B];
         let c = cal.class_rates[&LuClass::C];
-        assert!(b < cal.base_rate, "B-4 rate {} !< A-4 rate {}", b, cal.base_rate);
+        assert!(
+            b < cal.base_rate,
+            "B-4 rate {} !< A-4 rate {}",
+            b,
+            cal.base_rate
+        );
         assert!(c < b, "C-4 rate {c} !< B-4 rate {b}");
     }
 
@@ -322,7 +339,15 @@ mod tests {
     #[test]
     fn simple_method_ignores_instance() {
         let tb = Testbed::bordereau();
-        let cal = calibrate(&tb, CalibrationMethod::Simple, CompilerOpt::O3, &[], Instrumentation::Coarse, 1).unwrap();
+        let cal = calibrate(
+            &tb,
+            CalibrationMethod::Simple,
+            CompilerOpt::O3,
+            &[],
+            Instrumentation::Coarse,
+            1,
+        )
+        .unwrap();
         let b8 = LuConfig::new(LuClass::B, 8);
         let c64 = LuConfig::new(LuClass::C, 64);
         assert_eq!(cal.rate_for(&b8), cal.base_rate);
@@ -367,8 +392,24 @@ mod tests {
     #[test]
     fn calibration_is_deterministic() {
         let tb = Testbed::bordereau();
-        let a = calibrate(&tb, CalibrationMethod::Simple, CompilerOpt::O0, &[], Instrumentation::Coarse, 9).unwrap();
-        let b = calibrate(&tb, CalibrationMethod::Simple, CompilerOpt::O0, &[], Instrumentation::Coarse, 9).unwrap();
+        let a = calibrate(
+            &tb,
+            CalibrationMethod::Simple,
+            CompilerOpt::O0,
+            &[],
+            Instrumentation::Coarse,
+            9,
+        )
+        .unwrap();
+        let b = calibrate(
+            &tb,
+            CalibrationMethod::Simple,
+            CompilerOpt::O0,
+            &[],
+            Instrumentation::Coarse,
+            9,
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -109,10 +109,8 @@ fn ping_pong_seconds(testbed: &Testbed, bytes: u64) -> Result<f64, String> {
         r1.push(MpiOp::Recv { src: 0, bytes });
         r1.push(MpiOp::Send { dst: 0, bytes });
     }
-    let sources: Vec<Box<dyn OpSource>> = vec![
-        Box::new(VecSource::new(r0)),
-        Box::new(VecSource::new(r1)),
-    ];
+    let sources: Vec<Box<dyn OpSource>> =
+        vec![Box::new(VecSource::new(r0)), Box::new(VecSource::new(r1))];
     let run = testbed.run(sources, Instrumentation::None, CompilerOpt::O3)?;
     // Each rep is a full round trip: two one-way transfers.
     Ok(run.time / (2.0 * f64::from(REPS)))
@@ -174,7 +172,11 @@ mod tests {
         // above a tenth of it; latency in the tens of microseconds.
         assert!(cal.eager.bandwidth < 1.21e8, "{:?}", cal.eager);
         assert!(cal.eager.bandwidth > 1.2e7, "{:?}", cal.eager);
-        assert!(cal.eager.latency > 5e-6 && cal.eager.latency < 5e-4, "{:?}", cal.eager);
+        assert!(
+            cal.eager.latency > 5e-6 && cal.eager.latency < 5e-4,
+            "{:?}",
+            cal.eager
+        );
         // Rendezvous achieves better effective bandwidth than eager
         // (larger messages amortize the protocol factors).
         assert!(

@@ -4,12 +4,14 @@
 //!
 //! ```text
 //! titreplay [replay] --platform platform.json --trace trace.txt --ranks 8 \
-//!           --rate 2.05e9 [--engine smpi|msg] [--validate] [--no-cache] \
+//!           --rate 2.05e9 [--engine smpi|msg] [--threads N] \
+//!           [--validate] [--no-cache] \
 //!           [--sharing bottleneck|maxmin|maxmin-full] \
 //!           [--trace-out <out.json>] [--state-csv <out.csv>] \
 //!           [--metrics <out.json>] [--manifest <out.json>] \
 //!           [--critical-path [out.json]]
-//! titreplay inspect --trace <trace.txt|.desc|.titb> --ranks 8
+//! titreplay inspect --trace <trace.txt|.desc|.titb> --ranks 8 \
+//!           [--platform platform.json]
 //! titreplay trace pack <trace.txt|trace.desc> <out.titb> --ranks 8
 //! titreplay trace unpack <in.titb> <out.txt>
 //! ```
@@ -27,7 +29,13 @@
 //! unified counter snapshot, `--manifest` the run-provenance record, and
 //! `--critical-path` reports the makespan-determining chain (with an
 //! optional JSON output path). `titreplay inspect` summarises a trace —
-//! ranks, action mix, volumes — without replaying it.
+//! ranks, action mix, volumes — without replaying it; with `--platform`
+//! it also reports the parallel-replay partition (coupling islands,
+//! lookahead bound, action balance).
+//!
+//! `--threads N` replays decoupled rank groups on N worker threads
+//! (default: `TITR_REPLAY_THREADS`, else 1); results are bit-identical
+//! to the sequential replay at any thread count.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -43,6 +51,7 @@ struct Args {
     rate: f64,
     engine: ReplayEngine,
     sharing: tit_replay::netmodel::SharingPolicy,
+    threads: Option<usize>,
     validate: bool,
     cache: bool,
     trace_out: Option<String>,
@@ -56,12 +65,13 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: titreplay [replay] --platform <platform.json> --trace <trace.txt|.desc|.titb> \
-         --ranks <N> --rate <instr/s> [--engine smpi|msg] \
+         --ranks <N> --rate <instr/s> [--engine smpi|msg] [--threads <N>] \
          [--sharing bottleneck|maxmin|maxmin-full] [--validate] [--no-cache]\n\
          \x20          [--trace-out <chrome.json>] [--state-csv <states.csv>]\n\
          \x20          [--metrics <metrics.json>] [--manifest <manifest.json>]\n\
          \x20          [--critical-path [path.json]]\n\
-         \x20      titreplay inspect --trace <trace.txt|.desc|.titb> --ranks <N> [--no-cache]\n\
+         \x20      titreplay inspect --trace <trace.txt|.desc|.titb> --ranks <N> \
+         [--platform <platform.json>] [--no-cache]\n\
          \x20      titreplay trace pack <in.txt|in.desc> <out.titb> --ranks <N>\n\
          \x20      titreplay trace unpack <in.titb> <out.txt>"
     );
@@ -86,8 +96,7 @@ fn trace_command(args: &[String]) -> ! {
                 }
             }
             let Some(ranks) = ranks else { usage() };
-            let src = TraceInput::detect(Path::new(input))
-                .unwrap_or_else(|e| fail(&e.to_string()));
+            let src = TraceInput::detect(Path::new(input)).unwrap_or_else(|e| fail(&e.to_string()));
             let trace = stream::load_trace(&src, ranks).unwrap_or_else(|e| fail(&e.to_string()));
             // Record the source signature so the output doubles as a
             // valid side-car when written next to the text file.
@@ -108,8 +117,7 @@ fn trace_command(args: &[String]) -> ! {
             };
             let trace =
                 binfmt::read_file(Path::new(input)).unwrap_or_else(|e| fail(&e.to_string()));
-            files::write_merged(&trace, Path::new(output))
-                .unwrap_or_else(|e| fail(&e.to_string()));
+            files::write_merged(&trace, Path::new(output)).unwrap_or_else(|e| fail(&e.to_string()));
             eprintln!(
                 "unpacked {input} -> {output} ({} ranks, {} actions)",
                 trace.ranks(),
@@ -128,6 +136,7 @@ fn parse_args(argv: &[String]) -> Args {
     let mut rate = None;
     let mut engine = ReplayEngine::Smpi;
     let mut sharing = tit_replay::netmodel::SharingPolicy::Bottleneck;
+    let mut threads = None;
     let mut validate = false;
     let mut cache = true;
     let mut trace_out = None;
@@ -154,6 +163,7 @@ fn parse_args(argv: &[String]) -> Args {
                 Some("maxmin-full") => sharing = tit_replay::netmodel::SharingPolicy::MaxMinFull,
                 _ => usage(),
             },
+            "--threads" => threads = args.next().and_then(|v| v.parse().ok()),
             "--validate" => validate = true,
             "--no-cache" => cache = false,
             "--trace-out" => trace_out = args.next().cloned(),
@@ -180,6 +190,7 @@ fn parse_args(argv: &[String]) -> Args {
             rate,
             engine,
             sharing,
+            threads,
             validate,
             cache,
             trace_out,
@@ -193,15 +204,20 @@ fn parse_args(argv: &[String]) -> Args {
     }
 }
 
-/// `titreplay inspect` — summarise a trace without replaying it.
+/// `titreplay inspect` — summarise a trace without replaying it. With
+/// `--platform` it additionally reports the parallel-replay partition
+/// quality: coupling islands, the conservative lookahead bound (minimum
+/// inter-island link latency), and per-island action-count balance.
 fn inspect_command(args: &[String]) -> ! {
     let mut trace_path = None;
     let mut ranks = None;
+    let mut platform_path = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace_path = it.next().cloned(),
             "--ranks" => ranks = it.next().and_then(|v| v.parse().ok()),
+            "--platform" => platform_path = it.next().cloned(),
             "--no-cache" => {}
             _ => usage(),
         }
@@ -209,8 +225,7 @@ fn inspect_command(args: &[String]) -> ! {
     let (Some(trace_path), Some(ranks)) = (trace_path, ranks) else {
         usage()
     };
-    let input = TraceInput::detect(Path::new(&trace_path))
-        .unwrap_or_else(|e| fail(&e.to_string()));
+    let input = TraceInput::detect(Path::new(&trace_path)).unwrap_or_else(|e| fail(&e.to_string()));
     let sig = tit_replay::replay::trace_signature(&input, ranks);
     let trace = stream::load_trace(&input, ranks).unwrap_or_else(|e| fail(&e.to_string()));
     let mut sends = 0u64;
@@ -251,12 +266,37 @@ fn inspect_command(args: &[String]) -> ! {
     println!("compute_instructions {instructions:.0}");
     let problems = tit_replay::titrace::validate::validate(&trace);
     println!("validation_issues {}", problems.len());
+    if let Some(platform_path) = platform_path {
+        use tit_replay::replay::partition;
+        let spec_json = std::fs::read_to_string(&platform_path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {platform_path}: {e}")));
+        let platform = PlatformSpec::from_json(&spec_json)
+            .unwrap_or_else(|e| fail(&format!("bad platform spec: {e}")))
+            .build();
+        let input = TraceInput::Memory(Arc::new(trace));
+        let sources = stream::open_sources(&input, ranks).unwrap_or_else(|e| fail(&e.to_string()));
+        let scan = partition::scan_sources(sources).unwrap_or_else(|e| fail(&e));
+        let hosts = Placement::OnePerNode
+            .assign(&platform, ranks)
+            .unwrap_or_else(|e| fail(&e));
+        let part = partition::partition_ranks(&scan, &platform, &hosts);
+        let report = partition::partition_report(&part, &platform, &hosts);
+        println!("islands {}", report.islands);
+        match report.lookahead_s {
+            // A single island has no inter-island links to bound the
+            // lookahead; parallel replay degenerates to sequential.
+            None => println!("lookahead_s inf"),
+            Some(l) => println!("lookahead_s {l:.9}"),
+        }
+        println!("island_actions_min {}", report.min_island_actions);
+        println!("island_actions_max {}", report.max_island_actions);
+        println!("island_balance {:.3}", report.balance_ratio());
+    }
     std::process::exit(0);
 }
 
 fn write_or_fail(path: &str, contents: &str) {
-    std::fs::write(path, contents)
-        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    std::fs::write(path, contents).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
     eprintln!("wrote {path}");
 }
 
@@ -277,8 +317,7 @@ fn main() {
     let platform = PlatformSpec::from_json(&spec_json)
         .unwrap_or_else(|e| fail(&format!("bad platform spec: {e}")))
         .build();
-    let input = TraceInput::detect(Path::new(&args.trace))
-        .unwrap_or_else(|e| fail(&e.to_string()));
+    let input = TraceInput::detect(Path::new(&args.trace)).unwrap_or_else(|e| fail(&e.to_string()));
     // The manifest identifies the trace as given on the command line,
     // before any cache substitution.
     let signature = tit_replay::replay::trace_signature(&input, args.ranks);
@@ -291,7 +330,10 @@ fn main() {
             match outcome {
                 CacheOutcome::Hit => eprintln!("trace cache: hit ({})", path.display()),
                 CacheOutcome::MissStored => {
-                    eprintln!("trace cache: stored {}", stream::sidecar_path(&path).display());
+                    eprintln!(
+                        "trace cache: stored {}",
+                        stream::sidecar_path(&path).display()
+                    );
                 }
                 CacheOutcome::MissUncached => {}
             }
@@ -300,8 +342,7 @@ fn main() {
         other => other,
     };
     if args.validate {
-        let trace = stream::load_trace(&input, args.ranks)
-            .unwrap_or_else(|e| fail(&e.to_string()));
+        let trace = stream::load_trace(&input, args.ranks).unwrap_or_else(|e| fail(&e.to_string()));
         let problems = tit_replay::titrace::validate::validate(&trace);
         if !problems.is_empty() {
             eprintln!("trace validation found {} issue(s):", problems.len());
@@ -319,12 +360,12 @@ fn main() {
         copy_model: None,
         sharing: args.sharing,
         fel: tit_replay::simkernel::FelImpl::default(),
+        threads: args.threads.unwrap_or_else(ReplayConfig::default_threads),
+        window_s: None,
     };
-    let record_spans =
-        args.trace_out.is_some() || args.state_csv.is_some() || args.critical_path;
+    let record_spans = args.trace_out.is_some() || args.state_csv.is_some() || args.critical_path;
     let started = std::time::Instant::now();
-    let report = match replay_input_observed(&platform, &input, args.ranks, &config, record_spans)
-    {
+    let report = match replay_input_observed(&platform, &input, args.ranks, &config, record_spans) {
         Ok(report) => report,
         Err(e) => fail(&e),
     };

@@ -46,10 +46,7 @@ impl ExperimentRecord {
 
     /// Looks a value up by name.
     pub fn value(&self, name: &str) -> Option<f64> {
-        self.values
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Serializes a batch of records to pretty JSON.
@@ -116,7 +113,11 @@ impl std::fmt::Display for ErrorBand {
         if self.count == 0 {
             write!(f, "[empty]")
         } else {
-            write!(f, "[{:+.1}%, {:+.1}%] (n={})", self.min, self.max, self.count)
+            write!(
+                f,
+                "[{:+.1}%, {:+.1}%] (n={})",
+                self.min, self.max, self.count
+            )
         }
     }
 }

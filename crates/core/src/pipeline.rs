@@ -238,6 +238,8 @@ impl<'a> Predictor<'a> {
             }),
             sharing: netmodel::SharingPolicy::Bottleneck,
             fel: simkernel::FelImpl::default(),
+            threads: ReplayConfig::default_threads(),
+            window_s: None,
         };
         let sim = match self.cached_trace_path(instance, seed) {
             Some(path) if path.is_file() => {

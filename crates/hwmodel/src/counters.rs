@@ -103,7 +103,9 @@ mod tests {
     fn deterministic_given_seed() {
         let run = |seed| {
             let mut c = CounterModel::new(DetRng::new(seed));
-            (0..100).map(|i| c.measure(i as f64 * 10.0, 1.0)).sum::<f64>()
+            (0..100)
+                .map(|i| c.measure(i as f64 * 10.0, 1.0))
+                .sum::<f64>()
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));

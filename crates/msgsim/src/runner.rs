@@ -9,7 +9,7 @@ use std::collections::VecDeque;
 
 use platform::{HostId, Platform};
 use simkernel::obs::{Metrics, Recorder, RunObservation, SpanKind, SpanLog};
-use simkernel::{Actor, ActorId, Duration, Kernel, Sim, SimOutcome, Status, Wake};
+use simkernel::{Actor, ActorId, Duration, Kernel, Sim, SimOutcome, SimStep, Status, Time, Wake};
 use workloads::{MpiOp, OpSource};
 
 use crate::world::{
@@ -90,16 +90,14 @@ impl MsgRankActor {
                 self.waiting = Waiting::Ready;
                 self.staged = None;
             }
-            (Waiting::Task(id), _)
-                if world.task_done(*id) => {
-                    self.waiting = Waiting::Ready;
-                    self.staged = None;
-                }
-            (Waiting::Pending(id), _)
-                if world.pending_recv_done(*id) => {
-                    self.waiting = Waiting::Ready;
-                    self.staged = None;
-                }
+            (Waiting::Task(id), _) if world.task_done(*id) => {
+                self.waiting = Waiting::Ready;
+                self.staged = None;
+            }
+            (Waiting::Pending(id), _) if world.pending_recv_done(*id) => {
+                self.waiting = Waiting::Ready;
+                self.staged = None;
+            }
             (Waiting::Reqs(reqs), _) => {
                 let me = self.me;
                 reqs.retain(|r| !world.take_req(*r, me));
@@ -111,7 +109,13 @@ impl MsgRankActor {
             _ => {}
         }
         if was_blocked && matches!(self.waiting, Waiting::Ready) {
-            world.record_span(self.rank, self.blocked_at, now, self.block_kind, self.block_peer);
+            world.record_span(
+                self.rank,
+                self.blocked_at,
+                now,
+                self.block_kind,
+                self.block_peer,
+            );
         }
     }
 
@@ -137,8 +141,7 @@ impl MsgRankActor {
                 // The old replay: async for small, blocking task-send for
                 // large.
                 let blocking = bytes >= world.cfg.async_threshold;
-                let (res, _) =
-                    world.send(kernel, self.rank, dst, bytes, blocking, false, self.me);
+                let (res, _) = world.send(kernel, self.rank, dst, bytes, blocking, false, self.me);
                 if let MsgSendResult::Wait(t) = res {
                     self.waiting = Waiting::Task(t);
                     self.note_block(SpanKind::Send, Some(dst));
@@ -146,7 +149,8 @@ impl MsgRankActor {
             }
             MpiOp::Isend { dst, bytes } => {
                 let (_, req) = world.send(kernel, self.rank, dst, bytes, false, true, self.me);
-                self.pending.push_back(req.expect("tracked send has a request"));
+                self.pending
+                    .push_back(req.expect("tracked send has a request"));
             }
             MpiOp::Recv { src, bytes } => {
                 let (res, _) = world.recv(kernel, self.rank, src, bytes, true, self.me);
@@ -158,7 +162,8 @@ impl MsgRankActor {
             }
             MpiOp::Irecv { src, bytes } => {
                 let (_, req) = world.recv(kernel, self.rank, src, bytes, false, self.me);
-                self.pending.push_back(req.expect("non-blocking recv has a request"));
+                self.pending
+                    .push_back(req.expect("non-blocking recv has a request"));
             }
             MpiOp::Wait => {
                 let req = self
@@ -317,6 +322,32 @@ fn run_inner(
     hooks: Box<dyn smpi::ExecHooks>,
     recorder: Option<Box<dyn Recorder>>,
 ) -> Result<(MsgResult, RunObservation), String> {
+    let mut run = prepare_msg(platform, hosts, sources, cfg, hooks, recorder);
+    run.advance(Time::NEVER);
+    run.finalize()
+}
+
+/// A fully assembled MSG simulation that has not run yet; the msgsim
+/// counterpart of [`smpi::runner::SmpiRun`], driven the same way by the
+/// windowed parallel replay engine. `prepare` + one
+/// `advance(Time::NEVER)` + `finalize` is exactly [`run_msg_observed`].
+pub struct MsgRun {
+    sim: Sim<MsgWorld>,
+    ranks: usize,
+    started: bool,
+}
+
+/// Assembles an MSG simulation: world, pre-sized kernel, one rank actor
+/// per source, and the transport daemon. The optional `recorder`
+/// receives observations with *local* rank ids `0..sources.len()`.
+pub fn prepare_msg(
+    platform: &Platform,
+    hosts: &[HostId],
+    sources: Vec<Box<dyn OpSource>>,
+    cfg: MsgConfig,
+    hooks: Box<dyn smpi::ExecHooks>,
+    recorder: Option<Box<dyn Recorder>>,
+) -> MsgRun {
     let ranks = sources.len();
     assert!(ranks > 0);
     assert_eq!(hosts.len(), ranks);
@@ -337,47 +368,79 @@ fn run_inner(
     }
     let t = sim.spawn_daemon(Box::new(MsgTransportActor));
     assert_eq!(t, transport);
-    match sim.run() {
-        SimOutcome::AllFinished => {}
-        SimOutcome::Deadlock(blocked) => {
-            return Err(format!(
-                "MSG execution deadlocked; blocked ranks: {:?}",
-                blocked.iter().map(|a| a.0).collect::<Vec<_>>()
-            ));
-        }
+    MsgRun {
+        sim,
+        ranks,
+        started: false,
     }
-    let rank_times: Vec<f64> = (0..ranks)
-        .map(|r| sim.finish_time(ActorId(r as u32)).as_secs())
-        .collect();
-    let total_time = rank_times.iter().copied().fold(0.0, f64::max);
-    let stats = sim.world.stats;
-    let mut metrics = Metrics::new("msg", ranks as u32);
-    metrics.simulated_time_s = total_time;
-    sim.kernel.observe(&mut metrics);
-    metrics.messages = stats.messages;
-    // The MSG async threshold plays the protocol role the eager
-    // threshold plays under SMPI; report it in the same column.
-    metrics.eager_messages = stats.async_messages;
-    metrics.rendezvous_messages = stats.messages - stats.async_messages;
-    metrics.bytes = stats.bytes;
-    metrics.collectives = stats.collectives;
-    let net = sim.world.net.stats();
-    metrics.flows_created = net.flows_opened;
-    metrics.flows_resolved = net.flows_closed;
-    metrics.sharing_resolves = net.resolves;
-    metrics.sharing_rate_updates = net.rate_updates;
-    let spans = sim.world.recorder.take().and_then(|r| r.finish());
-    metrics.recorder_counts = spans.as_ref().map(|l| l.counts());
-    Ok((
-        MsgResult {
-            total_time,
-            rank_times,
-            compute_seconds: sim.world.compute_seconds.clone(),
-            stats,
-            events: sim.kernel.events_processed(),
-        },
-        RunObservation { metrics, spans },
-    ))
+}
+
+impl MsgRun {
+    /// Restricts the run's network to `links` (see
+    /// [`netmodel::FlowNet::restrict_links`]).
+    pub fn restrict_links(&mut self, links: &[platform::LinkId]) {
+        self.sim.world.net.restrict_links(links);
+    }
+
+    /// Advances simulated time up to `horizon`; `true` once quiesced
+    /// (terminal). The event order is identical for any horizon schedule.
+    pub fn advance(&mut self, horizon: Time) -> bool {
+        if !self.started {
+            self.sim.start();
+            self.started = true;
+        }
+        self.sim.step_until(horizon) == SimStep::Quiesced
+    }
+
+    /// Extracts the result and observation after the run has quiesced.
+    ///
+    /// # Errors
+    /// See [`run_msg`].
+    pub fn finalize(mut self) -> Result<(MsgResult, RunObservation), String> {
+        let ranks = self.ranks;
+        let sim = &mut self.sim;
+        match sim.outcome() {
+            SimOutcome::AllFinished => {}
+            SimOutcome::Deadlock(blocked) => {
+                return Err(format!(
+                    "MSG execution deadlocked; blocked ranks: {:?}",
+                    blocked.iter().map(|a| a.0).collect::<Vec<_>>()
+                ));
+            }
+        }
+        let rank_times: Vec<f64> = (0..ranks)
+            .map(|r| sim.finish_time(ActorId(r as u32)).as_secs())
+            .collect();
+        let total_time = rank_times.iter().copied().fold(0.0, f64::max);
+        let stats = sim.world.stats;
+        let mut metrics = Metrics::new("msg", ranks as u32);
+        metrics.simulated_time_s = total_time;
+        sim.kernel.observe(&mut metrics);
+        metrics.messages = stats.messages;
+        // The MSG async threshold plays the protocol role the eager
+        // threshold plays under SMPI; report it in the same column.
+        metrics.eager_messages = stats.async_messages;
+        metrics.rendezvous_messages = stats.messages - stats.async_messages;
+        metrics.bytes = stats.bytes;
+        metrics.collectives = stats.collectives;
+        let net = sim.world.net.stats();
+        metrics.flows_created = net.flows_opened;
+        metrics.flows_resolved = net.flows_closed;
+        metrics.sharing_resolves = net.resolves;
+        metrics.sharing_rate_updates = net.rate_updates;
+        let spans = sim.world.recorder.take().and_then(|r| r.finish());
+        metrics.recorder_counts = spans.as_ref().map(|l| l.counts());
+        Ok((
+            MsgResult {
+                total_time,
+                rank_times,
+                compute_seconds: sim.world.compute_seconds.clone(),
+                stats,
+                events: sim.kernel.events_processed(),
+            },
+            RunObservation { metrics, spans },
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -425,10 +488,16 @@ mod tests {
         // computes 1s, then matches the deposited task, and the transfer
         // only starts THEN — costing the full latency + size/bw.
         let progs = vec![
-            vec![MpiOp::Send { dst: 1, bytes: 1000 }],
+            vec![MpiOp::Send {
+                dst: 1,
+                bytes: 1000,
+            }],
             vec![
                 MpiOp::Compute(ComputeBlock::plain(1e9)),
-                MpiOp::Recv { src: 0, bytes: 1000 },
+                MpiOp::Recv {
+                    src: 0,
+                    bytes: 1000,
+                },
             ],
         ];
         let r = run(2, progs);
@@ -449,9 +518,15 @@ mod tests {
         let progs = vec![
             vec![
                 MpiOp::Compute(ComputeBlock::plain(5e8)),
-                MpiOp::Send { dst: 1, bytes: 1000 },
+                MpiOp::Send {
+                    dst: 1,
+                    bytes: 1000,
+                },
             ],
-            vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+            vec![MpiOp::Recv {
+                src: 0,
+                bytes: 1000,
+            }],
         ];
         let r = run(2, progs);
         let transfer = 1000.0 / 1e8 + 1.9 * 20e-6;
@@ -502,10 +577,19 @@ mod tests {
     #[test]
     fn isend_wait_tracks_delivery() {
         let progs = vec![
-            vec![MpiOp::Isend { dst: 1, bytes: 1000 }, MpiOp::Wait],
+            vec![
+                MpiOp::Isend {
+                    dst: 1,
+                    bytes: 1000,
+                },
+                MpiOp::Wait,
+            ],
             vec![
                 MpiOp::Compute(ComputeBlock::plain(1e9)),
-                MpiOp::Recv { src: 0, bytes: 1000 },
+                MpiOp::Recv {
+                    src: 0,
+                    bytes: 1000,
+                },
             ],
         ];
         let r = run(2, progs);
@@ -517,11 +601,17 @@ mod tests {
     fn irecv_first_then_send_overlaps() {
         let progs = vec![
             vec![
-                MpiOp::Irecv { src: 1, bytes: 1000 },
+                MpiOp::Irecv {
+                    src: 1,
+                    bytes: 1000,
+                },
                 MpiOp::Compute(ComputeBlock::plain(1e9)),
                 MpiOp::WaitAll,
             ],
-            vec![MpiOp::Send { dst: 0, bytes: 1000 }],
+            vec![MpiOp::Send {
+                dst: 0,
+                bytes: 1000,
+            }],
         ];
         let r = run(2, progs);
         // Transfer started at deposit (t≈0) because the recv was pending.
@@ -641,11 +731,20 @@ mod more_tests {
     fn every_collective_kind_dispatches() {
         let coll_ops = [
             MpiOp::Barrier,
-            MpiOp::Bcast { bytes: 100, root: 1 },
-            MpiOp::Reduce { bytes: 100, root: 0 },
+            MpiOp::Bcast {
+                bytes: 100,
+                root: 1,
+            },
+            MpiOp::Reduce {
+                bytes: 100,
+                root: 0,
+            },
             MpiOp::Allreduce { bytes: 100 },
             MpiOp::Alltoall { bytes: 100 },
-            MpiOp::Gather { bytes: 100, root: 2 },
+            MpiOp::Gather {
+                bytes: 100,
+                root: 2,
+            },
             MpiOp::Allgather { bytes: 100 },
         ];
         let prog = |_r: u32| coll_ops.to_vec();
@@ -662,9 +761,15 @@ mod more_tests {
         let sources: Vec<Box<dyn OpSource>> = vec![
             Box::new(VecSource::new(vec![
                 MpiOp::Compute(ComputeBlock::plain(1e9)),
-                MpiOp::Send { dst: 1, bytes: 1000 },
+                MpiOp::Send {
+                    dst: 1,
+                    bytes: 1000,
+                },
             ])),
-            Box::new(VecSource::new(vec![MpiOp::Recv { src: 0, bytes: 1000 }])),
+            Box::new(VecSource::new(vec![MpiOp::Recv {
+                src: 0,
+                bytes: 1000,
+            }])),
         ];
         let (r, obs) = run_msg_observed(
             &p,
@@ -677,7 +782,10 @@ mod more_tests {
         .unwrap();
         assert_eq!(obs.metrics.engine, "msg");
         assert_eq!(obs.metrics.ranks, 2);
-        assert_eq!(obs.metrics.simulated_time_s.to_bits(), r.total_time.to_bits());
+        assert_eq!(
+            obs.metrics.simulated_time_s.to_bits(),
+            r.total_time.to_bits()
+        );
         assert_eq!(obs.metrics.messages, 1);
         assert_eq!(obs.metrics.eager_messages, 1);
         assert_eq!(obs.metrics.flows_created, 1);
@@ -698,9 +806,15 @@ mod more_tests {
         let sources: Vec<Box<dyn OpSource>> = vec![
             Box::new(VecSource::new(vec![
                 MpiOp::Compute(ComputeBlock::plain(1e9)),
-                MpiOp::Send { dst: 1, bytes: 1000 },
+                MpiOp::Send {
+                    dst: 1,
+                    bytes: 1000,
+                },
             ])),
-            Box::new(VecSource::new(vec![MpiOp::Recv { src: 0, bytes: 1000 }])),
+            Box::new(VecSource::new(vec![MpiOp::Recv {
+                src: 0,
+                bytes: 1000,
+            }])),
         ];
         let (r, timeline) = run_msg_traced(
             &p,
@@ -721,8 +835,14 @@ mod more_tests {
     fn observed_msg_run_without_spans_is_bit_identical() {
         let mk = || -> Vec<Box<dyn OpSource>> {
             vec![
-                Box::new(VecSource::new(vec![MpiOp::Send { dst: 1, bytes: 1000 }])),
-                Box::new(VecSource::new(vec![MpiOp::Recv { src: 0, bytes: 1000 }])),
+                Box::new(VecSource::new(vec![MpiOp::Send {
+                    dst: 1,
+                    bytes: 1000,
+                }])),
+                Box::new(VecSource::new(vec![MpiOp::Recv {
+                    src: 0,
+                    bytes: 1000,
+                }])),
             ]
         };
         let p = tiny(2);
@@ -790,9 +910,15 @@ mod more_tests {
                 latency_multiplier: mult,
                 ..MsgConfig::legacy()
             };
-            run_msg(&p, &hosts, sources, cfg, Box::new(FixedRateHooks::uniform(1e9, 2)))
-                .unwrap()
-                .rank_times[1]
+            run_msg(
+                &p,
+                &hosts,
+                sources,
+                cfg,
+                Box::new(FixedRateHooks::uniform(1e9, 2)),
+            )
+            .unwrap()
+            .rank_times[1]
         };
         let base = run_with(1.0);
         let legacy = run_with(1.9);

@@ -207,7 +207,14 @@ impl MsgWorld {
     }
 
     /// Records one simulated-time span, if a sink is installed.
-    pub fn record_span(&mut self, rank: u32, start: f64, end: f64, kind: SpanKind, peer: Option<u32>) {
+    pub fn record_span(
+        &mut self,
+        rank: u32,
+        start: f64,
+        end: f64,
+        kind: SpanKind,
+        peer: Option<u32>,
+    ) {
         if let Some(r) = self.recorder.as_mut() {
             r.span(rank, start, end, kind, peer);
         }
@@ -384,11 +391,7 @@ impl MsgWorld {
                 .duration(op, self.ranks)
                 .expect("non-collective entered collective sync");
             for r in 0..self.ranks {
-                kernel.set_timer(
-                    ActorId(r),
-                    Duration::from_secs(duration),
-                    COLL_RELEASE_KEY,
-                );
+                kernel.set_timer(ActorId(r), Duration::from_secs(duration), COLL_RELEASE_KEY);
             }
         }
         true
@@ -518,7 +521,6 @@ impl MsgWorld {
     pub fn live_records(&self) -> (usize, usize, usize) {
         (self.tasks.len(), self.recvs.len(), self.reqs.len())
     }
-
 }
 
 /// Timer key signalling a collective release to a rank actor.

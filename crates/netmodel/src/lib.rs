@@ -54,6 +54,12 @@ struct Flow {
     /// Last allotted rate (maintained by the max-min policies only; the
     /// bottleneck policy derives rates from link occupancy on demand).
     rate: f64,
+    /// Monotonic open-order stamp. Slab indices are recycled through the
+    /// free list, so index order says nothing about which flow opened
+    /// first; rate pushes to the kernel are ordered by this stamp
+    /// instead, keeping the kernel's event-insertion order a function of
+    /// the flows' own history (open order) rather than of slab reuse.
+    seq: u64,
     generation: u32,
     live: bool,
     next_free: u32,
@@ -129,10 +135,15 @@ pub struct FlowNet {
     link_mark: Vec<u64>,
     epoch: u64,
     /// Flows whose freshly solved rate differs from their stored rate;
-    /// applied to the kernel in ascending flow order so the event
-    /// sequence is independent of component discovery order.
+    /// applied to the kernel in flow-open order so the event sequence is
+    /// independent of component discovery order and slab reuse.
     pending: Vec<u32>,
+    /// Next value of [`Flow::seq`].
+    next_seq: u64,
     stats: NetStats,
+    /// Partition-safety guard: when set, opening a flow over a link
+    /// outside this mask panics. `None` (the default) allows every link.
+    allowed: Option<Vec<bool>>,
 }
 
 impl FlowNet {
@@ -163,8 +174,24 @@ impl FlowNet {
             link_mark: vec![0; nlinks],
             epoch: 0,
             pending: Vec::new(),
+            next_seq: 0,
             stats: NetStats::default(),
+            allowed: None,
         }
+    }
+
+    /// Restricts this network to `links`: any later [`FlowNet::open`]
+    /// whose route leaves the set panics. The parallel replay engine
+    /// installs each partition's link set here, so a partitioning bug
+    /// (two partitions sharing a link, which would let their bandwidth
+    /// interact) fails loudly and deterministically instead of silently
+    /// diverging from the sequential replay.
+    pub fn restrict_links(&mut self, links: &[LinkId]) {
+        let mut mask = vec![false; self.links.len()];
+        for l in links {
+            mask[l.as_usize()] = true;
+        }
+        self.allowed = Some(mask);
     }
 
     /// Counters of the sharing work performed so far.
@@ -193,6 +220,15 @@ impl FlowNet {
     pub fn open(&mut self, kernel: &mut Kernel, route: &[LinkId], bytes: f64, cap: f64) -> FlowId {
         assert!(!route.is_empty(), "cannot open a flow over an empty route");
         assert!(cap > 0.0 && cap.is_finite(), "invalid flow cap: {cap}");
+        if let Some(mask) = &self.allowed {
+            for l in route {
+                assert!(
+                    mask[l.as_usize()],
+                    "flow route uses link {} outside the partition's allowed set",
+                    l.as_usize()
+                );
+            }
+        }
         let activity = kernel.start_activity(bytes, 0.0);
         let index = if self.free_head != NO_FREE {
             let index = self.free_head;
@@ -203,6 +239,7 @@ impl FlowNet {
             f.activity = activity;
             f.cap = cap;
             f.rate = 0.0;
+            f.seq = self.next_seq;
             f.generation = f.generation.wrapping_add(1);
             f.live = true;
             f.next_free = NO_FREE;
@@ -214,6 +251,7 @@ impl FlowNet {
                 activity,
                 cap,
                 rate: 0.0,
+                seq: self.next_seq,
                 generation: 0,
                 live: true,
                 next_free: NO_FREE,
@@ -224,6 +262,7 @@ impl FlowNet {
             self.links[l.as_usize()].nflows += 1;
             self.per_link[l.as_usize()].push(index);
         }
+        self.next_seq += 1;
         self.live_count += 1;
         self.stats.flows_opened += 1;
         let id = FlowId {
@@ -279,6 +318,8 @@ impl FlowNet {
                 self.stats.resolves += 1;
                 self.stats.rate_updates += self.scratch.len() as u64;
                 let mut scratch = std::mem::take(&mut self.scratch);
+                // Push in open order, not slab-index order: see Flow::seq.
+                scratch.sort_unstable_by_key(|&i| self.flows[i as usize].seq);
                 for idx in &scratch {
                     let rate = self.bottleneck_rate(*idx);
                     kernel.set_rate(self.flows[*idx as usize].activity, rate);
@@ -307,6 +348,8 @@ impl FlowNet {
                 self.stats.resolves += 1;
                 self.stats.rate_updates += self.scratch.len() as u64;
                 let mut scratch = std::mem::take(&mut self.scratch);
+                // Push in open order, not slab-index order: see Flow::seq.
+                scratch.sort_unstable_by_key(|&i| self.flows[i as usize].seq);
                 for idx in &scratch {
                     let rate = self.bottleneck_rate(*idx);
                     kernel.set_rate(self.flows[*idx as usize].activity, rate);
@@ -459,12 +502,15 @@ impl FlowNet {
         }
     }
 
-    /// Applies queued rate changes in ascending flow order, so the event
-    /// sequence the kernel records does not depend on which order
-    /// components were discovered in.
+    /// Applies queued rate changes in flow-open order, so the event
+    /// sequence the kernel records depends neither on which order
+    /// components were discovered in nor on slab-index recycling (see
+    /// [`Flow::seq`]).
     fn flush_rates(&mut self, kernel: &mut Kernel) {
         self.stats.rate_updates += self.pending.len() as u64;
-        self.pending.sort_unstable();
+        let flows = &self.flows;
+        self.pending
+            .sort_unstable_by_key(|&i| flows[i as usize].seq);
         for i in 0..self.pending.len() {
             let f = self.pending[i] as usize;
             let rate = self.solver.rate(self.pending[i]);
@@ -532,6 +578,24 @@ mod tests {
         assert_eq!(rates.len(), 1);
         assert_eq!(rates[0].0, f);
         assert_eq!(rates[0].1, 100.0); // NIC limits, not the 150 backbone
+    }
+
+    #[test]
+    fn restricted_net_accepts_allowed_routes() {
+        let (p, mut net, mut k) = net(SharingPolicy::Bottleneck);
+        let r = route(&p, 0, 1);
+        net.restrict_links(&r);
+        let _f = net.open(&mut k, &r, 1000.0, 1e9);
+        assert_eq!(net.live_flows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the partition's allowed set")]
+    fn restricted_net_rejects_foreign_routes() {
+        let (p, mut net, mut k) = net(SharingPolicy::Bottleneck);
+        // Allow only 0->1's links; a 2->3 flow crosses other NICs.
+        net.restrict_links(&route(&p, 0, 1));
+        net.open(&mut k, &route(&p, 2, 3), 1000.0, 1e9);
     }
 
     #[test]

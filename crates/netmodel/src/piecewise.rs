@@ -15,7 +15,6 @@
 //! ([`PiecewiseFactors::raw`]), reproducing the old implementation's
 //! modeling error.
 
-
 /// One row of the factor table: applies to messages of size `<= max_bytes`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FactorRange {

@@ -160,8 +160,16 @@ impl MaxMinSolver {
     /// (that is what makes the subset a component).
     pub fn fill<P: SharingProblem>(&mut self, p: &P, comp_links: &[u32], comp_flows: &[u32]) {
         debug_assert!(comp_flows.windows(2).all(|w| w[0] < w[1]));
-        let max_link = comp_links.iter().copied().max().map_or(0, |m| m as usize + 1);
-        let max_flow = comp_flows.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let max_link = comp_links
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let max_flow = comp_flows
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
         if self.avail.len() < max_link {
             self.avail.resize(max_link, 0.0);
             self.unfixed.resize(max_link, 0);
@@ -356,8 +364,7 @@ mod proptests {
         }
     }
 
-    fn arb_problem(
-    ) -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<usize>, f64)>)> {
+    fn arb_problem() -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<usize>, f64)>)> {
         (
             proptest::collection::vec(1.0f64..1000.0, 1..6),
             proptest::collection::vec(
@@ -367,15 +374,11 @@ mod proptests {
         )
     }
 
-    fn dedup_routes(
-        nl: usize,
-        routes: Vec<(Vec<usize>, f64)>,
-    ) -> Vec<(Vec<LinkId>, f64)> {
+    fn dedup_routes(nl: usize, routes: Vec<(Vec<usize>, f64)>) -> Vec<(Vec<LinkId>, f64)> {
         routes
             .into_iter()
             .map(|(r, cap)| {
-                let mut r: Vec<LinkId> =
-                    r.into_iter().map(|i| LinkId((i % nl) as u32)).collect();
+                let mut r: Vec<LinkId> = r.into_iter().map(|i| LinkId((i % nl) as u32)).collect();
                 r.sort_unstable();
                 r.dedup();
                 (r, cap)

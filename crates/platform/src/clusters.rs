@@ -31,7 +31,7 @@ pub fn bordereau() -> Platform {
         nodes: 93,
         host_speed: BORDEREAU_SPEED,
         cores: 4,
-        cache_bytes: 1 << 20, // 1 MiB per core
+        cache_bytes: 1 << 20,   // 1 MiB per core
         link_bandwidth: 1.21e8, // ~GigE effective (TCP) payload rate
         link_latency: 12e-6,
         backbone_bandwidth: 1.2e9, // 10G fabric

@@ -93,7 +93,11 @@ impl Topology {
             } => {
                 assert_eq!(uplinks.len() as u32, hosts, "one uplink per host");
                 assert_eq!(downlinks.len() as u32, hosts, "one downlink per host");
-                uplinks.iter().chain(downlinks.iter()).copied().for_each(check);
+                uplinks
+                    .iter()
+                    .chain(downlinks.iter())
+                    .copied()
+                    .for_each(check);
                 check(*backbone);
             }
             Topology::Cabinets {

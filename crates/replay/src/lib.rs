@@ -19,6 +19,9 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod parallel;
+pub mod partition;
+
 use std::sync::{Arc, Mutex};
 
 use calibrate::Calibration;
@@ -62,9 +65,38 @@ pub struct ReplayConfig {
     /// forwarded to whichever back-end runs. Pop order is bit-identical
     /// across variants, so this only affects replay wall time.
     pub fel: simkernel::FelImpl,
+    /// Worker threads for the partitioned parallel replay engine
+    /// (see [`partition`] / `parallel`). `1` (the default) runs the
+    /// unchanged sequential path; `>= 2` partitions the ranks into
+    /// coupling islands and replays islands concurrently. Results are
+    /// bit-identical at any thread count. The constructors honour the
+    /// `TITR_REPLAY_THREADS` environment variable (see
+    /// [`ReplayConfig::default_threads`]).
+    pub threads: usize,
+    /// Simulated-seconds window between synchronization barriers of the
+    /// parallel engine. `None` (the default) lets workers run their
+    /// islands to quiescence in one step — safe because islands exchange
+    /// no traffic, so the effective lookahead is unbounded. `Some(w)`
+    /// forces windowed barrier stepping every `w` simulated seconds (a
+    /// testing knob; results are identical either way).
+    pub window_s: Option<f64>,
 }
 
 impl ReplayConfig {
+    /// The thread count the constructors start from: the
+    /// `TITR_REPLAY_THREADS` environment variable when set to a positive
+    /// integer, else 1 (sequential). Mirrors the `TITR_SWEEP_THREADS`
+    /// convention of the sweep/ingest layers, and lets CI rerun the
+    /// whole replay suite under the parallel engine without code
+    /// changes.
+    pub fn default_threads() -> usize {
+        std::env::var("TITR_REPLAY_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    }
+
     /// Config for the legacy pipeline.
     pub fn legacy(rate: f64) -> ReplayConfig {
         ReplayConfig {
@@ -74,6 +106,8 @@ impl ReplayConfig {
             copy_model: None,
             sharing: netmodel::SharingPolicy::Bottleneck,
             fel: simkernel::FelImpl::default(),
+            threads: ReplayConfig::default_threads(),
+            window_s: None,
         }
     }
 
@@ -86,6 +120,8 @@ impl ReplayConfig {
             copy_model: None,
             sharing: netmodel::SharingPolicy::Bottleneck,
             fel: simkernel::FelImpl::default(),
+            threads: ReplayConfig::default_threads(),
+            window_s: None,
         }
     }
 
@@ -100,6 +136,8 @@ impl ReplayConfig {
             copy_model: Some(copy),
             sharing: netmodel::SharingPolicy::Bottleneck,
             fel: simkernel::FelImpl::default(),
+            threads: ReplayConfig::default_threads(),
+            window_s: None,
         }
     }
 
@@ -117,6 +155,8 @@ impl ReplayConfig {
             copy_model: None,
             sharing: netmodel::SharingPolicy::Bottleneck,
             fel: simkernel::FelImpl::default(),
+            threads: ReplayConfig::default_threads(),
+            window_s: None,
         }
     }
 }
@@ -276,6 +316,12 @@ pub fn replay_sources(
 /// Like [`replay_sources`], returning the unified observation (metrics
 /// always, spans when `record_spans` is set) alongside the result.
 ///
+/// Always runs the sequential engine regardless of `config.threads`:
+/// the caller-provided cursors are single-use, and the parallel engine
+/// needs a re-openable [`TraceInput`] for its scan pass — use
+/// [`replay_input_observed`] (or [`replay_observed`]) for parallel
+/// replay.
+///
 /// # Errors
 /// See [`replay_sources`].
 pub fn replay_sources_observed(
@@ -337,6 +383,9 @@ pub fn replay_input_observed(
     config: &ReplayConfig,
     record_spans: bool,
 ) -> Result<ReplayReport, String> {
+    if config.threads > 1 {
+        return parallel::replay_input_parallel(platform, input, ranks, config, record_spans);
+    }
     let sources = titrace::stream::open_sources(input, ranks).map_err(|e| e.to_string())?;
     replay_sources_observed(platform, sources, config, record_spans)
 }
@@ -431,6 +480,10 @@ pub fn replay_observed(
 ) -> Result<ReplayReport, String> {
     let ranks = trace.ranks();
     assert!(ranks > 0, "empty trace");
+    if config.threads > 1 {
+        let input = TraceInput::Memory(Arc::clone(trace));
+        return parallel::replay_input_parallel(platform, &input, ranks, config, record_spans);
+    }
     let hosts: Vec<HostId> = config.placement.assign(platform, ranks)?;
     run_engine(platform, &hosts, trace_sources(trace), config, record_spans)
 }
@@ -476,6 +529,7 @@ pub fn config_fields(config: &ReplayConfig) -> Vec<(String, String)> {
         ),
         ("sharing".into(), format!("{:?}", config.sharing)),
         ("fel".into(), format!("{:?}", config.fel)),
+        ("threads".into(), format!("{}", config.threads)),
     ]
 }
 
@@ -525,6 +579,8 @@ mod tests {
                 copy_model: None,
                 sharing: netmodel::SharingPolicy::Bottleneck,
                 fel: simkernel::FelImpl::default(),
+                threads: ReplayConfig::default_threads(),
+                window_s: None,
             };
             let r = replay(&p, &trace, &cfg).unwrap_or_else(|e| panic!("{engine:?}: {e}"));
             assert!(r.time > 0.0, "{engine:?}");
@@ -598,7 +654,12 @@ mod tests {
         let rate = platform::clusters::BORDEREAU_SPEED;
         let sim = replay(&tb.platform, &trace, &ReplayConfig::improved(rate)).unwrap();
         let err = (sim.time - truth.time) / truth.time * 100.0;
-        assert!(err.abs() < 15.0, "replay error {err}% (sim {} truth {})", sim.time, truth.time);
+        assert!(
+            err.abs() < 15.0,
+            "replay error {err}% (sim {} truth {})",
+            sim.time,
+            truth.time
+        );
     }
 
     #[test]
@@ -624,6 +685,8 @@ mod tests {
                 copy_model: None,
                 sharing: netmodel::SharingPolicy::Bottleneck,
                 fel: simkernel::FelImpl::default(),
+                threads: ReplayConfig::default_threads(),
+                window_s: None,
             };
             let base = replay(&p, &trace, &cfg).unwrap();
             let inputs = [
@@ -727,6 +790,8 @@ mod observability_tests {
             copy_model: None,
             sharing: netmodel::SharingPolicy::Bottleneck,
             fel,
+            threads: ReplayConfig::default_threads(),
+            window_s: None,
         }
     }
 
@@ -738,8 +803,7 @@ mod observability_tests {
             let mut exports = Vec::new();
             for fel in [simkernel::FelImpl::Heap, simkernel::FelImpl::Ladder] {
                 for _ in 0..2 {
-                    let report =
-                        replay_observed(&p, &trace, &cfg(engine, fel), true).unwrap();
+                    let report = replay_observed(&p, &trace, &cfg(engine, fel), true).unwrap();
                     let log = report.spans.as_ref().expect("spans recorded");
                     exports.push(chrome_trace(log));
                 }
@@ -936,8 +1000,7 @@ mod copy_model_tests {
         let p = platform::clusters::graphene();
         let plain = replay(&p, &trace, &ReplayConfig::improved(2e9)).unwrap();
         let copy = smpi::SmpiConfig::ground_truth().copy.unwrap();
-        let with_copy =
-            replay(&p, &trace, &ReplayConfig::improved_with_copy(2e9, copy)).unwrap();
+        let with_copy = replay(&p, &trace, &ReplayConfig::improved_with_copy(2e9, copy)).unwrap();
         assert!(
             with_copy.time > plain.time,
             "copy model must add time: {} !> {}",

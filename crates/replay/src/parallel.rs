@@ -1,0 +1,477 @@
+//! The conservative parallel replay engine.
+//!
+//! Execution model: the trace is scanned once ([`crate::partition`]) and
+//! its ranks split into coupling islands — groups that exchange no
+//! messages and share no network links. Each island is a complete,
+//! self-contained simulation (its own kernel/FEL shard, slab-indexed
+//! runtime state, match queues, and flow network restricted to the
+//! island's links), so the conservative lookahead between islands is
+//! unbounded and workers never exchange event messages. Islands are
+//! assigned to `min(threads, islands)` workers by longest-processing-
+//! time-first on the scanned action counts; each worker replays its
+//! islands to quiescence (or, when a safety window is configured,
+//! advances all of them window by window between barriers — the classic
+//! windowed conservative-PDES schedule, kept as a testing knob because
+//! the windowed and free-running schedules are provably identical here).
+//!
+//! Determinism argument: restricting the sequential replay's global
+//! event sequence to one island's events preserves their relative order
+//! (FEL ties break by insertion sequence, and cross-island events touch
+//! disjoint state — different ranks, different match queues, different
+//! links — so commuting them changes nothing). Each island simulation
+//! therefore pops exactly the events the sequential replay pops for
+//! those ranks, in the same order, producing bit-identical simulated
+//! times. Results are merged in island-index order (never worker or
+//! completion order), so the output is byte-identical across thread
+//! counts — and identical to the sequential path, which the differential
+//! tests assert.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use platform::{HostId, LinkId, Platform};
+use simkernel::obs::{merge_span_logs, Metrics, RankMappedRecorder, Recorder, RunObservation};
+use simkernel::Time;
+use titrace::{ActionSource, Rank, SourceError, TraceInput};
+use workloads::{MpiOp, OpSource};
+
+use crate::partition::{island_links, partition_ranks, scan_sources, Island};
+use crate::{action_to_op, ReplayConfig, ReplayEngine, ReplayReport, ReplayResult};
+
+/// Replays `input` under `config.threads` workers, falling back to the
+/// sequential path when the trace yields a single island (e.g. any
+/// workload with collectives) — the sequential path *is* the correct
+/// degenerate schedule, and taking it keeps the single-island case
+/// byte-for-byte the pre-existing code path.
+///
+/// # Errors
+/// Fails on I/O/parse/decode errors, placement errors, or a deadlocked
+/// replay.
+pub(crate) fn replay_input_parallel(
+    platform: &Platform,
+    input: &TraceInput,
+    ranks: u32,
+    config: &ReplayConfig,
+    record_spans: bool,
+) -> Result<ReplayReport, String> {
+    // Merged text would otherwise be parsed twice (scan + replay);
+    // materialise it once up front.
+    let materialised;
+    let input = match input {
+        TraceInput::MergedText(_) => {
+            let trace = titrace::stream::load_trace(input, ranks).map_err(|e| e.to_string())?;
+            materialised = TraceInput::Memory(Arc::new(trace));
+            &materialised
+        }
+        other => other,
+    };
+    let scan = {
+        let sources = titrace::stream::open_sources(input, ranks).map_err(|e| e.to_string())?;
+        scan_sources(sources)?
+    };
+    let hosts: Vec<HostId> = config.placement.assign(platform, ranks)?;
+    let part = partition_ranks(&scan, platform, &hosts);
+    if part.islands.len() <= 1 || config.threads <= 1 {
+        let sources = titrace::stream::open_sources(input, ranks).map_err(|e| e.to_string())?;
+        return crate::replay_sources_observed(platform, sources, config, record_spans);
+    }
+
+    // Longest-processing-time-first island assignment. Deterministic,
+    // and irrelevant to the output: merging happens in island order.
+    let workers = config.threads.min(part.islands.len());
+    let mut order: Vec<usize> = (0..part.islands.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(part.islands[i].actions), i));
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut load = vec![0u64; workers];
+    for i in order {
+        let w = (0..workers).min_by_key(|&w| (load[w], w)).unwrap();
+        assignment[w].push(i);
+        load[w] += part.islands[i].actions.max(1);
+    }
+
+    // Distribute the per-rank cursors to their islands.
+    let mut cursors: Vec<Option<Box<dyn ActionSource>>> =
+        titrace::stream::open_sources(input, ranks)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(Some)
+            .collect();
+    let fault: Arc<Mutex<Option<(Rank, SourceError)>>> = Arc::new(Mutex::new(None));
+    // `dyn OpSource` is not `Send`, so jobs carry the raw `ActionSource`
+    // cursors (whose trait requires `Send`) and each worker wraps them
+    // into op sources on its own thread.
+    struct IslandJob {
+        index: usize,
+        ranks: Arc<Vec<u32>>,
+        hosts: Vec<HostId>,
+        links: Vec<LinkId>,
+        cursors: Vec<Box<dyn ActionSource>>,
+    }
+    let mut jobs: Vec<Option<IslandJob>> = Vec::with_capacity(part.islands.len());
+    for (index, island) in part.islands.iter().enumerate() {
+        let island_ranks = Arc::new(island.ranks.clone());
+        let island_cursors = island
+            .ranks
+            .iter()
+            .map(|&r| cursors[r as usize].take().expect("rank in two islands"))
+            .collect();
+        jobs.push(Some(IslandJob {
+            index,
+            ranks: island_ranks,
+            hosts: island.ranks.iter().map(|&r| hosts[r as usize]).collect(),
+            links: island_links(platform, &hosts, island),
+            cursors: island_cursors,
+        }));
+    }
+
+    let total = part.islands.len();
+    let window = config.window_s;
+    let finished = AtomicUsize::new(0);
+    let barrier = Barrier::new(workers);
+    let results: Mutex<Vec<(usize, Result<IslandDone, String>)>> =
+        Mutex::new(Vec::with_capacity(total));
+    std::thread::scope(|s| {
+        for worker_islands in &assignment {
+            let jobs_for_worker: Vec<IslandJob> = worker_islands
+                .iter()
+                .map(|&i| jobs[i].take().expect("island assigned twice"))
+                .collect();
+            let (finished, barrier, results) = (&finished, &barrier, &results);
+            let fault = Arc::clone(&fault);
+            s.spawn(move || {
+                struct WorkerRun {
+                    index: usize,
+                    ranks: Arc<Vec<u32>>,
+                    done: bool,
+                    run: EngineRun,
+                }
+                let mut runs: Vec<WorkerRun> = jobs_for_worker
+                    .into_iter()
+                    .map(|job| {
+                        let recorder: Option<Box<dyn Recorder>> = record_spans.then(|| {
+                            Box::new(RankMappedRecorder::new(ranks, job.ranks.to_vec()))
+                                as Box<dyn Recorder>
+                        });
+                        let sources: Vec<Box<dyn OpSource>> = job
+                            .cursors
+                            .into_iter()
+                            .zip(job.ranks.iter())
+                            .map(|(inner, &r)| {
+                                Box::new(PartitionOpSource {
+                                    inner,
+                                    rank: Rank(r),
+                                    island_ranks: Arc::clone(&job.ranks),
+                                    fault: Arc::clone(&fault),
+                                }) as Box<dyn OpSource>
+                            })
+                            .collect();
+                        let mut run =
+                            prepare_island(platform, &job.hosts, sources, config, recorder);
+                        run.restrict_links(&job.links);
+                        WorkerRun {
+                            index: job.index,
+                            ranks: job.ranks,
+                            done: false,
+                            run,
+                        }
+                    })
+                    .collect();
+                match window {
+                    None => {
+                        // Unbounded lookahead: run each island straight
+                        // to quiescence, no synchronization at all.
+                        for r in &mut runs {
+                            r.run.advance(Time::NEVER);
+                            r.done = true;
+                        }
+                    }
+                    Some(w) => {
+                        // Windowed conservative schedule: advance every
+                        // island to the k-th barrier time, then wait for
+                        // the other workers. The first barrier publishes
+                        // this round's completions; the second keeps a
+                        // fast worker's next-round updates from racing
+                        // the termination check.
+                        let mut k = 1u64;
+                        loop {
+                            for r in &mut runs {
+                                if !r.done && r.run.advance(Time::from_secs(w * k as f64)) {
+                                    r.done = true;
+                                    finished.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                            barrier.wait();
+                            let all_done = finished.load(Ordering::SeqCst) == total;
+                            barrier.wait();
+                            if all_done {
+                                break;
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                for r in runs {
+                    let (index, island_ranks) = (r.index, r.ranks);
+                    let outcome = r.run.finalize().map_err(|e| {
+                        // The engine reports partition-local rank ids;
+                        // give the island's global ranks for context.
+                        format!("partition {index} (global ranks {island_ranks:?}): {e}")
+                    });
+                    results
+                        .lock()
+                        .expect("results poisoned")
+                        .push((index, outcome));
+                }
+            });
+        }
+    });
+
+    // A cursor fault truncates its rank's stream; report the root cause
+    // rather than the engine's secondary deadlock diagnosis.
+    if let Some((rank, e)) = fault.lock().expect("fault slot poisoned").take() {
+        return Err(format!("rank {rank} trace stream failed: {e}"));
+    }
+    let mut done = results.into_inner().expect("results poisoned");
+    done.sort_by_key(|(i, _)| *i);
+    let mut islands_done = Vec::with_capacity(total);
+    for (_, outcome) in done {
+        islands_done.push(outcome?);
+    }
+    Ok(merge_islands(config, ranks, &part.islands, islands_done))
+}
+
+/// What finishing one island yields before the deterministic merge.
+struct IslandDone {
+    /// Per-rank finish times, island-local order.
+    rank_times: Vec<f64>,
+    messages: u64,
+    events: u64,
+    obs: RunObservation,
+}
+
+/// One island's engine run, unified over the two back-ends.
+enum EngineRun {
+    Smpi(smpi::runner::SmpiRun),
+    Msg(msgsim::runner::MsgRun),
+}
+
+impl EngineRun {
+    fn restrict_links(&mut self, links: &[LinkId]) {
+        match self {
+            EngineRun::Smpi(r) => r.restrict_links(links),
+            EngineRun::Msg(r) => r.restrict_links(links),
+        }
+    }
+
+    fn advance(&mut self, horizon: Time) -> bool {
+        match self {
+            EngineRun::Smpi(r) => r.advance(horizon),
+            EngineRun::Msg(r) => r.advance(horizon),
+        }
+    }
+
+    fn finalize(self) -> Result<IslandDone, String> {
+        match self {
+            EngineRun::Smpi(r) => {
+                let (res, obs) = r.finalize()?;
+                Ok(IslandDone {
+                    rank_times: res.rank_times,
+                    messages: res.stats.messages,
+                    events: res.events,
+                    obs,
+                })
+            }
+            EngineRun::Msg(r) => {
+                let (res, obs) = r.finalize()?;
+                Ok(IslandDone {
+                    rank_times: res.rank_times,
+                    messages: res.stats.messages,
+                    events: res.events,
+                    obs,
+                })
+            }
+        }
+    }
+}
+
+/// Prepares one island's simulation with the same engine configuration
+/// the sequential [`crate::run_engine`] would build.
+fn prepare_island(
+    platform: &Platform,
+    hosts: &[HostId],
+    sources: Vec<Box<dyn OpSource>>,
+    config: &ReplayConfig,
+    recorder: Option<Box<dyn Recorder>>,
+) -> EngineRun {
+    let hooks = Box::new(smpi::FixedRateHooks::uniform(
+        config.rate,
+        hosts.len() as u32,
+    ));
+    match config.engine {
+        ReplayEngine::Smpi => {
+            let mut smpi_cfg = smpi::SmpiConfig::smpi_replay();
+            smpi_cfg.copy = config.copy_model;
+            smpi_cfg.sharing = config.sharing;
+            smpi_cfg.fel = config.fel;
+            EngineRun::Smpi(smpi::prepare_smpi(
+                platform, hosts, sources, smpi_cfg, hooks, recorder,
+            ))
+        }
+        ReplayEngine::Msg => {
+            let mut msg_cfg = msgsim::MsgConfig::legacy();
+            msg_cfg.sharing = config.sharing;
+            msg_cfg.fel = config.fel;
+            EngineRun::Msg(msgsim::prepare_msg(
+                platform, hosts, sources, msg_cfg, hooks, recorder,
+            ))
+        }
+    }
+}
+
+/// Merges per-island outcomes — always in island-index order, never
+/// worker or completion order — into the exact report the sequential
+/// path produces.
+fn merge_islands(
+    config: &ReplayConfig,
+    ranks: u32,
+    islands: &[Island],
+    done: Vec<IslandDone>,
+) -> ReplayReport {
+    let mut rank_times = vec![0.0f64; ranks as usize];
+    for (island, d) in islands.iter().zip(&done) {
+        for (&r, &t) in island.ranks.iter().zip(&d.rank_times) {
+            rank_times[r as usize] = t;
+        }
+    }
+    // Same fold, in the same global rank order, as the sequential
+    // runners — bit-identical total.
+    let total_time = rank_times.iter().copied().fold(0.0, f64::max);
+    let engine_name = match config.engine {
+        ReplayEngine::Smpi => "smpi",
+        ReplayEngine::Msg => "msg",
+    };
+    let mut metrics = Metrics::new(engine_name, ranks);
+    metrics.simulated_time_s = total_time;
+    let mut messages = 0u64;
+    let mut events = 0u64;
+    for d in &done {
+        messages += d.messages;
+        events += d.events;
+        let m = &d.obs.metrics;
+        metrics.events_processed += m.events_processed;
+        metrics.queue_compactions += m.queue_compactions;
+        metrics.fel_profile_enabled |= m.fel_profile_enabled;
+        metrics.fel.scheduled += m.fel.scheduled;
+        metrics.fel.superseded += m.fel.superseded;
+        metrics.fel.popped += m.fel.popped;
+        metrics.fel.stale_popped += m.fel.stale_popped;
+        metrics.fel.spills += m.fel.spills;
+        metrics.fel.bucket_sorts += m.fel.bucket_sorts;
+        metrics.fel.reseeds += m.fel.reseeds;
+        metrics.fel.compactions += m.fel.compactions;
+        metrics.messages += m.messages;
+        metrics.eager_messages += m.eager_messages;
+        metrics.rendezvous_messages += m.rendezvous_messages;
+        metrics.bytes += m.bytes;
+        metrics.collectives += m.collectives;
+        metrics.flows_created += m.flows_created;
+        metrics.flows_resolved += m.flows_resolved;
+        metrics.sharing_resolves += m.sharing_resolves;
+        metrics.sharing_rate_updates += m.sharing_rate_updates;
+        metrics.match_depth_tracked |= m.match_depth_tracked;
+        metrics.max_unexpected_depth = metrics.max_unexpected_depth.max(m.max_unexpected_depth);
+        metrics.max_posted_depth = metrics.max_posted_depth.max(m.max_posted_depth);
+    }
+    let spans = {
+        let logs: Vec<_> = done.into_iter().filter_map(|d| d.obs.spans).collect();
+        if logs.is_empty() {
+            None
+        } else {
+            Some(merge_span_logs(logs))
+        }
+    };
+    metrics.recorder_counts = spans.as_ref().map(|l| l.counts());
+    ReplayReport {
+        result: ReplayResult {
+            time: total_time,
+            rank_times,
+            messages,
+            events,
+        },
+        metrics,
+        spans,
+    }
+}
+
+/// An [`OpSource`] over one rank's [`ActionSource`] cursor that remaps
+/// global peer ranks to the island-local ids the engine runs under.
+/// Cursor faults park in the shared slot, exactly like the sequential
+/// [`crate::StreamOpSource`].
+struct PartitionOpSource {
+    inner: Box<dyn ActionSource>,
+    /// Global rank, for fault attribution.
+    rank: Rank,
+    /// The island's member ranks, ascending (global ids).
+    island_ranks: Arc<Vec<u32>>,
+    fault: Arc<Mutex<Option<(Rank, SourceError)>>>,
+}
+
+impl OpSource for PartitionOpSource {
+    fn next_op(&mut self) -> Option<MpiOp> {
+        match self.inner.next_action() {
+            Ok(Some(a)) => Some(remap_op(action_to_op(&a), &self.island_ranks)),
+            Ok(None) => None,
+            Err(e) => {
+                let mut slot = self.fault.lock().expect("fault slot poisoned");
+                if slot.is_none() {
+                    *slot = Some((self.rank, e));
+                }
+                None
+            }
+        }
+    }
+}
+
+fn local_rank(island_ranks: &[u32], global: u32) -> u32 {
+    island_ranks
+        .binary_search(&global)
+        .expect("peer rank outside its island — partitioning bug") as u32
+}
+
+/// Rewrites an op's peer ranks from global to island-local ids.
+/// Collectives cannot appear here (any collective collapses the trace to
+/// a single island, which takes the sequential path), but roots are
+/// remapped anyway for defence in depth.
+fn remap_op(op: MpiOp, island_ranks: &[u32]) -> MpiOp {
+    match op {
+        MpiOp::Send { dst, bytes } => MpiOp::Send {
+            dst: local_rank(island_ranks, dst),
+            bytes,
+        },
+        MpiOp::Isend { dst, bytes } => MpiOp::Isend {
+            dst: local_rank(island_ranks, dst),
+            bytes,
+        },
+        MpiOp::Recv { src, bytes } => MpiOp::Recv {
+            src: local_rank(island_ranks, src),
+            bytes,
+        },
+        MpiOp::Irecv { src, bytes } => MpiOp::Irecv {
+            src: local_rank(island_ranks, src),
+            bytes,
+        },
+        MpiOp::Bcast { bytes, root } => MpiOp::Bcast {
+            bytes,
+            root: local_rank(island_ranks, root),
+        },
+        MpiOp::Reduce { bytes, root } => MpiOp::Reduce {
+            bytes,
+            root: local_rank(island_ranks, root),
+        },
+        MpiOp::Gather { bytes, root } => MpiOp::Gather {
+            bytes,
+            root: local_rank(island_ranks, root),
+        },
+        other => other,
+    }
+}

@@ -10,8 +10,8 @@
 //! matching queues, statistics — and is passed `&mut` alongside the kernel,
 //! which keeps the whole simulator free of interior mutability.
 
-use crate::kernel::Kernel;
 use crate::activity::ActivityId;
+use crate::kernel::Kernel;
 
 /// Identifier of an actor within a [`crate::sim::Sim`]. Dense, assigned in
 /// spawn order.

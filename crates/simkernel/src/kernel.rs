@@ -33,6 +33,19 @@ pub fn replay_sizing(ranks: usize) -> (usize, usize) {
     (activities, 2 * activities)
 }
 
+/// Outcome of one [`Kernel::next_wake_before`] scheduling step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelStep {
+    /// An actor is due to run (its wake-up reason attached).
+    Wake(ActorId, Wake),
+    /// The next pending event lies strictly past the horizon; the clock
+    /// did not advance beyond it.
+    Horizon,
+    /// No wake, timer, or event remains anywhere — the kernel cannot
+    /// advance regardless of horizon.
+    Quiesced,
+}
+
 /// The simulation kernel. See the [module documentation](self).
 #[derive(Debug)]
 pub struct Kernel {
@@ -324,17 +337,39 @@ impl Kernel {
     /// [`crate::sim::Sim::run`] drives this loop; it is public so that
     /// embedders (tests, custom drivers) can step a kernel manually.
     pub fn next_wake(&mut self) -> Option<(ActorId, Wake)> {
+        match self.next_wake_before(Time::NEVER) {
+            KernelStep::Wake(actor, wake) => Some((actor, wake)),
+            KernelStep::Quiesced => None,
+            // No finite event time exceeds `Time::NEVER`.
+            KernelStep::Horizon => unreachable!("event scheduled past Time::NEVER"),
+        }
+    }
+
+    /// Horizon-bounded variant of [`Kernel::next_wake`]: delivers the next
+    /// wake-up only if it lies at or before `horizon` (simulated time).
+    /// Same-instant ready wakes (at the current clock) always drain first.
+    /// The clock never advances past `horizon`, so a caller can interleave
+    /// several kernels window by window — the windowed parallel replay
+    /// engine drives this. `next_wake_before(Time::NEVER)` is exactly
+    /// [`Kernel::next_wake`]; the event pop order (and therefore
+    /// `events_processed`) is identical for any horizon schedule.
+    pub fn next_wake_before(&mut self, horizon: Time) -> KernelStep {
         loop {
-            if let Some(w) = self.ready.pop_front() {
-                return Some(w);
+            if let Some((actor, wake)) = self.ready.pop_front() {
+                return KernelStep::Wake(actor, wake);
             }
-            let (at, kind) = self.queue.pop()?;
+            let at = match self.queue.peek_time() {
+                None => return KernelStep::Quiesced,
+                Some(at) if at > horizon => return KernelStep::Horizon,
+                Some(at) => at,
+            };
+            let (_, kind) = self.queue.pop().expect("peeked event vanished");
             debug_assert!(at >= self.now, "event list went backwards");
             self.now = at;
             self.events_processed += 1;
             match kind {
                 EventKind::Timer { actor, key } => {
-                    return Some((ActorId(actor), Wake::Timer(key)));
+                    return KernelStep::Wake(ActorId(actor), Wake::Timer(key));
                 }
                 EventKind::ActivityComplete {
                     index,
@@ -342,7 +377,7 @@ impl Kernel {
                     sched,
                 } => {
                     if let Some(w) = self.complete_activity(index, generation, sched) {
-                        return Some(w);
+                        return KernelStep::Wake(w.0, w.1);
                     }
                     // Stale event; keep looping.
                 }
@@ -682,7 +717,11 @@ mod tests {
                 for (i, &a) in acts.iter().enumerate() {
                     k.set_rate(a, 1.0 + f64::from((round as usize + i) as u32 % 11));
                 }
-                k.set_timer(ActorId(999), Duration::from_secs(f64::from(round) * 0.01), u64::from(round));
+                k.set_timer(
+                    ActorId(999),
+                    Duration::from_secs(f64::from(round) * 0.01),
+                    u64::from(round),
+                );
                 if round % 7 == 0 {
                     let (actor, _) = k.next_wake().unwrap();
                     trace.push((actor.0, k.now().as_secs()));

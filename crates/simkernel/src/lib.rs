@@ -27,8 +27,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
-pub mod actor;
 pub mod activity;
+pub mod actor;
 pub mod kernel;
 pub mod obs;
 pub mod queue;
@@ -37,10 +37,10 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 
-pub use actor::{Actor, ActorId, Status, Wake};
 pub use activity::{ActivityId, ActivityState};
-pub use kernel::{replay_sizing, Kernel, IN_FLIGHT_PER_RANK};
+pub use actor::{Actor, ActorId, Status, Wake};
+pub use kernel::{replay_sizing, Kernel, KernelStep, IN_FLIGHT_PER_RANK};
 pub use queue::{profile_enabled, FelImpl, FelProfile};
 pub use rng::DetRng;
-pub use sim::{Sim, SimOutcome};
+pub use sim::{Sim, SimOutcome, SimStep};
 pub use time::{Duration, Time};

@@ -255,6 +255,94 @@ pub struct RunObservation {
     pub spans: Option<SpanLog>,
 }
 
+/// A [`Recorder`] adapter for partitioned replay: the wrapped engine
+/// records with partition-local rank ids while the inner [`SpanLog`] is
+/// sized for the global rank count; `map[local]` gives the global rank.
+/// Flow keys pass through unchanged (each partition closes only flows it
+/// opened, and the inner log is per-partition, so keys never collide).
+#[derive(Debug)]
+pub struct RankMappedRecorder {
+    inner: SpanLog,
+    map: Vec<u32>,
+}
+
+impl RankMappedRecorder {
+    /// A recorder over `global_ranks` lanes; local rank `i` of the
+    /// wrapped engine records into global lane `map[i]`.
+    pub fn new(global_ranks: u32, map: Vec<u32>) -> RankMappedRecorder {
+        RankMappedRecorder {
+            inner: SpanLog::new(global_ranks),
+            map,
+        }
+    }
+}
+
+impl Recorder for RankMappedRecorder {
+    fn span(&mut self, rank: u32, start: f64, end: f64, kind: SpanKind, peer: Option<u32>) {
+        let peer = peer.map(|p| self.map[p as usize]);
+        Recorder::span(
+            &mut self.inner,
+            self.map[rank as usize],
+            start,
+            end,
+            kind,
+            peer,
+        );
+    }
+
+    fn flow_open(&mut self, key: u64, src: u32, dst: u32, bytes: u64, at: f64) {
+        self.inner.flow_open(
+            key,
+            self.map[src as usize],
+            self.map[dst as usize],
+            bytes,
+            at,
+        );
+    }
+
+    fn flow_close(&mut self, key: u64, at: f64) {
+        self.inner.flow_close(key, at);
+    }
+
+    fn count(&mut self, counter: Counter, delta: u64) {
+        self.inner.count(counter, delta);
+    }
+
+    fn finish(self: Box<Self>) -> Option<SpanLog> {
+        Some(self.inner)
+    }
+}
+
+/// Merges the per-partition span logs of a partitioned replay into one
+/// global log. All parts must be sized for the global rank count (see
+/// [`RankMappedRecorder`]) and each rank's lane must be populated by at
+/// most one part (its owning partition). Flows are concatenated in part
+/// order; the exporters order flow records canonically, so the merged
+/// log exports byte-identically to a sequential run's log. Counters sum.
+pub fn merge_span_logs(parts: Vec<SpanLog>) -> SpanLog {
+    let mut parts = parts.into_iter();
+    let mut merged = parts.next().expect("merge_span_logs needs >= 1 part");
+    for mut part in parts {
+        assert_eq!(
+            merged.per_rank.len(),
+            part.per_rank.len(),
+            "span logs sized for different rank counts"
+        );
+        for (lane, other) in merged.per_rank.iter_mut().zip(part.per_rank.iter_mut()) {
+            if !other.is_empty() {
+                assert!(lane.is_empty(), "rank recorded by more than one partition");
+                std::mem::swap(lane, other);
+            }
+        }
+        merged.flows.append(&mut part.flows);
+        merged.open.append(&mut part.open);
+        for (c, d) in merged.counts.iter_mut().zip(part.counts.iter()) {
+            *c += d;
+        }
+    }
+    merged
+}
+
 impl Recorder for SpanLog {
     fn span(&mut self, rank: u32, start: f64, end: f64, kind: SpanKind, peer: Option<u32>) {
         if end > start {
@@ -403,13 +491,18 @@ impl Metrics {
         out.push_str(&format!(
             "  \"replay\": {{\"messages\": {}, \"eager_messages\": {}, \
              \"rendezvous_messages\": {}, \"bytes\": {}, \"collectives\": {}}},\n",
-            self.messages, self.eager_messages, self.rendezvous_messages, self.bytes,
+            self.messages,
+            self.eager_messages,
+            self.rendezvous_messages,
+            self.bytes,
             self.collectives
         ));
         out.push_str(&format!(
             "  \"network\": {{\"flows_created\": {}, \"flows_resolved\": {}, \
              \"sharing_resolves\": {}, \"sharing_rate_updates\": {}}},\n",
-            self.flows_created, self.flows_resolved, self.sharing_resolves,
+            self.flows_created,
+            self.flows_resolved,
+            self.sharing_resolves,
             self.sharing_rate_updates
         ));
         if self.match_depth_tracked {
@@ -446,11 +539,31 @@ impl Metrics {
 // Exporters
 // ---------------------------------------------------------------------
 
+/// Flow records in canonical export order: by start instant, then
+/// source, destination, end, and size. A sequential replay logs flows in
+/// global open order while a partitioned replay logs them grouped by
+/// partition; both hold the same multiset, so exporting in canonical
+/// order makes the artifacts byte-identical regardless of how the replay
+/// was executed.
+fn canonical_flows(log: &SpanLog) -> Vec<FlowSpan> {
+    let mut flows = log.flows().to_vec();
+    flows.sort_by(|a, b| {
+        a.start
+            .total_cmp(&b.start)
+            .then_with(|| a.src.cmp(&b.src))
+            .then_with(|| a.dst.cmp(&b.dst))
+            .then_with(|| a.end.total_cmp(&b.end))
+            .then_with(|| a.bytes.cmp(&b.bytes))
+    });
+    flows
+}
+
 /// Exports a span log as Chrome-trace JSON (loadable in Perfetto or
 /// `chrome://tracing`). Rank spans become complete (`"X"`) events under
 /// process 0 (one thread per rank); flow lifetimes live under process 1,
-/// one lane per sending rank. Timestamps are microseconds of simulated
-/// time. The output is byte-deterministic for identical logs.
+/// one lane per sending rank, in canonical `(start, src, dst)` order.
+/// Timestamps are microseconds of simulated time. The output is
+/// byte-deterministic for identical logs.
 pub fn chrome_trace(log: &SpanLog) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
@@ -476,7 +589,7 @@ pub fn chrome_trace(log: &SpanLog) -> String {
             out.push('}');
         }
     }
-    for f in log.flows() {
+    for f in canonical_flows(log) {
         out.push_str(&format!(
             ",\n{{\"name\":\"flow {}->{}\",\"cat\":\"flow\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
              \"ts\":{},\"dur\":{},\"args\":{{\"src\":{},\"dst\":{},\"bytes\":{}}}}}",
@@ -497,7 +610,7 @@ pub fn chrome_trace(log: &SpanLog) -> String {
 /// Exports a span log as a flat CSV state timeline:
 /// `rank,start_s,end_s,state,peer,bytes`. Rank spans come first (empty
 /// `bytes`), then flow rows (`state` = `flow`, `rank` = source, `peer` =
-/// destination).
+/// destination) in canonical `(start, src, dst)` order.
 pub fn state_csv(log: &SpanLog) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("rank,start_s,end_s,state,peer,bytes\n");
@@ -514,7 +627,7 @@ pub fn state_csv(log: &SpanLog) -> String {
             ));
         }
     }
-    for f in log.flows() {
+    for f in canonical_flows(log) {
         out.push_str(&format!(
             "{},{},{},flow,{},{}\n",
             f.src,
@@ -604,7 +717,11 @@ impl CriticalPath {
                 json_f64(b.by_kind[5]),
                 json_f64(b.idle_s),
                 json_f64(b.finish_s),
-                if i + 1 < self.breakdown.len() { "," } else { "" }
+                if i + 1 < self.breakdown.len() {
+                    ","
+                } else {
+                    ""
+                }
             ));
         }
         out.push_str("  ]\n}");
@@ -827,8 +944,68 @@ fn json_string(s: &str) -> String {
 mod tests {
     use super::*;
 
-    fn record(log: &mut SpanLog, rank: u32, start: f64, end: f64, kind: SpanKind, peer: Option<u32>) {
+    fn record(
+        log: &mut SpanLog,
+        rank: u32,
+        start: f64,
+        end: f64,
+        kind: SpanKind,
+        peer: Option<u32>,
+    ) {
         Recorder::span(log, rank, start, end, kind, peer);
+    }
+
+    /// Recording the same run whole vs split across two rank-mapped
+    /// partition recorders merges and exports byte-identically, even
+    /// though the partitions log their flows in a different global
+    /// interleaving than the sequential recorder.
+    #[test]
+    fn partition_merge_exports_match_sequential() {
+        let mut seq = SpanLog::new(4);
+        // Global open order interleaves the two pairs: (0->1), (2->3),
+        // then a second (0->1).
+        seq.flow_open(7, 0, 1, 100, 0.0);
+        seq.flow_open(9, 2, 3, 200, 0.5);
+        seq.flow_open(8, 0, 1, 50, 1.0);
+        seq.flow_close(7, 2.0);
+        seq.flow_close(9, 2.5);
+        seq.flow_close(8, 3.0);
+        record(&mut seq, 1, 0.0, 2.0, SpanKind::Recv, Some(0));
+        record(&mut seq, 3, 0.5, 2.5, SpanKind::Recv, Some(2));
+        record(&mut seq, 0, 0.0, 1.0, SpanKind::Compute, None);
+        seq.count(Counter::UnexpectedEnqueued, 2);
+
+        // Partition A owns global ranks {0, 1}, partition B owns {2, 3};
+        // each records with local ids and its own flow-key space.
+        let mut a = Box::new(RankMappedRecorder::new(4, vec![0, 1]));
+        a.flow_open(1, 0, 1, 100, 0.0);
+        a.flow_open(2, 0, 1, 50, 1.0);
+        a.flow_close(1, 2.0);
+        a.flow_close(2, 3.0);
+        a.span(1, 0.0, 2.0, SpanKind::Recv, Some(0));
+        a.span(0, 0.0, 1.0, SpanKind::Compute, None);
+        a.count(Counter::UnexpectedEnqueued, 2);
+        let mut b = Box::new(RankMappedRecorder::new(4, vec![2, 3]));
+        b.flow_open(1, 0, 1, 200, 0.5);
+        b.flow_close(1, 2.5);
+        b.span(1, 0.5, 2.5, SpanKind::Recv, Some(0));
+
+        let merged = merge_span_logs(vec![a.finish().unwrap(), b.finish().unwrap()]);
+        assert_eq!(merged.rank_count(), 4);
+        assert_eq!(merged.open_flows(), 0);
+        assert_eq!(merged.counter(Counter::UnexpectedEnqueued), 2);
+        assert_eq!(chrome_trace(&merged), chrome_trace(&seq));
+        assert_eq!(state_csv(&merged), state_csv(&seq));
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one partition")]
+    fn merge_rejects_overlapping_rank_lanes() {
+        let mut a = SpanLog::new(2);
+        record(&mut a, 0, 0.0, 1.0, SpanKind::Compute, None);
+        let mut b = SpanLog::new(2);
+        record(&mut b, 0, 0.0, 1.0, SpanKind::Compute, None);
+        merge_span_logs(vec![a, b]);
     }
 
     /// A hand-built 3-rank exchange:

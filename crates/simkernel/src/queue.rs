@@ -211,7 +211,9 @@ impl Ladder {
     fn with_capacity(capacity: usize) -> Ladder {
         Ladder {
             bottom: Vec::new(),
-            buckets: std::iter::repeat_with(Vec::new).take(LADDER_BUCKETS).collect(),
+            buckets: std::iter::repeat_with(Vec::new)
+                .take(LADDER_BUCKETS)
+                .collect(),
             cur: LADDER_BUCKETS,
             epoch_start: 0.0,
             width: 0.0,
@@ -273,7 +275,8 @@ impl Ladder {
                 self.cur += 1;
                 // Unstable sort allocates nothing; keys are unique so
                 // stability is irrelevant. Descending: pop from the back.
-                self.bottom.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+                self.bottom
+                    .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
                 bump(&mut profile.bucket_sorts);
                 break;
             }
@@ -502,7 +505,10 @@ impl EventQueue {
     /// Records that a popped entry turned out to be stale (the owner
     /// skipped it).
     pub fn note_stale_popped(&mut self) {
-        debug_assert!(self.stale > 0, "stale pop without a matching note_superseded");
+        debug_assert!(
+            self.stale > 0,
+            "stale pop without a matching note_superseded"
+        );
         self.stale = self.stale.saturating_sub(1);
         bump(&mut self.profile.stale_popped);
     }

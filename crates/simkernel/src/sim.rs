@@ -2,9 +2,20 @@
 //! actor set, and runs the event loop to quiescence.
 
 use crate::actor::{Actor, ActorId, Status, Wake};
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, KernelStep};
 use crate::queue::FelImpl;
 use crate::time::Time;
+
+/// Why [`Sim::step_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimStep {
+    /// The next pending event lies strictly past the horizon; call again
+    /// with a later horizon to continue.
+    Horizon,
+    /// Nothing remains to run at any time. Terminal: inspect
+    /// [`Sim::outcome`] to distinguish completion from deadlock.
+    Quiesced,
+}
 
 /// Why [`Sim::run`] stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,13 +124,44 @@ impl<W> Sim<W> {
     /// Runs every actor to completion (or deadlock). Returns the outcome;
     /// the final simulated time is `self.kernel.now()`.
     pub fn run(&mut self) -> SimOutcome {
-        // Start every actor at t=0, in spawn order.
+        self.start();
+        let step = self.step_until(Time::NEVER);
+        debug_assert_eq!(step, SimStep::Quiesced);
+        self.outcome()
+    }
+
+    /// Delivers the `Wake::Start` wake to every actor at t=0, in spawn
+    /// order. Must be called exactly once, before [`Sim::step_until`];
+    /// [`Sim::run`] does it implicitly.
+    pub fn start(&mut self) {
         for i in 0..self.actors.len() {
             self.step(ActorId(i as u32), Wake::Start);
         }
-        while let Some((actor, wake)) = self.kernel.next_wake() {
-            self.step(actor, wake);
+    }
+
+    /// Advances the simulation until either the next pending event lies
+    /// strictly past `horizon` ([`SimStep::Horizon`]) or nothing remains
+    /// to run at any time ([`SimStep::Quiesced`]). Quiescence is terminal
+    /// regardless of horizon — once returned, later calls with larger
+    /// horizons return it again and [`Sim::outcome`] is meaningful (so
+    /// deadlock detection works under windowed stepping). The event
+    /// delivery order is identical for any horizon schedule: a run split
+    /// into windows pops exactly the same events, in the same order, as a
+    /// single `step_until(Time::NEVER)`.
+    pub fn step_until(&mut self, horizon: Time) -> SimStep {
+        loop {
+            match self.kernel.next_wake_before(horizon) {
+                KernelStep::Wake(actor, wake) => self.step(actor, wake),
+                KernelStep::Horizon => return SimStep::Horizon,
+                KernelStep::Quiesced => return SimStep::Quiesced,
+            }
         }
+    }
+
+    /// Classifies the final state once [`Sim::step_until`] has returned
+    /// [`SimStep::Quiesced`]: all actors finished, or the still-blocked
+    /// ones (a deadlock).
+    pub fn outcome(&self) -> SimOutcome {
         let blocked: Vec<ActorId> = self
             .states
             .iter()
@@ -267,6 +309,58 @@ mod tests {
         sim.run().expect_finished();
         assert_eq!(sim.world, vec![1, 2, 0]);
         assert_eq!(sim.kernel.now(), Time::from_secs(3.0));
+    }
+
+    /// Windowed stepping delivers exactly the events a monolithic run
+    /// does: same world log, same clock, same `events_processed`.
+    #[test]
+    fn windowed_stepping_matches_monolithic_run() {
+        let build = || {
+            let mut sim: Sim<Vec<String>> = Sim::new(Vec::new());
+            for i in 0..3u32 {
+                sim.spawn(Box::new(TickActor {
+                    remaining: i + 2,
+                    me: ActorId(i),
+                    log: vec![],
+                }));
+            }
+            sim
+        };
+        let mut whole = build();
+        whole.run().expect_finished();
+
+        let mut windowed = build();
+        windowed.start();
+        let mut k = 1u64;
+        loop {
+            // Deliberately awkward window (1.3 s) so horizons fall both
+            // between and exactly on event times over the run.
+            let horizon = Time::from_secs(1.3 * k as f64);
+            match windowed.step_until(horizon) {
+                SimStep::Horizon => k += 1,
+                SimStep::Quiesced => break,
+            }
+        }
+        windowed.outcome().expect_finished();
+        assert_eq!(windowed.world, whole.world);
+        assert_eq!(windowed.kernel.now(), whole.kernel.now());
+        assert_eq!(
+            windowed.kernel.events_processed(),
+            whole.kernel.events_processed()
+        );
+        assert_eq!(windowed.finish_times(), whole.finish_times());
+    }
+
+    /// Quiescence is terminal: a deadlocked sim reports `Quiesced` from
+    /// any horizon, and `outcome` identifies the blocked actors.
+    #[test]
+    fn windowed_stepping_detects_deadlock() {
+        let mut sim: Sim<()> = Sim::new(());
+        let id = sim.spawn(Box::new(StuckActor));
+        sim.start();
+        assert_eq!(sim.step_until(Time::from_secs(1.0)), SimStep::Quiesced);
+        assert_eq!(sim.step_until(Time::NEVER), SimStep::Quiesced);
+        assert_eq!(sim.outcome(), SimOutcome::Deadlock(vec![id]));
     }
 
     #[test]

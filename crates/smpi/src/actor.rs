@@ -18,9 +18,7 @@ use workloads::{MpiOp, OpSource};
 
 use crate::collectives;
 use crate::hooks::ComputePlan;
-use crate::world::{
-    MsgId, PostId, RecvResult, ReqId, SendResult, SmpiWorld, CH_APP, CH_COLL,
-};
+use crate::world::{MsgId, PostId, RecvResult, ReqId, SendResult, SmpiWorld, CH_APP, CH_COLL};
 
 /// Timer key used for pre-op delays (distinct per actor, so no global
 /// uniqueness needed).
@@ -111,16 +109,14 @@ impl RankActor {
                 self.waiting = Waiting::Ready;
                 self.staged = None;
             }
-            (Waiting::Msg(id), _)
-                if world.msg_arrived(*id) => {
-                    self.waiting = Waiting::Ready;
-                    self.staged = None;
-                }
-            (Waiting::Post(id), _)
-                if world.post_complete(*id) => {
-                    self.waiting = Waiting::Ready;
-                    self.staged = None;
-                }
+            (Waiting::Msg(id), _) if world.msg_arrived(*id) => {
+                self.waiting = Waiting::Ready;
+                self.staged = None;
+            }
+            (Waiting::Post(id), _) if world.post_complete(*id) => {
+                self.waiting = Waiting::Ready;
+                self.staged = None;
+            }
             (Waiting::Reqs(reqs), _) => {
                 let me = self.me;
                 reqs.retain(|r| !world.take_req(*r, me));
@@ -132,7 +128,13 @@ impl RankActor {
             _ => {} // spurious wake for a superseded condition
         }
         if was_blocked && matches!(self.waiting, Waiting::Ready) {
-            world.record_span(self.rank, self.blocked_at, now, self.block_kind, self.block_peer);
+            world.record_span(
+                self.rank,
+                self.blocked_at,
+                now,
+                self.block_kind,
+                self.block_peer,
+            );
         }
     }
 

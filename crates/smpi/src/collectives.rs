@@ -152,8 +152,14 @@ pub fn ring_allreduce(rank: u32, ranks: u32, bytes: u64) -> Vec<MpiOp> {
     let mut ops = Vec::with_capacity(6 * (ranks as usize - 1));
     for _phase in 0..2 {
         for _step in 1..ranks {
-            ops.push(MpiOp::Isend { dst: right, bytes: chunk });
-            ops.push(MpiOp::Recv { src: left, bytes: chunk });
+            ops.push(MpiOp::Isend {
+                dst: right,
+                bytes: chunk,
+            });
+            ops.push(MpiOp::Recv {
+                src: left,
+                bytes: chunk,
+            });
             ops.push(MpiOp::Wait);
         }
     }

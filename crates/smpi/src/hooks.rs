@@ -28,7 +28,12 @@ pub struct ComputePlan {
 impl ComputePlan {
     /// Total seconds this plan will take.
     pub fn seconds(&self) -> f64 {
-        self.extra_delay + if self.work > 0.0 { self.work / self.rate } else { 0.0 }
+        self.extra_delay
+            + if self.work > 0.0 {
+                self.work / self.rate
+            } else {
+                0.0
+            }
     }
 }
 

@@ -2,7 +2,7 @@
 
 use platform::{HostId, Platform};
 use simkernel::obs::{Metrics, Recorder, RunObservation, SpanLog};
-use simkernel::{ActorId, Sim, SimOutcome};
+use simkernel::{ActorId, Sim, SimOutcome, SimStep, Time};
 use workloads::OpSource;
 
 use crate::actor::{RankActor, TransportActor};
@@ -94,6 +94,34 @@ fn run_inner(
     hooks: Box<dyn ExecHooks>,
     recorder: Option<Box<dyn Recorder>>,
 ) -> Result<(SmpiResult, RunObservation), String> {
+    let mut run = prepare_smpi(platform, hosts, sources, cfg, hooks, recorder);
+    run.advance(Time::NEVER);
+    run.finalize()
+}
+
+/// A fully assembled SMPI simulation that has not run yet. Produced by
+/// [`prepare_smpi`]; drivers that interleave several simulations window
+/// by window (the parallel replay engine) call [`SmpiRun::advance`]
+/// repeatedly, then [`SmpiRun::finalize`]. `prepare` + one
+/// `advance(Time::NEVER)` + `finalize` is exactly [`run_smpi_observed`].
+pub struct SmpiRun {
+    sim: Sim<SmpiWorld>,
+    ranks: usize,
+    started: bool,
+}
+
+/// Assembles an SMPI simulation: world, pre-sized kernel, one
+/// [`RankActor`] per source, and the transport daemon. The optional
+/// `recorder` (e.g. a rank-mapped one for partitioned replay) receives
+/// span/flow observations with *local* rank ids `0..sources.len()`.
+pub fn prepare_smpi(
+    platform: &Platform,
+    hosts: &[HostId],
+    sources: Vec<Box<dyn OpSource>>,
+    cfg: SmpiConfig,
+    hooks: Box<dyn ExecHooks>,
+    recorder: Option<Box<dyn Recorder>>,
+) -> SmpiRun {
     let ranks = sources.len();
     assert!(ranks > 0, "no ranks to run");
     assert_eq!(hosts.len(), ranks, "one host per rank required");
@@ -114,54 +142,89 @@ fn run_inner(
     }
     let t = sim.spawn_daemon(Box::new(TransportActor));
     assert_eq!(t, transport);
-    match sim.run() {
-        SimOutcome::AllFinished => {}
-        SimOutcome::Deadlock(blocked) => {
-            return Err(format!(
-                "simulated execution deadlocked; blocked ranks: {:?}",
-                blocked.iter().map(|a| a.0).collect::<Vec<_>>()
-            ));
-        }
+    SmpiRun {
+        sim,
+        ranks,
+        started: false,
     }
-    let rank_times: Vec<f64> = (0..ranks)
-        .map(|r| sim.finish_time(ActorId(r as u32)).as_secs())
-        .collect();
-    let (live_msgs, live_posts, live_reqs) = sim.world.live_records();
-    debug_assert_eq!(
-        (live_msgs, live_posts, live_reqs),
-        (0, 0, 0),
-        "protocol records leaked"
-    );
-    let total_time = rank_times.iter().copied().fold(0.0, f64::max);
-    let stats = sim.world.stats;
-    let mut metrics = Metrics::new("smpi", ranks as u32);
-    metrics.simulated_time_s = total_time;
-    sim.kernel.observe(&mut metrics);
-    metrics.messages = stats.messages;
-    metrics.eager_messages = stats.eager_messages;
-    metrics.rendezvous_messages = stats.messages - stats.eager_messages;
-    metrics.bytes = stats.bytes;
-    metrics.collectives = stats.collective_participations;
-    metrics.match_depth_tracked = simkernel::profile_enabled();
-    metrics.max_unexpected_depth = stats.max_unexpected_depth;
-    metrics.max_posted_depth = stats.max_posted_depth;
-    let net = sim.world.net.stats();
-    metrics.flows_created = net.flows_opened;
-    metrics.flows_resolved = net.flows_closed;
-    metrics.sharing_resolves = net.resolves;
-    metrics.sharing_rate_updates = net.rate_updates;
-    let spans = sim.world.recorder.take().and_then(|r| r.finish());
-    metrics.recorder_counts = spans.as_ref().map(|l| l.counts());
-    Ok((
-        SmpiResult {
-            total_time,
-            rank_times,
-            compute_seconds: sim.world.compute_seconds.clone(),
-            stats,
-            events: sim.kernel.events_processed(),
-        },
-        RunObservation { metrics, spans },
-    ))
+}
+
+impl SmpiRun {
+    /// Restricts the run's network to `links` (see
+    /// [`netmodel::FlowNet::restrict_links`]): a partition-safety guard
+    /// for partitioned replay.
+    pub fn restrict_links(&mut self, links: &[platform::LinkId]) {
+        self.sim.world.net.restrict_links(links);
+    }
+
+    /// Advances simulated time up to `horizon`. Returns `true` once the
+    /// run has quiesced (finished or deadlocked — [`SmpiRun::finalize`]
+    /// tells them apart); quiescence is terminal, so further calls are
+    /// no-ops. The event order is identical for any horizon schedule.
+    pub fn advance(&mut self, horizon: Time) -> bool {
+        if !self.started {
+            self.sim.start();
+            self.started = true;
+        }
+        self.sim.step_until(horizon) == SimStep::Quiesced
+    }
+
+    /// Extracts the result and observation after the run has quiesced.
+    ///
+    /// # Errors
+    /// See [`run_smpi`].
+    pub fn finalize(mut self) -> Result<(SmpiResult, RunObservation), String> {
+        let ranks = self.ranks;
+        let sim = &mut self.sim;
+        match sim.outcome() {
+            SimOutcome::AllFinished => {}
+            SimOutcome::Deadlock(blocked) => {
+                return Err(format!(
+                    "simulated execution deadlocked; blocked ranks: {:?}",
+                    blocked.iter().map(|a| a.0).collect::<Vec<_>>()
+                ));
+            }
+        }
+        let rank_times: Vec<f64> = (0..ranks)
+            .map(|r| sim.finish_time(ActorId(r as u32)).as_secs())
+            .collect();
+        let (live_msgs, live_posts, live_reqs) = sim.world.live_records();
+        debug_assert_eq!(
+            (live_msgs, live_posts, live_reqs),
+            (0, 0, 0),
+            "protocol records leaked"
+        );
+        let total_time = rank_times.iter().copied().fold(0.0, f64::max);
+        let stats = sim.world.stats;
+        let mut metrics = Metrics::new("smpi", ranks as u32);
+        metrics.simulated_time_s = total_time;
+        sim.kernel.observe(&mut metrics);
+        metrics.messages = stats.messages;
+        metrics.eager_messages = stats.eager_messages;
+        metrics.rendezvous_messages = stats.messages - stats.eager_messages;
+        metrics.bytes = stats.bytes;
+        metrics.collectives = stats.collective_participations;
+        metrics.match_depth_tracked = simkernel::profile_enabled();
+        metrics.max_unexpected_depth = stats.max_unexpected_depth;
+        metrics.max_posted_depth = stats.max_posted_depth;
+        let net = sim.world.net.stats();
+        metrics.flows_created = net.flows_opened;
+        metrics.flows_resolved = net.flows_closed;
+        metrics.sharing_resolves = net.resolves;
+        metrics.sharing_rate_updates = net.rate_updates;
+        let spans = sim.world.recorder.take().and_then(|r| r.finish());
+        metrics.recorder_counts = spans.as_ref().map(|l| l.counts());
+        Ok((
+            SmpiResult {
+                total_time,
+                rank_times,
+                compute_seconds: sim.world.compute_seconds.clone(),
+                stats,
+                events: sim.kernel.events_processed(),
+            },
+            RunObservation { metrics, spans },
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -189,11 +252,7 @@ mod tests {
         (0..n).map(HostId).collect()
     }
 
-    fn run(
-        nodes: u32,
-        progs: Vec<Vec<MpiOp>>,
-        cfg: SmpiConfig,
-    ) -> SmpiResult {
+    fn run(nodes: u32, progs: Vec<Vec<MpiOp>>, cfg: SmpiConfig) -> SmpiResult {
         let p = tiny_platform(nodes);
         let n = progs.len() as u32;
         let sources: Vec<Box<dyn workloads::OpSource>> = progs
@@ -238,8 +297,14 @@ mod tests {
         // 1000 bytes over 1e8 B/s with 20µs path latency (2 NIC hops at
         // 10µs; raw factors).
         let progs = vec![
-            vec![MpiOp::Send { dst: 1, bytes: 1000 }],
-            vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+            vec![MpiOp::Send {
+                dst: 1,
+                bytes: 1000,
+            }],
+            vec![MpiOp::Recv {
+                src: 0,
+                bytes: 1000,
+            }],
         ];
         let r = run(2, progs, cfg_no_copy());
         let expect = 1000.0 / 1e8 + 20e-6;
@@ -262,8 +327,14 @@ mod tests {
             bytes_per_second: 1e9,
         });
         let progs = vec![
-            vec![MpiOp::Send { dst: 1, bytes: 1000 }],
-            vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+            vec![MpiOp::Send {
+                dst: 1,
+                bytes: 1000,
+            }],
+            vec![MpiOp::Recv {
+                src: 0,
+                bytes: 1000,
+            }],
         ];
         let r = run(2, progs, cfg);
         let copy = 1e-6 + 1000.0 / 1e9;
@@ -275,10 +346,16 @@ mod tests {
         // Receiver computes 1s first; the 1000-byte message has long
         // arrived; its recv completes with no extra delay.
         let progs = vec![
-            vec![MpiOp::Send { dst: 1, bytes: 1000 }],
+            vec![MpiOp::Send {
+                dst: 1,
+                bytes: 1000,
+            }],
             vec![
                 MpiOp::Compute(ComputeBlock::plain(1e9)),
-                MpiOp::Recv { src: 0, bytes: 1000 },
+                MpiOp::Recv {
+                    src: 0,
+                    bytes: 1000,
+                },
             ],
         ];
         let r = run(2, progs, cfg_no_copy());
@@ -355,7 +432,11 @@ mod tests {
         for t in &r.rank_times {
             assert!(*t >= 2.0, "rank finished at {t} before barrier release");
         }
-        assert!(r.total_time < 2.01, "barrier cost too high: {}", r.total_time);
+        assert!(
+            r.total_time < 2.01,
+            "barrier cost too high: {}",
+            r.total_time
+        );
     }
 
     #[test]
@@ -451,8 +532,14 @@ mod tests {
         // Both ranks on the same host: transfer is a memory copy.
         let p = tiny_platform(1);
         let progs = vec![
-            vec![MpiOp::Send { dst: 1, bytes: 1000 }],
-            vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+            vec![MpiOp::Send {
+                dst: 1,
+                bytes: 1000,
+            }],
+            vec![MpiOp::Recv {
+                src: 0,
+                bytes: 1000,
+            }],
         ];
         let sources: Vec<Box<dyn workloads::OpSource>> = progs
             .into_iter()
@@ -477,9 +564,15 @@ mod tests {
         let progs = vec![
             vec![
                 MpiOp::Compute(ComputeBlock::plain(1e9)),
-                MpiOp::Send { dst: 1, bytes: 1000 },
+                MpiOp::Send {
+                    dst: 1,
+                    bytes: 1000,
+                },
             ],
-            vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+            vec![MpiOp::Recv {
+                src: 0,
+                bytes: 1000,
+            }],
         ];
         let sources: Vec<Box<dyn workloads::OpSource>> = progs
             .into_iter()
@@ -507,9 +600,15 @@ mod tests {
         let progs = vec![
             vec![
                 MpiOp::Compute(ComputeBlock::plain(1e9)),
-                MpiOp::Send { dst: 1, bytes: 1000 },
+                MpiOp::Send {
+                    dst: 1,
+                    bytes: 1000,
+                },
             ],
-            vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+            vec![MpiOp::Recv {
+                src: 0,
+                bytes: 1000,
+            }],
         ];
         let sources: Vec<Box<dyn workloads::OpSource>> = progs
             .into_iter()
@@ -526,7 +625,10 @@ mod tests {
         .unwrap();
         assert_eq!(obs.metrics.engine, "smpi");
         assert_eq!(obs.metrics.ranks, 2);
-        assert_eq!(obs.metrics.simulated_time_s.to_bits(), r.total_time.to_bits());
+        assert_eq!(
+            obs.metrics.simulated_time_s.to_bits(),
+            r.total_time.to_bits()
+        );
         assert_eq!(obs.metrics.events_processed, r.events);
         assert_eq!(obs.metrics.messages, 1);
         assert_eq!(obs.metrics.eager_messages, 1);
@@ -546,8 +648,14 @@ mod tests {
         let p = tiny_platform(2);
         let mk = || {
             let progs = vec![
-                vec![MpiOp::Send { dst: 1, bytes: 1000 }],
-                vec![MpiOp::Recv { src: 0, bytes: 1000 }],
+                vec![MpiOp::Send {
+                    dst: 1,
+                    bytes: 1000,
+                }],
+                vec![MpiOp::Recv {
+                    src: 0,
+                    bytes: 1000,
+                }],
             ];
             progs
                 .into_iter()

@@ -65,10 +65,9 @@ impl Timeline {
                 let kind = match s.kind {
                     SpanKind::Compute => SegmentKind::Compute,
                     SpanKind::Overhead => SegmentKind::Overhead,
-                    SpanKind::Send
-                    | SpanKind::Recv
-                    | SpanKind::Wait
-                    | SpanKind::Collective => SegmentKind::Wait,
+                    SpanKind::Send | SpanKind::Recv | SpanKind::Wait | SpanKind::Collective => {
+                        SegmentKind::Wait
+                    }
                 };
                 t.record(rank, s.start, s.end, kind);
             }

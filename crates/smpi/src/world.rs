@@ -290,7 +290,10 @@ impl SmpiWorld {
             self.msgs.expect_mut(msg_id).matched_post = Some(post_id);
         } else {
             self.unexpected[chan].push_back(msg_id);
-            track_depth(&mut self.stats.max_unexpected_depth, self.unexpected[chan].len());
+            track_depth(
+                &mut self.stats.max_unexpected_depth,
+                self.unexpected[chan].len(),
+            );
             if let Some(r) = self.recorder.as_mut() {
                 r.count(Counter::UnexpectedEnqueued, 1);
             }
@@ -449,7 +452,14 @@ impl SmpiWorld {
     }
 
     /// Records a per-rank span when recording is enabled.
-    pub fn record_span(&mut self, rank: u32, start: f64, end: f64, kind: SpanKind, peer: Option<u32>) {
+    pub fn record_span(
+        &mut self,
+        rank: u32,
+        start: f64,
+        end: f64,
+        kind: SpanKind,
+        peer: Option<u32>,
+    ) {
         if let Some(r) = self.recorder.as_mut() {
             r.span(rank, start, end, kind, peer);
         }

@@ -18,8 +18,16 @@ use workloads::{ComputeBlock, MpiOp, OpSource, VecSource};
 
 #[derive(Debug, Clone)]
 enum Event {
-    Message { src: u8, dst: u8, bytes: u32, blocking_send: bool },
-    Compute { rank: u8, instr: u32 },
+    Message {
+        src: u8,
+        dst: u8,
+        bytes: u32,
+        blocking_send: bool,
+    },
+    Compute {
+        rank: u8,
+        instr: u32,
+    },
     Collective(u8),
 }
 
@@ -38,7 +46,12 @@ fn build_programs(ranks: u8, events: &[Event]) -> Vec<Vec<MpiOp>> {
     let mut progs: Vec<Vec<MpiOp>> = (0..ranks).map(|_| vec![MpiOp::Init]).collect();
     for e in events {
         match e {
-            Event::Message { src, dst, bytes, blocking_send } => {
+            Event::Message {
+                src,
+                dst,
+                bytes,
+                blocking_send,
+            } => {
                 if src == dst {
                     continue;
                 }
@@ -47,11 +60,20 @@ fn build_programs(ranks: u8, events: &[Event]) -> Vec<Vec<MpiOp>> {
                 // arbitrary orders; real applications use isend there,
                 // and so does the generator.
                 if *blocking_send && bytes < 64 * 1024 {
-                    progs[*src as usize].push(MpiOp::Send { dst: u32::from(*dst), bytes });
+                    progs[*src as usize].push(MpiOp::Send {
+                        dst: u32::from(*dst),
+                        bytes,
+                    });
                 } else {
-                    progs[*src as usize].push(MpiOp::Isend { dst: u32::from(*dst), bytes });
+                    progs[*src as usize].push(MpiOp::Isend {
+                        dst: u32::from(*dst),
+                        bytes,
+                    });
                 }
-                progs[*dst as usize].push(MpiOp::Irecv { src: u32::from(*src), bytes });
+                progs[*dst as usize].push(MpiOp::Irecv {
+                    src: u32::from(*src),
+                    bytes,
+                });
             }
             Event::Compute { rank, instr } => {
                 progs[*rank as usize].push(MpiOp::Compute(ComputeBlock::plain(f64::from(*instr))));
@@ -61,7 +83,10 @@ fn build_programs(ranks: u8, events: &[Event]) -> Vec<Vec<MpiOp>> {
                     0 => MpiOp::Barrier,
                     1 => MpiOp::Bcast { bytes: 64, root: 0 },
                     2 => MpiOp::Allreduce { bytes: 40 },
-                    3 => MpiOp::Reduce { bytes: 128, root: u32::from(ranks - 1) },
+                    3 => MpiOp::Reduce {
+                        bytes: 128,
+                        root: u32::from(ranks - 1),
+                    },
                     _ => MpiOp::Alltoall { bytes: 256 },
                 };
                 for p in progs.iter_mut() {
@@ -113,13 +138,21 @@ fn clamp_events(ranks: u8, events: Vec<Event>) -> Vec<Event> {
     events
         .into_iter()
         .map(|e| match e {
-            Event::Message { src, dst, bytes, blocking_send } => Event::Message {
+            Event::Message {
+                src,
+                dst,
+                bytes,
+                blocking_send,
+            } => Event::Message {
                 src: src % ranks,
                 dst: dst % ranks,
                 bytes,
                 blocking_send,
             },
-            Event::Compute { rank, instr } => Event::Compute { rank: rank % ranks, instr },
+            Event::Compute { rank, instr } => Event::Compute {
+                rank: rank % ranks,
+                instr,
+            },
             c => c,
         })
         .collect()

@@ -128,7 +128,10 @@ impl std::fmt::Display for BinError {
             BinError::BadRank(v) => write!(f, "rank {v} does not fit 32 bits"),
             BinError::BadCompute => write!(f, "compute amount out of range"),
             BinError::BlockLengthMismatch { rank } => {
-                write!(f, "rank {rank} block length disagrees with its action count")
+                write!(
+                    f,
+                    "rank {rank} block length disagrees with its action count"
+                )
             }
             BinError::BadTable(msg) => write!(f, "bad block table: {msg}"),
         }
@@ -503,7 +506,12 @@ pub fn verify_checksum(bytes: &[u8], header: &Header) -> Result<(), BinError> {
 // Whole-trace encode / decode
 // ----------------------------------------------------------------------
 
-fn header_bytes(trace_ranks: u32, blocks: &[Block], sig: Option<(u64, u64)>, checksum: u64) -> Vec<u8> {
+fn header_bytes(
+    trace_ranks: u32,
+    blocks: &[Block],
+    sig: Option<(u64, u64)>,
+    checksum: u64,
+) -> Vec<u8> {
     let (src_len, src_mtime) = sig.unwrap_or((0, 0));
     let mut out = Vec::with_capacity(HEADER_FIXED + TABLE_ENTRY * blocks.len());
     out.extend_from_slice(MAGIC);
@@ -650,7 +658,10 @@ pub fn open_cursors(path: &Path, ranks: u32) -> Result<Vec<Box<dyn ActionSource>
     if header.ranks != ranks {
         return Err(FileError::Description(
             path.to_path_buf(),
-            format!("binary trace holds {} ranks, {ranks} requested", header.ranks),
+            format!(
+                "binary trace holds {} ranks, {ranks} requested",
+                header.ranks
+            ),
         ));
     }
     verify_checksum(&bytes, &header).map_err(|e| FileError::Bin(path.to_path_buf(), e))?;
@@ -720,8 +731,20 @@ mod tests {
         for r in 0..3u32 {
             t.push(Rank(r), Action::Init);
             t.push(Rank(r), Action::Compute { amount: 956_140.0 });
-            t.push(Rank(r), Action::Isend { dst: Rank((r + 1) % 3), bytes: 1240 });
-            t.push(Rank(r), Action::Irecv { src: Rank((r + 2) % 3), bytes: 1240 });
+            t.push(
+                Rank(r),
+                Action::Isend {
+                    dst: Rank((r + 1) % 3),
+                    bytes: 1240,
+                },
+            );
+            t.push(
+                Rank(r),
+                Action::Irecv {
+                    src: Rank((r + 2) % 3),
+                    bytes: 1240,
+                },
+            );
             t.push(Rank(r), Action::WaitAll);
             t.push(Rank(r), Action::Compute { amount: 1.5 });
             t.push(Rank(r), Action::Allreduce { bytes: 40 });
@@ -744,20 +767,41 @@ mod tests {
             Action::Finalize,
             Action::Compute { amount: 0.0 },
             Action::Compute { amount: 8.999e15 },
-            Action::Compute { amount: 9.1e15 },  // above the int threshold
+            Action::Compute { amount: 9.1e15 }, // above the int threshold
             Action::Compute { amount: 0.125 },
-            Action::Send { dst: Rank(0), bytes: 0 },
-            Action::Isend { dst: Rank(u32::MAX), bytes: u64::MAX },
-            Action::Recv { src: Rank(1), bytes: 300 },
-            Action::Irecv { src: Rank(2), bytes: 400 },
+            Action::Send {
+                dst: Rank(0),
+                bytes: 0,
+            },
+            Action::Isend {
+                dst: Rank(u32::MAX),
+                bytes: u64::MAX,
+            },
+            Action::Recv {
+                src: Rank(1),
+                bytes: 300,
+            },
+            Action::Irecv {
+                src: Rank(2),
+                bytes: 400,
+            },
             Action::Wait,
             Action::WaitAll,
             Action::Barrier,
-            Action::Bcast { bytes: 8, root: Rank(0) },
-            Action::Reduce { bytes: 16, root: Rank(1) },
+            Action::Bcast {
+                bytes: 8,
+                root: Rank(0),
+            },
+            Action::Reduce {
+                bytes: 16,
+                root: Rank(1),
+            },
             Action::Allreduce { bytes: 40 },
             Action::Alltoall { bytes: 64 },
-            Action::Gather { bytes: 32, root: Rank(2) },
+            Action::Gather {
+                bytes: 32,
+                root: Rank(2),
+            },
             Action::Allgather { bytes: 24 },
         ];
         let mut t = Trace::new(1);
@@ -793,7 +837,11 @@ mod tests {
         let bytes = encode(&sample());
         for cut in 0..bytes.len() {
             let err = decode(&bytes[..cut]);
-            assert!(err.is_err(), "decode of {cut}/{} bytes must fail", bytes.len());
+            assert!(
+                err.is_err(),
+                "decode of {cut}/{} bytes must fail",
+                bytes.len()
+            );
         }
     }
 
@@ -840,7 +888,16 @@ mod tests {
 
     #[test]
     fn varint_roundtrips_at_boundaries() {
-        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::from(u32::MAX), u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             put_varint(&mut buf, v);
             let mut pos = 0;
@@ -873,7 +930,10 @@ mod tests {
         assert_eq!(read_file(&p).unwrap(), t);
         let mut cursors = open_cursors(&p, 3).unwrap();
         for (r, c) in cursors.iter_mut().enumerate() {
-            assert_eq!(c.remaining_hint(), Some(t.actions(Rank(r as u32)).len() as u64));
+            assert_eq!(
+                c.remaining_hint(),
+                Some(t.actions(Rank(r as u32)).len() as u64)
+            );
             let mut got = Vec::new();
             while let Some(a) = c.next_action().unwrap() {
                 got.push(a);
@@ -906,25 +966,42 @@ mod proptests {
             Just(Action::Init),
             Just(Action::Finalize),
             (0u64..=1u64 << 53).prop_map(|a| Action::Compute { amount: a as f64 }),
-            (0u64..=1u64 << 60).prop_map(|a| Action::Compute { amount: a as f64 / 8.0 }),
-            (r.clone(), 0u64..=u64::MAX)
-                .prop_map(|(d, b)| Action::Send { dst: Rank(d), bytes: b }),
-            (r.clone(), 0u64..=u64::MAX)
-                .prop_map(|(d, b)| Action::Isend { dst: Rank(d), bytes: b }),
-            (r.clone(), 0u64..=u64::MAX)
-                .prop_map(|(s, b)| Action::Recv { src: Rank(s), bytes: b }),
-            (r.clone(), 0u64..=u64::MAX)
-                .prop_map(|(s, b)| Action::Irecv { src: Rank(s), bytes: b }),
+            (0u64..=1u64 << 60).prop_map(|a| Action::Compute {
+                amount: a as f64 / 8.0
+            }),
+            (r.clone(), 0u64..=u64::MAX).prop_map(|(d, b)| Action::Send {
+                dst: Rank(d),
+                bytes: b
+            }),
+            (r.clone(), 0u64..=u64::MAX).prop_map(|(d, b)| Action::Isend {
+                dst: Rank(d),
+                bytes: b
+            }),
+            (r.clone(), 0u64..=u64::MAX).prop_map(|(s, b)| Action::Recv {
+                src: Rank(s),
+                bytes: b
+            }),
+            (r.clone(), 0u64..=u64::MAX).prop_map(|(s, b)| Action::Irecv {
+                src: Rank(s),
+                bytes: b
+            }),
             Just(Action::Wait),
             Just(Action::WaitAll),
             Just(Action::Barrier),
-            (0u64..1 << 40, r.clone())
-                .prop_map(|(b, ro)| Action::Bcast { bytes: b, root: Rank(ro) }),
-            (0u64..1 << 40, r.clone())
-                .prop_map(|(b, ro)| Action::Reduce { bytes: b, root: Rank(ro) }),
+            (0u64..1 << 40, r.clone()).prop_map(|(b, ro)| Action::Bcast {
+                bytes: b,
+                root: Rank(ro)
+            }),
+            (0u64..1 << 40, r.clone()).prop_map(|(b, ro)| Action::Reduce {
+                bytes: b,
+                root: Rank(ro)
+            }),
             (0u64..1 << 40).prop_map(|b| Action::Allreduce { bytes: b }),
             (0u64..1 << 40).prop_map(|b| Action::Alltoall { bytes: b }),
-            (0u64..1 << 40, r).prop_map(|(b, ro)| Action::Gather { bytes: b, root: Rank(ro) }),
+            (0u64..1 << 40, r).prop_map(|(b, ro)| Action::Gather {
+                bytes: b,
+                root: Rank(ro)
+            }),
             (0u64..1 << 40).prop_map(|b| Action::Allgather { bytes: b }),
         ]
     }

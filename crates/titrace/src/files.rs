@@ -78,8 +78,7 @@ pub fn write_merged(trace: &Trace, path: &Path) -> Result<(), FileError> {
 pub fn write_split(trace: &Trace, dir: &Path, stem: &str) -> Result<PathBuf, FileError> {
     fs::create_dir_all(dir).map_err(|e| FileError::Io(dir.to_path_buf(), e))?;
     let desc_path = dir.join(format!("{stem}.desc"));
-    let mut desc = fs::File::create(&desc_path)
-        .map_err(|e| FileError::Io(desc_path.clone(), e))?;
+    let mut desc = fs::File::create(&desc_path).map_err(|e| FileError::Io(desc_path.clone(), e))?;
     for r in 0..trace.ranks() {
         let name = format!("{stem}.rank{r}.trace");
         let path = dir.join(&name);
@@ -114,8 +113,7 @@ pub fn read_merged(path: &Path, ranks: u32) -> Result<Trace, FileError> {
 /// I/O failures, mixed styles, duplicate/out-of-range/non-contiguous
 /// rank assignments, duplicate paths, or an entry-count mismatch.
 pub fn description_entries(path: &Path, ranks: u32) -> Result<Vec<(Rank, PathBuf)>, FileError> {
-    let desc_err =
-        |msg: String| FileError::Description(path.to_path_buf(), msg);
+    let desc_err = |msg: String| FileError::Description(path.to_path_buf(), msg);
     let text = fs::read_to_string(path).map_err(|e| FileError::Io(path.to_path_buf(), e))?;
     let base = path.parent().unwrap_or(Path::new("."));
     let mut explicit: Vec<(Rank, &str)> = Vec::new();
@@ -187,10 +185,8 @@ pub fn description_entries(path: &Path, ranks: u32) -> Result<Vec<(Rank, PathBuf
                 "rank assignments are not contiguous: rank p{missing} has no trace file"
             )));
         }
-        let mut entries: Vec<(Rank, PathBuf)> = explicit
-            .into_iter()
-            .map(|(r, p)| (r, resolve(p)))
-            .collect();
+        let mut entries: Vec<(Rank, PathBuf)> =
+            explicit.into_iter().map(|(r, p)| (r, resolve(p))).collect();
         entries.sort_by_key(|(r, _)| *r);
         entries
     };
@@ -288,7 +284,12 @@ mod tests {
         let mut t = Trace::new(3);
         for r in 0..3u32 {
             t.push(Rank(r), Action::Init);
-            t.push(Rank(r), Action::Compute { amount: 100.0 * f64::from(r + 1) });
+            t.push(
+                Rank(r),
+                Action::Compute {
+                    amount: 100.0 * f64::from(r + 1),
+                },
+            );
             t.push(Rank(r), Action::Allreduce { bytes: 8 });
             t.push(Rank(r), Action::Finalize);
         }

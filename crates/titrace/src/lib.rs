@@ -36,8 +36,8 @@ pub mod validate;
 pub mod write;
 
 pub use parse::ParseError;
-pub use stream::{ActionSource, SourceError, TraceInput};
 pub use stats::TraceStats;
+pub use stream::{ActionSource, SourceError, TraceInput};
 pub use validate::ValidationError;
 
 /// An MPI process index within a trace.

@@ -22,7 +22,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -123,10 +127,19 @@ mod tests {
 
     #[test]
     fn per_rank_fragments() {
-        let frags = ["p0 init\np0 send p1 8\np0 finalize\n", "p1 init\np1 recv p0 8\np1 finalize\n"];
+        let frags = [
+            "p0 init\np0 send p1 8\np0 finalize\n",
+            "p1 init\np1 recv p0 8\np1 finalize\n",
+        ];
         let t = parse_per_rank(&frags).unwrap();
         assert_eq!(t.ranks(), 2);
-        assert_eq!(t.actions(Rank(1))[1], Action::Recv { src: Rank(0), bytes: 8 });
+        assert_eq!(
+            t.actions(Rank(1))[1],
+            Action::Recv {
+                src: Rank(0),
+                bytes: 8
+            }
+        );
     }
 
     #[test]
@@ -141,18 +154,39 @@ mod tests {
         let actions = vec![
             Action::Init,
             Action::Compute { amount: 12345.0 },
-            Action::Send { dst: Rank(1), bytes: 100 },
-            Action::Isend { dst: Rank(2), bytes: 200 },
-            Action::Recv { src: Rank(1), bytes: 300 },
-            Action::Irecv { src: Rank(2), bytes: 400 },
+            Action::Send {
+                dst: Rank(1),
+                bytes: 100,
+            },
+            Action::Isend {
+                dst: Rank(2),
+                bytes: 200,
+            },
+            Action::Recv {
+                src: Rank(1),
+                bytes: 300,
+            },
+            Action::Irecv {
+                src: Rank(2),
+                bytes: 400,
+            },
             Action::Wait,
             Action::WaitAll,
             Action::Barrier,
-            Action::Bcast { bytes: 8, root: Rank(0) },
-            Action::Reduce { bytes: 16, root: Rank(1) },
+            Action::Bcast {
+                bytes: 8,
+                root: Rank(0),
+            },
+            Action::Reduce {
+                bytes: 16,
+                root: Rank(1),
+            },
             Action::Allreduce { bytes: 40 },
             Action::Alltoall { bytes: 64 },
-            Action::Gather { bytes: 32, root: Rank(2) },
+            Action::Gather {
+                bytes: 32,
+                root: Rank(2),
+            },
             Action::Allgather { bytes: 24 },
             Action::Finalize,
         ];
@@ -177,24 +211,39 @@ mod proptests {
             Just(Action::Init),
             Just(Action::Finalize),
             (0u64..=1u64 << 48).prop_map(|a| Action::Compute { amount: a as f64 }),
-            (r.clone(), 0u64..1 << 30)
-                .prop_map(|(d, b)| Action::Send { dst: Rank(d), bytes: b }),
-            (r.clone(), 0u64..1 << 30)
-                .prop_map(|(d, b)| Action::Isend { dst: Rank(d), bytes: b }),
-            (r.clone(), 0u64..1 << 30)
-                .prop_map(|(s, b)| Action::Recv { src: Rank(s), bytes: b }),
-            (r.clone(), 0u64..1 << 30)
-                .prop_map(|(s, b)| Action::Irecv { src: Rank(s), bytes: b }),
+            (r.clone(), 0u64..1 << 30).prop_map(|(d, b)| Action::Send {
+                dst: Rank(d),
+                bytes: b
+            }),
+            (r.clone(), 0u64..1 << 30).prop_map(|(d, b)| Action::Isend {
+                dst: Rank(d),
+                bytes: b
+            }),
+            (r.clone(), 0u64..1 << 30).prop_map(|(s, b)| Action::Recv {
+                src: Rank(s),
+                bytes: b
+            }),
+            (r.clone(), 0u64..1 << 30).prop_map(|(s, b)| Action::Irecv {
+                src: Rank(s),
+                bytes: b
+            }),
             Just(Action::Wait),
             Just(Action::WaitAll),
             Just(Action::Barrier),
-            (0u64..1 << 20, r.clone())
-                .prop_map(|(b, ro)| Action::Bcast { bytes: b, root: Rank(ro) }),
-            (0u64..1 << 20, r.clone())
-                .prop_map(|(b, ro)| Action::Reduce { bytes: b, root: Rank(ro) }),
+            (0u64..1 << 20, r.clone()).prop_map(|(b, ro)| Action::Bcast {
+                bytes: b,
+                root: Rank(ro)
+            }),
+            (0u64..1 << 20, r.clone()).prop_map(|(b, ro)| Action::Reduce {
+                bytes: b,
+                root: Rank(ro)
+            }),
             (0u64..1 << 20).prop_map(|b| Action::Allreduce { bytes: b }),
             (0u64..1 << 20).prop_map(|b| Action::Alltoall { bytes: b }),
-            (0u64..1 << 20, r).prop_map(|(b, ro)| Action::Gather { bytes: b, root: Rank(ro) }),
+            (0u64..1 << 20, r).prop_map(|(b, ro)| Action::Gather {
+                bytes: b,
+                root: Rank(ro)
+            }),
             (0u64..1 << 20).prop_map(|b| Action::Allgather { bytes: b }),
         ]
     }

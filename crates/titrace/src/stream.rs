@@ -67,8 +67,12 @@ impl<'a> Iterator for Tokens<'a> {
 /// A token as UTF-8 text (tokens are almost always pure ASCII; the
 /// conversion validates without copying).
 fn token_str<'a>(tok: &'a [u8], line: usize, what: &str) -> Result<&'a str, ParseError> {
-    std::str::from_utf8(tok)
-        .map_err(|_| err(line, format!("invalid {what} `{}`", String::from_utf8_lossy(tok))))
+    std::str::from_utf8(tok).map_err(|_| {
+        err(
+            line,
+            format!("invalid {what} `{}`", String::from_utf8_lossy(tok)),
+        )
+    })
 }
 
 fn parse_rank_tok(tok: &[u8], line: usize) -> Result<Rank, ParseError> {
@@ -469,8 +473,7 @@ impl TextFileSource {
     /// # Errors
     /// Propagates the open failure.
     pub fn open(path: &Path, rank: Rank) -> Result<TextFileSource, SourceError> {
-        let file = std::fs::File::open(path)
-            .map_err(|e| SourceError::Io(path.to_path_buf(), e))?;
+        let file = std::fs::File::open(path).map_err(|e| SourceError::Io(path.to_path_buf(), e))?;
         Ok(TextFileSource {
             path: path.to_path_buf(),
             reader: io::BufReader::new(file),
@@ -539,8 +542,7 @@ impl TraceInput {
     pub fn detect(path: &Path) -> Result<TraceInput, FileError> {
         use std::io::Read;
         let mut head = [0u8; 4];
-        let mut f = std::fs::File::open(path)
-            .map_err(|e| FileError::Io(path.to_path_buf(), e))?;
+        let mut f = std::fs::File::open(path).map_err(|e| FileError::Io(path.to_path_buf(), e))?;
         let n = f
             .read(&mut head)
             .map_err(|e| FileError::Io(path.to_path_buf(), e))?;
@@ -588,10 +590,7 @@ pub fn open_sources(
                         .map(|s| Box::new(s) as Box<dyn ActionSource>)
                         .map_err(|e| match e {
                             SourceError::Io(p, e) => FileError::Io(p, e),
-                            other => FileError::Description(
-                                path.to_path_buf(),
-                                other.to_string(),
-                            ),
+                            other => FileError::Description(path.to_path_buf(), other.to_string()),
                         })
                 })
                 .collect()
@@ -631,7 +630,9 @@ pub fn load_merged(path: &Path, ranks: u32) -> Result<Trace, FileError> {
 /// The side-car cache file of a text trace: `<name>.titb` appended to
 /// the full file name (`app.trace` → `app.trace.titb`).
 pub fn sidecar_path(path: &Path) -> PathBuf {
-    let mut name = path.file_name().map_or_else(Default::default, |n| n.to_os_string());
+    let mut name = path
+        .file_name()
+        .map_or_else(Default::default, |n| n.to_os_string());
     name.push(".titb");
     path.with_file_name(name)
 }
@@ -677,8 +678,7 @@ pub fn load_merged_cached(
     ranks: u32,
     cache: bool,
 ) -> Result<(Trace, CacheOutcome), FileError> {
-    let sig = source_signature(path)
-        .map_err(|e| FileError::Io(path.to_path_buf(), e))?;
+    let sig = source_signature(path).map_err(|e| FileError::Io(path.to_path_buf(), e))?;
     let sidecar = sidecar_path(path);
     if cache {
         if let Ok(bytes) = std::fs::read(&sidecar) {
@@ -712,7 +712,12 @@ mod tests {
         for r in 0..ranks {
             t.push(Rank(r), Action::Init);
             for i in 0..per_rank {
-                t.push(Rank(r), Action::Compute { amount: (i * 10 + r as usize) as f64 });
+                t.push(
+                    Rank(r),
+                    Action::Compute {
+                        amount: (i * 10 + r as usize) as f64,
+                    },
+                );
                 t.push(
                     Rank(r),
                     Action::Send {

@@ -134,14 +134,12 @@ fn check_channels(trace: &Trace, ranks: u32, errors: &mut Vec<ValidationError>) 
     for (rank, actions) in trace.iter() {
         for a in actions {
             match a {
-                Action::Send { dst, bytes } | Action::Isend { dst, bytes }
-                    if dst.0 < ranks => {
-                        sent[rank.as_usize() * n + dst.as_usize()].push(*bytes);
-                    }
-                Action::Recv { src, bytes } | Action::Irecv { src, bytes }
-                    if src.0 < ranks => {
-                        received[src.as_usize() * n + rank.as_usize()].push(*bytes);
-                    }
+                Action::Send { dst, bytes } | Action::Isend { dst, bytes } if dst.0 < ranks => {
+                    sent[rank.as_usize() * n + dst.as_usize()].push(*bytes);
+                }
+                Action::Recv { src, bytes } | Action::Irecv { src, bytes } if src.0 < ranks => {
+                    received[src.as_usize() * n + rank.as_usize()].push(*bytes);
+                }
                 _ => {}
             }
         }
@@ -261,12 +259,36 @@ mod tests {
     fn ping_pong() -> Trace {
         let mut t = Trace::new(2);
         t.push(Rank(0), Action::Init);
-        t.push(Rank(0), Action::Send { dst: Rank(1), bytes: 64 });
-        t.push(Rank(0), Action::Recv { src: Rank(1), bytes: 64 });
+        t.push(
+            Rank(0),
+            Action::Send {
+                dst: Rank(1),
+                bytes: 64,
+            },
+        );
+        t.push(
+            Rank(0),
+            Action::Recv {
+                src: Rank(1),
+                bytes: 64,
+            },
+        );
         t.push(Rank(0), Action::Finalize);
         t.push(Rank(1), Action::Init);
-        t.push(Rank(1), Action::Recv { src: Rank(0), bytes: 64 });
-        t.push(Rank(1), Action::Send { dst: Rank(0), bytes: 64 });
+        t.push(
+            Rank(1),
+            Action::Recv {
+                src: Rank(0),
+                bytes: 64,
+            },
+        );
+        t.push(
+            Rank(1),
+            Action::Send {
+                dst: Rank(0),
+                bytes: 64,
+            },
+        );
         t.push(Rank(1), Action::Finalize);
         t
     }
@@ -279,8 +301,13 @@ mod tests {
     #[test]
     fn detects_unmatched_send() {
         let mut t = ping_pong();
-        t.actions_mut(Rank(0))
-            .insert(3, Action::Send { dst: Rank(1), bytes: 8 });
+        t.actions_mut(Rank(0)).insert(
+            3,
+            Action::Send {
+                dst: Rank(1),
+                bytes: 8,
+            },
+        );
         let errs = validate(&t);
         assert!(errs
             .iter()
@@ -292,7 +319,10 @@ mod tests {
         let mut t = ping_pong();
         // Corrupt the receive size.
         let a = &mut t.actions_mut(Rank(1))[1];
-        *a = Action::Recv { src: Rank(0), bytes: 63 };
+        *a = Action::Recv {
+            src: Rank(0),
+            bytes: 63,
+        };
         let errs = validate(&t);
         assert!(errs.iter().any(|e| matches!(
             e,
@@ -303,7 +333,13 @@ mod tests {
     #[test]
     fn detects_self_message() {
         let mut t = Trace::new(1);
-        t.push(Rank(0), Action::Send { dst: Rank(0), bytes: 1 });
+        t.push(
+            Rank(0),
+            Action::Send {
+                dst: Rank(0),
+                bytes: 1,
+            },
+        );
         let errs = validate(&t);
         assert!(errs
             .iter()
@@ -313,7 +349,13 @@ mod tests {
     #[test]
     fn detects_rank_out_of_range() {
         let mut t = Trace::new(2);
-        t.push(Rank(0), Action::Send { dst: Rank(7), bytes: 1 });
+        t.push(
+            Rank(0),
+            Action::Send {
+                dst: Rank(7),
+                bytes: 1,
+            },
+        );
         let errs = validate(&t);
         assert!(errs
             .iter()
@@ -333,8 +375,20 @@ mod tests {
     #[test]
     fn detects_dangling_request() {
         let mut t = Trace::new(2);
-        t.push(Rank(0), Action::Isend { dst: Rank(1), bytes: 4 });
-        t.push(Rank(1), Action::Recv { src: Rank(0), bytes: 4 });
+        t.push(
+            Rank(0),
+            Action::Isend {
+                dst: Rank(1),
+                bytes: 4,
+            },
+        );
+        t.push(
+            Rank(1),
+            Action::Recv {
+                src: Rank(0),
+                bytes: 4,
+            },
+        );
         let errs = validate(&t);
         assert!(errs.iter().any(|e| matches!(
             e,
@@ -345,11 +399,35 @@ mod tests {
     #[test]
     fn waitall_clears_pending() {
         let mut t = Trace::new(2);
-        t.push(Rank(0), Action::Isend { dst: Rank(1), bytes: 4 });
-        t.push(Rank(0), Action::Isend { dst: Rank(1), bytes: 4 });
+        t.push(
+            Rank(0),
+            Action::Isend {
+                dst: Rank(1),
+                bytes: 4,
+            },
+        );
+        t.push(
+            Rank(0),
+            Action::Isend {
+                dst: Rank(1),
+                bytes: 4,
+            },
+        );
         t.push(Rank(0), Action::WaitAll);
-        t.push(Rank(1), Action::Irecv { src: Rank(0), bytes: 4 });
-        t.push(Rank(1), Action::Irecv { src: Rank(0), bytes: 4 });
+        t.push(
+            Rank(1),
+            Action::Irecv {
+                src: Rank(0),
+                bytes: 4,
+            },
+        );
+        t.push(
+            Rank(1),
+            Action::Irecv {
+                src: Rank(0),
+                bytes: 4,
+            },
+        );
         t.push(Rank(1), Action::WaitAll);
         assert!(is_valid(&t));
     }

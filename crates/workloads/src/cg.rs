@@ -151,7 +151,11 @@ mod tests {
     #[test]
     fn trace_is_valid() {
         let t = crate::exact_trace(cfg().sources());
-        assert!(titrace::validate::is_valid(&t), "{:?}", titrace::validate::validate(&t));
+        assert!(
+            titrace::validate::is_valid(&t),
+            "{:?}",
+            titrace::validate::validate(&t)
+        );
     }
 
     #[test]

@@ -314,7 +314,10 @@ mod tests {
         let nz = 12u64;
         // Rank 5 is interior (row 1, col 1) on the 4x4 grid.
         let ops = collect_ops(cfg.rank_source(5));
-        let sends = ops.iter().filter(|o| matches!(o, MpiOp::Send { .. })).count() as u64;
+        let sends = ops
+            .iter()
+            .filter(|o| matches!(o, MpiOp::Send { .. }))
+            .count() as u64;
         // per step: 4 exchange sends + lower (2 per plane) + upper (2 per
         // plane) = 4 + 4nz
         assert_eq!(sends, 2 * (4 + 4 * nz));

@@ -111,7 +111,10 @@ pub struct LuConfig {
 impl LuConfig {
     /// An instance with the official step count (e.g. "B-64").
     pub fn new(class: LuClass, procs: u32) -> LuConfig {
-        assert!(procs.is_power_of_two(), "LU requires a power-of-two process count");
+        assert!(
+            procs.is_power_of_two(),
+            "LU requires a power-of-two process count"
+        );
         LuConfig {
             class,
             procs,
@@ -175,7 +178,10 @@ impl LuConfig {
 
     /// Largest per-rank working set of the instance.
     pub fn max_working_set(&self) -> u64 {
-        (0..self.procs).map(|r| self.working_set(r)).max().unwrap_or(0)
+        (0..self.procs)
+            .map(|r| self.working_set(r))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Neighbour rank in each direction, if any: `(north, south, west,
@@ -331,8 +337,7 @@ mod tests {
     #[test]
     fn b8_instruction_volume_matches_paper() {
         let cfg = LuConfig::new(LuClass::B, 8);
-        let mean: f64 =
-            (0..8).map(|r| cfg.rank_instructions(r)).sum::<f64>() / 8.0;
+        let mean: f64 = (0..8).map(|r| cfg.rank_instructions(r)).sum::<f64>() / 8.0;
         let rel = (mean - 1.70e11).abs() / 1.70e11;
         assert!(rel < 0.02, "B-8 mean instructions {mean:.3e}");
     }

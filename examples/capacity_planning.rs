@@ -78,7 +78,9 @@ fn main() {
     }
     match best {
         Some((price, name, t)) => {
-            println!("\ncheapest configuration meeting the target: {name} ({price:.0} units, {t:.3}s)");
+            println!(
+                "\ncheapest configuration meeting the target: {name} ({price:.0} units, {t:.3}s)"
+            );
         }
         None => println!("\nno candidate meets the {target_seconds}s target"),
     }

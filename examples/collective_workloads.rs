@@ -70,9 +70,8 @@ fn report(
     let real = testbed
         .run(truth_sources, Instrumentation::None, CompilerOpt::O3)
         .expect("emulation failed");
-    let trace = Arc::new(
-        acquire(trace_sources, Instrumentation::Minimal, CompilerOpt::O3, 5).trace,
-    );
+    let trace =
+        Arc::new(acquire(trace_sources, Instrumentation::Minimal, CompilerOpt::O3, 5).trace);
     for (name, config) in [
         ("legacy/MSG", ReplayConfig::legacy(rate)),
         ("improved/SMPI", ReplayConfig::improved(rate)),

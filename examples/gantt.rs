@@ -39,7 +39,10 @@ fn main() {
     print!("{}", timeline.render(100, result.total_time));
 
     println!("\nper-rank breakdown:");
-    println!("{:<6}{:>12}{:>12}{:>12}{:>10}", "rank", "compute(s)", "wait(s)", "overhead(s)", "wait %");
+    println!(
+        "{:<6}{:>12}{:>12}{:>12}{:>10}",
+        "rank", "compute(s)", "wait(s)", "overhead(s)", "wait %"
+    );
     for r in 0..8 {
         let c = timeline.total(r, SegmentKind::Compute);
         let w = timeline.total(r, SegmentKind::Wait);

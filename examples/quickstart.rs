@@ -23,7 +23,11 @@ fn main() {
     // paper, this is the real machine; here the emulator stands in.)
     // ------------------------------------------------------------------
     let testbed = Testbed::bordereau();
-    println!("platform: {} ({} nodes)", testbed.platform.name, testbed.platform.host_count());
+    println!(
+        "platform: {} ({} nodes)",
+        testbed.platform.name,
+        testbed.platform.host_count()
+    );
 
     // ------------------------------------------------------------------
     // Step 1 — acquire a time-independent trace with the minimal
@@ -74,7 +78,10 @@ fn main() {
     let trace = Arc::new(acq.trace);
     let config = ReplayConfig::improved(calibration.rate_for(&instance));
     let sim = replay(&testbed.platform, &trace, &config).expect("replay failed");
-    println!("simulated time: {:.3}s ({} messages replayed)", sim.time, sim.messages);
+    println!(
+        "simulated time: {:.3}s ({} messages replayed)",
+        sim.time, sim.messages
+    );
 
     // ------------------------------------------------------------------
     // Check against the emulated "real" execution.

@@ -74,12 +74,8 @@ p2 finalize
         },
     };
     let platform = spec.build();
-    let sim = replay(
-        &platform,
-        &Arc::new(trace),
-        &ReplayConfig::improved(1e9),
-    )
-    .expect("replay failed");
+    let sim =
+        replay(&platform, &Arc::new(trace), &ReplayConfig::improved(1e9)).expect("replay failed");
     println!(
         "simulated on `{}`: {:.6}s ({} events)",
         platform.name, sim.time, sim.events

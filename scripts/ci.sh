@@ -87,4 +87,73 @@ fi
 "$rep" inspect --trace "$ingest_dir/lu-s.trace" --ranks 8 >"$ingest_dir/inspect.out"
 grep -q '^validation_issues 0$' "$ingest_dir/inspect.out" \
     || { echo "inspect reported validation issues" >&2; exit 1; }
-echo "OBS_SMOKE ok (critical_path_end_s == simulated_time_s == $t_sim)"
+# Same smoke with parallel replay as the ambient default (LU couples
+# all ranks, so this exercises the single-island fallback): the
+# critical path must still close at the simulated time, and the
+# exported artifacts must be byte-identical to the sequential run.
+TITR_REPLAY_THREADS=4 "$rep" --platform "$splat" --ranks 8 --rate 2e9 \
+    --trace "$ingest_dir/lu-s.trace" --no-cache \
+    --trace-out "$ingest_dir/chrome.par.json" \
+    --state-csv "$ingest_dir/states.par.csv" \
+    --critical-path >"$ingest_dir/obs.par.out" 2>/dev/null
+t_par_sim=$(awk '$1 == "simulated_time_s" {print $2}' "$ingest_dir/obs.par.out")
+t_par_cp=$(awk '$1 == "critical_path_end_s" {print $2}' "$ingest_dir/obs.par.out")
+[ "$t_par_sim" = "$t_sim" ] && [ "$t_par_cp" = "$t_par_sim" ] \
+    || { echo "obs smoke diverged under TITR_REPLAY_THREADS=4 ($t_par_sim/$t_par_cp vs $t_sim)" >&2; exit 1; }
+cmp "$ingest_dir/chrome.json" "$ingest_dir/chrome.par.json" \
+    && cmp "$ingest_dir/states.csv" "$ingest_dir/states.par.csv" \
+    || { echo "obs exports differ under TITR_REPLAY_THREADS=4" >&2; exit 1; }
+echo "OBS_SMOKE ok (critical_path_end_s == simulated_time_s == $t_sim, also at TITR_REPLAY_THREADS=4)"
+
+# Parallel replay smoke: a multi-island halo workload must replay
+# bit-identically at --threads 1 and --threads 4 — same simulated time,
+# byte-identical chrome trace / state CSV / metrics exports — and the
+# critical path must still close exactly at the simulated time when
+# computed from the merged parallel run.
+"$gen" --workload halo --procs 32 --steps 20 --bytes 4096 --out "$ingest_dir/halo.trace"
+hplat="$ingest_dir/halo.trace.platform.json"
+"$rep" inspect --trace "$ingest_dir/halo.trace" --ranks 32 --platform "$hplat" \
+    >"$ingest_dir/halo.inspect.out"
+grep -q '^validation_issues 0$' "$ingest_dir/halo.inspect.out" \
+    || { echo "halo inspect reported validation issues" >&2; exit 1; }
+islands=$(awk '$1 == "islands" {print $2}' "$ingest_dir/halo.inspect.out")
+[ "${islands:-0}" -gt 1 ] \
+    || { echo "halo workload should decompose into >1 island (got ${islands:-none})" >&2; exit 1; }
+halo_replay() {
+    n=$1; shift
+    "$rep" --platform "$hplat" --ranks 32 --rate 2e9 --no-cache \
+        --trace "$ingest_dir/halo.trace" --threads "$n" \
+        --trace-out "$ingest_dir/halo.chrome.$n.json" \
+        --state-csv "$ingest_dir/halo.states.$n.csv" \
+        --metrics "$ingest_dir/halo.metrics.$n.json" "$@"
+}
+h_seq=$(halo_replay 1 2>/dev/null | awk '$1 == "simulated_time_s" {print $2}')
+halo_replay 4 --critical-path >"$ingest_dir/halo.par.out" 2>/dev/null
+h_par=$(awk '$1 == "simulated_time_s" {print $2}' "$ingest_dir/halo.par.out")
+h_cp=$(awk '$1 == "critical_path_end_s" {print $2}' "$ingest_dir/halo.par.out")
+[ -n "$h_seq" ] && [ "$h_seq" = "$h_par" ] \
+    || { echo "parallel replay time ($h_par) != sequential ($h_seq)" >&2; exit 1; }
+[ "$h_cp" = "$h_par" ] \
+    || { echo "parallel critical path end ($h_cp) != simulated time ($h_par)" >&2; exit 1; }
+for kind in chrome.json states.csv; do
+    name="halo.${kind%.*}"; ext="${kind##*.}"
+    cmp "$ingest_dir/$name.1.$ext" "$ingest_dir/$name.4.$ext" \
+        || { echo "parallel $kind export differs from sequential" >&2; exit 1; }
+done
+# Metrics compare with the ladder's profile-gated *restructuring*
+# counters normalized away: one merged FEL and N island FELs
+# legitimately restructure at different points (same exemption as the
+# differential tests); every semantic counter must still match.
+norm_metrics() { sed -E 's/"(spills|bucket_sorts|reseeds)": [0-9]+/"\1": 0/g' "$1"; }
+cmp <(norm_metrics "$ingest_dir/halo.metrics.1.json") \
+    <(norm_metrics "$ingest_dir/halo.metrics.4.json") \
+    || { echo "parallel metrics export differs from sequential" >&2; exit 1; }
+echo "PARALLEL_SMOKE ok ($islands islands, simulated_time_s $h_seq identical at 1 and 4 threads)"
+
+# Re-run the replay-facing suites with parallel replay as the ambient
+# default, so every differential test also exercises the worker pool.
+TITR_REPLAY_THREADS=4 cargo test -q -p tit-replay \
+    --test parallel_replay --test runtime_semantics --test trace_roundtrip \
+    --test observability
+TITR_REPLAY_THREADS=4 cargo run --release -p bench --bin perf_baseline -- --smoke
+echo "PARALLEL_SUITE ok (replay tests + perf smoke at TITR_REPLAY_THREADS=4)"

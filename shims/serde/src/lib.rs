@@ -130,7 +130,9 @@ pub trait Deserialize: Sized {
 /// Derive-macro helper: looks up a required field of an object.
 pub fn obj_field<'a>(v: &'a Value, field: &str, ty: &str) -> Result<&'a Value, DeError> {
     match v {
-        Value::Object(_) => v.get(field).ok_or_else(|| DeError::missing_field(field, ty)),
+        Value::Object(_) => v
+            .get(field)
+            .ok_or_else(|| DeError::missing_field(field, ty)),
         other => Err(DeError::expected("object", ty, other)),
     }
 }

@@ -18,7 +18,10 @@ enum Shape {
     /// `struct T(Inner);`
     NewtypeStruct { name: String },
     /// `enum T { ... }`
-    Enum { name: String, variants: Vec<Variant> },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Variant {
@@ -212,9 +215,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::NamedStruct { name, fields } => {
             let entries: String = fields
                 .iter()
-                .map(|f| {
-                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),")
-                })
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -272,7 +273,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde_derive shim: generated code must parse")
+    code.parse()
+        .expect("serde_derive shim: generated code must parse")
 }
 
 /// Derives `serde::Deserialize` (shim semantics:
@@ -364,5 +366,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde_derive shim: generated code must parse")
+    code.parse()
+        .expect("serde_derive shim: generated code must parse")
 }

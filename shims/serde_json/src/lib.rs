@@ -162,10 +162,7 @@ fn parse_value(s: &str) -> Result<Value, Error> {
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(v)
 }
@@ -206,10 +203,7 @@ impl<'a> Parser<'a> {
             self.pos += kw.len();
             Ok(())
         } else {
-            Err(Error::new(format!(
-                "invalid literal at byte {}",
-                self.pos
-            )))
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
         }
     }
 
@@ -330,18 +324,15 @@ impl<'a> Parser<'a> {
                             out.push(c.ok_or_else(|| Error::new("invalid \\u escape"))?);
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
                 _ => {
                     // Re-decode the UTF-8 sequence starting at b.
                     let start = self.pos - 1;
-                    let width = utf8_width(b)
-                        .ok_or_else(|| Error::new("invalid UTF-8 in string"))?;
+                    let width =
+                        utf8_width(b).ok_or_else(|| Error::new("invalid UTF-8 in string"))?;
                     let end = start + width;
                     let chunk = self
                         .bytes

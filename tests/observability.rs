@@ -175,7 +175,12 @@ fn cli_inspect_summarises_without_replaying() {
     assert_eq!(stdout_field(&stdout, "ranks"), "8");
     assert!(stdout_field(&stdout, "actions").parse::<u64>().unwrap() > 100);
     assert!(stdout_field(&stdout, "sends").parse::<u64>().unwrap() > 0);
-    assert!(stdout_field(&stdout, "payload_bytes").parse::<u64>().unwrap() > 0);
+    assert!(
+        stdout_field(&stdout, "payload_bytes")
+            .parse::<u64>()
+            .unwrap()
+            > 0
+    );
     assert_eq!(stdout_field(&stdout, "validation_issues"), "0");
     assert!(stdout_field(&stdout, "trace_signature").starts_with("text:"));
     let _ = std::fs::remove_dir_all(&dir);
@@ -184,9 +189,7 @@ fn cli_inspect_summarises_without_replaying() {
 #[test]
 fn prelude_exposes_observed_replay() {
     let lu = LuConfig::new(LuClass::S, 4).with_steps(3);
-    let trace = Arc::new(
-        acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace,
-    );
+    let trace = Arc::new(acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace);
     let p = tit_replay::platform::clusters::bordereau();
     let cfg = ReplayConfig::improved(2e9);
     let report: ReplayReport = replay_observed(&p, &trace, &cfg, true).unwrap();

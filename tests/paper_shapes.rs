@@ -61,8 +61,16 @@ fn overhead_shrinks_with_the_modifications_and_grows_with_p() {
 /// roughly 10-20%, more for smaller per-rank workloads.
 #[test]
 fn fine_grain_counter_inflation_band() {
-    let b8 = mean_discrepancy(&inst(LuClass::B, 8), Instrumentation::legacy_default(), CompilerOpt::O0);
-    let b64 = mean_discrepancy(&inst(LuClass::B, 64), Instrumentation::legacy_default(), CompilerOpt::O0);
+    let b8 = mean_discrepancy(
+        &inst(LuClass::B, 8),
+        Instrumentation::legacy_default(),
+        CompilerOpt::O0,
+    );
+    let b64 = mean_discrepancy(
+        &inst(LuClass::B, 64),
+        Instrumentation::legacy_default(),
+        CompilerOpt::O0,
+    );
     assert!((8.0..18.0).contains(&b8), "B-8 fine inflation {b8}%");
     assert!((10.0..25.0).contains(&b64), "B-64 fine inflation {b64}%");
     assert!(b64 > b8, "inflation should grow with P");
@@ -72,13 +80,32 @@ fn fine_grain_counter_inflation_band() {
 /// few percent except for the communication-dominated B-64.
 #[test]
 fn minimal_counter_inflation_band() {
-    let b8 = mean_discrepancy(&inst(LuClass::B, 8), Instrumentation::Minimal, CompilerOpt::O3);
-    let b64 = mean_discrepancy(&inst(LuClass::B, 64), Instrumentation::Minimal, CompilerOpt::O3);
-    let c8 = mean_discrepancy(&inst(LuClass::C, 8), Instrumentation::Minimal, CompilerOpt::O3);
+    let b8 = mean_discrepancy(
+        &inst(LuClass::B, 8),
+        Instrumentation::Minimal,
+        CompilerOpt::O3,
+    );
+    let b64 = mean_discrepancy(
+        &inst(LuClass::B, 64),
+        Instrumentation::Minimal,
+        CompilerOpt::O3,
+    );
+    let c8 = mean_discrepancy(
+        &inst(LuClass::C, 8),
+        Instrumentation::Minimal,
+        CompilerOpt::O3,
+    );
     assert!(b8 < 6.0, "B-8 minimal inflation {b8}%");
-    assert!(c8 < 2.0, "C-8 minimal inflation {c8}% (paper: close to zero)");
+    assert!(
+        c8 < 2.0,
+        "C-8 minimal inflation {c8}% (paper: close to zero)"
+    );
     assert!((4.0..16.0).contains(&b64), "B-64 minimal inflation {b64}%");
-    let b8_fine = mean_discrepancy(&inst(LuClass::B, 8), Instrumentation::legacy_default(), CompilerOpt::O0);
+    let b8_fine = mean_discrepancy(
+        &inst(LuClass::B, 8),
+        Instrumentation::legacy_default(),
+        CompilerOpt::O0,
+    );
     assert!(b8 < b8_fine, "minimal must beat fine");
 }
 

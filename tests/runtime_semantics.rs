@@ -32,6 +32,8 @@ fn run(trace: Trace, engine: ReplayEngine) -> replay::ReplayResult {
             copy_model: None,
             sharing: tit_replay::netmodel::SharingPolicy::Bottleneck,
             fel: tit_replay::simkernel::FelImpl::default(),
+            threads: ReplayConfig::default_threads(),
+            window_s: None,
         },
     )
     .expect("replay failed")
@@ -44,15 +46,35 @@ fn run(trace: Trace, engine: ReplayEngine) -> replay::ReplayResult {
 #[test]
 fn late_receiver_semantics_differ_between_engines() {
     let mut t = Trace::new(2);
-    t.push(Rank(0), Action::Send { dst: Rank(1), bytes: 1024 });
+    t.push(
+        Rank(0),
+        Action::Send {
+            dst: Rank(1),
+            bytes: 1024,
+        },
+    );
     t.push(Rank(1), Action::Compute { amount: 1e9 }); // 1s of local work
-    t.push(Rank(1), Action::Recv { src: Rank(0), bytes: 1024 });
+    t.push(
+        Rank(1),
+        Action::Recv {
+            src: Rank(0),
+            bytes: 1024,
+        },
+    );
     let smpi = run(t.clone(), ReplayEngine::Smpi);
     let msg = run(t, ReplayEngine::Msg);
     // SMPI: the recv returns essentially at t=1.
-    assert!(smpi.time < 1.0 + 1e-4, "SMPI late recv cost {}", smpi.time - 1.0);
+    assert!(
+        smpi.time < 1.0 + 1e-4,
+        "SMPI late recv cost {}",
+        smpi.time - 1.0
+    );
     // MSG: the transfer starts at t=1 and costs latency + size/bandwidth.
-    assert!(msg.time > 1.0 + 1e-5, "MSG late recv too cheap: {}", msg.time - 1.0);
+    assert!(
+        msg.time > 1.0 + 1e-5,
+        "MSG late recv too cheap: {}",
+        msg.time - 1.0
+    );
     assert!(msg.time > smpi.time);
 }
 
@@ -62,10 +84,22 @@ fn late_receiver_semantics_differ_between_engines() {
 fn rendezvous_blocks_sender_on_both_engines() {
     let bytes = 256 * 1024;
     let mut t = Trace::new(2);
-    t.push(Rank(0), Action::Send { dst: Rank(1), bytes });
+    t.push(
+        Rank(0),
+        Action::Send {
+            dst: Rank(1),
+            bytes,
+        },
+    );
     t.push(Rank(0), Action::Compute { amount: 1.0 }); // sender epilogue
     t.push(Rank(1), Action::Compute { amount: 5e8 });
-    t.push(Rank(1), Action::Recv { src: Rank(0), bytes });
+    t.push(
+        Rank(1),
+        Action::Recv {
+            src: Rank(0),
+            bytes,
+        },
+    );
     let transfer = bytes as f64 / 1e8; // ≥ 2.6ms
     for engine in [ReplayEngine::Smpi, ReplayEngine::Msg] {
         let r = run(t.clone(), engine);
@@ -83,13 +117,21 @@ fn rendezvous_blocks_sender_on_both_engines() {
 fn barrier_synchronizes_on_both_engines() {
     let mut t = Trace::new(4);
     for r in 0..4u32 {
-        t.push(Rank(r), Action::Compute { amount: (r as f64 + 1.0) * 2.5e8 });
+        t.push(
+            Rank(r),
+            Action::Compute {
+                amount: (r as f64 + 1.0) * 2.5e8,
+            },
+        );
         t.push(Rank(r), Action::Barrier);
     }
     for engine in [ReplayEngine::Smpi, ReplayEngine::Msg] {
         let res = run(t.clone(), engine);
         let min = res.rank_times.iter().copied().fold(f64::INFINITY, f64::min);
-        assert!(min >= 1.0 - 1e-9, "{engine:?}: a rank left the barrier at {min}");
+        assert!(
+            min >= 1.0 - 1e-9,
+            "{engine:?}: a rank left the barrier at {min}"
+        );
     }
 }
 
@@ -100,14 +142,50 @@ fn barrier_synchronizes_on_both_engines() {
 #[test]
 fn wait_resolves_oldest_request() {
     let mut t = Trace::new(2);
-    t.push(Rank(0), Action::Irecv { src: Rank(1), bytes: 8 });
-    t.push(Rank(0), Action::Irecv { src: Rank(1), bytes: 16 });
+    t.push(
+        Rank(0),
+        Action::Irecv {
+            src: Rank(1),
+            bytes: 8,
+        },
+    );
+    t.push(
+        Rank(0),
+        Action::Irecv {
+            src: Rank(1),
+            bytes: 16,
+        },
+    );
     t.push(Rank(0), Action::Wait); // must complete the 8-byte irecv
-    t.push(Rank(0), Action::Send { dst: Rank(1), bytes: 4 });
+    t.push(
+        Rank(0),
+        Action::Send {
+            dst: Rank(1),
+            bytes: 4,
+        },
+    );
     t.push(Rank(0), Action::Wait); // completes the 16-byte irecv
-    t.push(Rank(1), Action::Send { dst: Rank(0), bytes: 8 });
-    t.push(Rank(1), Action::Recv { src: Rank(0), bytes: 4 });
-    t.push(Rank(1), Action::Send { dst: Rank(0), bytes: 16 });
+    t.push(
+        Rank(1),
+        Action::Send {
+            dst: Rank(0),
+            bytes: 8,
+        },
+    );
+    t.push(
+        Rank(1),
+        Action::Recv {
+            src: Rank(0),
+            bytes: 4,
+        },
+    );
+    t.push(
+        Rank(1),
+        Action::Send {
+            dst: Rank(0),
+            bytes: 16,
+        },
+    );
     for engine in [ReplayEngine::Smpi, ReplayEngine::Msg] {
         let r = run(t.clone(), engine);
         assert!(r.time > 0.0, "{engine:?} completed");
@@ -120,11 +198,35 @@ fn wait_resolves_oldest_request() {
 fn incast_contention_is_modeled() {
     let bytes = 1_000_000; // rendezvous-sized payload
     let mut t = Trace::new(3);
-    t.push(Rank(0), Action::Irecv { src: Rank(1), bytes });
-    t.push(Rank(0), Action::Irecv { src: Rank(2), bytes });
+    t.push(
+        Rank(0),
+        Action::Irecv {
+            src: Rank(1),
+            bytes,
+        },
+    );
+    t.push(
+        Rank(0),
+        Action::Irecv {
+            src: Rank(2),
+            bytes,
+        },
+    );
     t.push(Rank(0), Action::WaitAll);
-    t.push(Rank(1), Action::Send { dst: Rank(0), bytes });
-    t.push(Rank(2), Action::Send { dst: Rank(0), bytes });
+    t.push(
+        Rank(1),
+        Action::Send {
+            dst: Rank(0),
+            bytes,
+        },
+    );
+    t.push(
+        Rank(2),
+        Action::Send {
+            dst: Rank(0),
+            bytes,
+        },
+    );
     let r = run(t, ReplayEngine::Smpi);
     let single = bytes as f64 / 1e8;
     assert!(
@@ -135,7 +237,6 @@ fn incast_contention_is_modeled() {
     );
 }
 
-
 /// An intentionally deadlocking trace is reported as an error, not a
 /// hang or a panic.
 #[test]
@@ -143,16 +244,35 @@ fn cyclic_rendezvous_deadlock_is_reported() {
     let bytes = 512 * 1024;
     let mut t = Trace::new(2);
     // Both send rendezvous-sized messages first: classic deadlock.
-    t.push(Rank(0), Action::Send { dst: Rank(1), bytes });
-    t.push(Rank(0), Action::Recv { src: Rank(1), bytes });
-    t.push(Rank(1), Action::Send { dst: Rank(0), bytes });
-    t.push(Rank(1), Action::Recv { src: Rank(0), bytes });
-    let err = replay(
-        &platform(),
-        &Arc::new(t),
-        &ReplayConfig::improved(1e9),
-    )
-    .unwrap_err();
+    t.push(
+        Rank(0),
+        Action::Send {
+            dst: Rank(1),
+            bytes,
+        },
+    );
+    t.push(
+        Rank(0),
+        Action::Recv {
+            src: Rank(1),
+            bytes,
+        },
+    );
+    t.push(
+        Rank(1),
+        Action::Send {
+            dst: Rank(0),
+            bytes,
+        },
+    );
+    t.push(
+        Rank(1),
+        Action::Recv {
+            src: Rank(0),
+            bytes,
+        },
+    );
+    let err = replay(&platform(), &Arc::new(t), &ReplayConfig::improved(1e9)).unwrap_err();
     assert!(err.contains("deadlock"), "{err}");
 }
 
@@ -163,10 +283,34 @@ fn cyclic_rendezvous_deadlock_is_reported() {
 fn packed_placement_uses_loopback() {
     let mut t = Trace::new(2);
     for _ in 0..200 {
-        t.push(Rank(0), Action::Send { dst: Rank(1), bytes: 32 * 1024 });
-        t.push(Rank(1), Action::Recv { src: Rank(0), bytes: 32 * 1024 });
-        t.push(Rank(1), Action::Send { dst: Rank(0), bytes: 32 * 1024 });
-        t.push(Rank(0), Action::Recv { src: Rank(1), bytes: 32 * 1024 });
+        t.push(
+            Rank(0),
+            Action::Send {
+                dst: Rank(1),
+                bytes: 32 * 1024,
+            },
+        );
+        t.push(
+            Rank(1),
+            Action::Recv {
+                src: Rank(0),
+                bytes: 32 * 1024,
+            },
+        );
+        t.push(
+            Rank(1),
+            Action::Send {
+                dst: Rank(0),
+                bytes: 32 * 1024,
+            },
+        );
+        t.push(
+            Rank(0),
+            Action::Recv {
+                src: Rank(1),
+                bytes: 32 * 1024,
+            },
+        );
     }
     let trace = Arc::new(t);
     let p = platform();
@@ -193,6 +337,8 @@ fn packed_placement_uses_loopback() {
             copy_model: None,
             sharing: tit_replay::netmodel::SharingPolicy::Bottleneck,
             fel: tit_replay::simkernel::FelImpl::default(),
+            threads: ReplayConfig::default_threads(),
+            window_s: None,
         },
     )
     .unwrap();
@@ -237,7 +383,11 @@ fn fast_sharing_model_bounds_the_exact_one() {
         "fast model allocated more than max-min allows: {fast} < {exact}"
     );
     let gap = (fast - exact) / exact;
-    assert!(gap < 0.05, "fast-model divergence {:.2}% too large", gap * 100.0);
+    assert!(
+        gap < 0.05,
+        "fast-model divergence {:.2}% too large",
+        gap * 100.0
+    );
 }
 
 /// The ladder-queue FEL must not change results at all: an LU B-8

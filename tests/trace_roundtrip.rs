@@ -94,11 +94,15 @@ proptest! {
                 engine, rate: 1e9, placement: Placement::OnePerNode, copy_model: None,
                 sharing: tit_replay::netmodel::SharingPolicy::Bottleneck,
                 fel: tit_replay::simkernel::FelImpl::default(),
+                threads: ReplayConfig::default_threads(),
+                window_s: None,
             }).unwrap();
             let fast = replay(&platform, &trace, &ReplayConfig {
                 engine, rate: 4e9, placement: Placement::OnePerNode, copy_model: None,
                 sharing: tit_replay::netmodel::SharingPolicy::Bottleneck,
                 fel: tit_replay::simkernel::FelImpl::default(),
+                threads: ReplayConfig::default_threads(),
+                window_s: None,
             }).unwrap();
             prop_assert!(slow.time > 0.0);
             prop_assert!(fast.time <= slow.time * (1.0 + 1e-9),
