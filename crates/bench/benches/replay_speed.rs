@@ -26,6 +26,7 @@ fn config(engine: ReplayEngine, sharing: SharingPolicy) -> ReplayConfig {
         // hot path regardless of the environment.
         threads: 1,
         window_s: None,
+        collective_agg: false,
     }
 }
 

@@ -79,6 +79,10 @@ struct Baseline {
     /// Conservative parallel replay: wall-clock speedup over thread
     /// counts, with bit-identical results asserted at every count.
     parallel: Vec<ParallelSpeedup>,
+    /// Collective flow aggregation on vs off, with bit-identical
+    /// simulated results asserted per row; the sharing-churn and
+    /// live-entity reductions are the measured win.
+    agg: Vec<AggSpeedup>,
     /// Netmodel-level churn with per-cabinet sharing components.
     component_churn: Vec<ChurnSpeedup>,
     /// Trace ingestion throughput per path (text cold, text parallel,
@@ -216,6 +220,10 @@ struct ParallelSpeedup {
     workload: String,
     /// Worker threads configured.
     threads: f64,
+    /// Worker threads the engine actually ran: `min(threads, islands)`,
+    /// degenerating to 1 (the sequential path) when either is 1. The
+    /// speedup column should be judged against this, not `threads`.
+    effective_threads: f64,
     /// Coupling islands the trace decomposes into (1 = the parallel
     /// path degenerates to the sequential replay).
     islands: f64,
@@ -226,6 +234,42 @@ struct ParallelSpeedup {
     /// Simulated makespan — bit-identical across thread counts by
     /// construction (asserted before the row is emitted).
     simulated_s: f64,
+}
+
+/// Collective flow aggregation on vs off over one workload. The
+/// simulated time and per-rank times are asserted bit-identical before
+/// the row is emitted, so the counter columns measure pure bookkeeping
+/// savings, not a model change.
+#[derive(Debug, Serialize)]
+struct AggSpeedup {
+    /// Workload label.
+    workload: String,
+    /// Ranks replayed.
+    ranks: f64,
+    /// Simulated makespan — bit-identical with aggregation on or off.
+    simulated_s: f64,
+    /// Sharing churn (re-solves + rate updates) with aggregation off.
+    off_churn: f64,
+    /// Sharing churn with aggregation on.
+    on_churn: f64,
+    /// `off_churn / on_churn` — the headline reduction.
+    churn_reduction: f64,
+    /// High-water mark of live flows (identical both ways).
+    live_flow_hwm: f64,
+    /// High-water mark of live *entities* with aggregation on.
+    live_entity_hwm: f64,
+    /// `live_flow_hwm / live_entity_hwm` — the O(P)→O(1) collapse.
+    entity_reduction: f64,
+    /// Aggregate entities formed over the run.
+    agg_formed: f64,
+    /// Aggregates dissolved early by outside traffic.
+    agg_splits: f64,
+    /// Best-of-N wall time with aggregation off, seconds.
+    off_wall_s: f64,
+    /// Best-of-N wall time with aggregation on, seconds.
+    on_wall_s: f64,
+    /// `off_wall_s / on_wall_s`.
+    wall_speedup: f64,
 }
 
 /// Netmodel flow churn at a given live-flow count.
@@ -296,6 +340,7 @@ fn replay_cfg(engine: ReplayEngine, sharing: SharingPolicy) -> ReplayConfig {
         // Pinned sequential; the `parallel` section opts in explicitly.
         threads: 1,
         window_s: None,
+        collective_agg: false,
     }
 }
 
@@ -466,6 +511,7 @@ fn parallel_rows(
     platform: &Platform,
     trace: &Arc<Trace>,
     workload: &str,
+    host: usize,
     rows: &mut Vec<ParallelSpeedup>,
 ) {
     use tit_replay::replay::partition;
@@ -492,16 +538,21 @@ fn parallel_rows(
             base_bits,
             "{workload}: parallel replay at {threads} threads diverged"
         );
+        let effective = if threads <= 1 || islands <= 1 {
+            1
+        } else {
+            threads.min(islands)
+        };
         rows.push(ParallelSpeedup {
             workload: workload.into(),
             threads: threads as f64,
+            effective_threads: effective as f64,
             islands: islands as f64,
             wall_s,
             speedup: base_wall / wall_s,
             simulated_s: result.time,
         });
     }
-    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     if islands >= 4 && host >= 4 {
         let four = rows.iter().rfind(|r| r.threads == 4.0).unwrap();
         assert!(
@@ -509,6 +560,109 @@ fn parallel_rows(
             "{workload}: expected >=2x speedup at 4 threads, got {:.2}x",
             four.speedup
         );
+    }
+}
+
+/// A flat switched cluster for the collective-dense aggregation rows:
+/// one rank per node, every collective phase contending on the shared
+/// backbone with P uniform flows.
+fn agg_flat_platform(nodes: u32) -> Platform {
+    use tit_replay::platform::spec::SpecKind;
+    PlatformSpec {
+        name: "agg-flat".into(),
+        kind: SpecKind::Flat {
+            nodes,
+            host_speed: 2e9,
+            cores: 1,
+            cache_bytes: 1 << 20,
+            link_bandwidth: 1.25e9,
+            link_latency: 1e-5,
+            backbone_bandwidth: 1e10,
+            backbone_latency: 1e-6,
+        },
+    }
+    .build()
+}
+
+/// The allreduce-heavy synthetic workload (`titrace-gen --workload
+/// allreduce`): compute, then a P-wide allreduce, every iteration.
+fn allreduce_trace(ranks: u32, iters: u32, bytes: u64) -> Trace {
+    let mut trace = Trace::new(ranks);
+    for r in 0..ranks {
+        let rank = Rank(r);
+        trace.push(rank, Action::Init);
+        for _ in 0..iters {
+            trace.push(rank, Action::Compute { amount: 1e5 });
+            trace.push(rank, Action::Allreduce { bytes });
+        }
+        trace.push(rank, Action::Finalize);
+    }
+    trace
+}
+
+/// Measures one aggregation row: replays `trace` with `collective_agg`
+/// off and on, asserts bit-identical simulated results, and returns the
+/// counter comparison. `min_churn_reduction` / `min_entity_reduction`
+/// gate the row (1.0 = only "never worse").
+fn agg_row(
+    platform: &Platform,
+    trace: &Arc<Trace>,
+    workload: &str,
+    min_churn_reduction: f64,
+    min_entity_reduction: f64,
+) -> AggSpeedup {
+    use tit_replay::replay::replay_observed;
+    let off_cfg = replay_cfg(ReplayEngine::Smpi, SharingPolicy::Bottleneck);
+    let mut on_cfg = off_cfg.clone();
+    on_cfg.collective_agg = true;
+    let off = replay_observed(platform, trace, &off_cfg, false).unwrap();
+    let on = replay_observed(platform, trace, &on_cfg, false).unwrap();
+    assert_eq!(
+        off.result.time.to_bits(),
+        on.result.time.to_bits(),
+        "{workload}: aggregation changed the simulated time"
+    );
+    let off_bits: Vec<u64> = off.result.rank_times.iter().map(|t| t.to_bits()).collect();
+    let on_bits: Vec<u64> = on.result.rank_times.iter().map(|t| t.to_bits()).collect();
+    assert_eq!(
+        off_bits, on_bits,
+        "{workload}: aggregation changed per-rank completion times"
+    );
+    assert_eq!(
+        off.metrics.live_flow_hwm, on.metrics.live_flow_hwm,
+        "{workload}: aggregation changed the live-flow high-water mark"
+    );
+    let off_churn = (off.metrics.sharing_resolves + off.metrics.sharing_rate_updates) as f64;
+    let on_churn = (on.metrics.sharing_resolves + on.metrics.sharing_rate_updates) as f64;
+    let churn_reduction = off_churn / on_churn.max(1.0);
+    let entity_reduction =
+        on.metrics.live_flow_hwm as f64 / (on.metrics.live_entity_hwm as f64).max(1.0);
+    assert!(
+        churn_reduction >= min_churn_reduction,
+        "{workload}: expected >={min_churn_reduction}x churn reduction, got {churn_reduction:.2}x"
+    );
+    assert!(
+        entity_reduction >= min_entity_reduction,
+        "{workload}: expected >={min_entity_reduction}x entity reduction, got \
+         {entity_reduction:.2}x"
+    );
+    let off_wall_s = time_best(3, || replay(platform, trace, &off_cfg).unwrap());
+    let on_wall_s = time_best(3, || replay(platform, trace, &on_cfg).unwrap());
+    AggSpeedup {
+        workload: workload.into(),
+        ranks: trace.ranks() as f64,
+        simulated_s: off.result.time,
+        off_churn,
+        on_churn,
+        churn_reduction,
+        live_flow_hwm: on.metrics.live_flow_hwm as f64,
+        live_entity_hwm: on.metrics.live_entity_hwm as f64,
+        entity_reduction,
+        agg_formed: on.metrics.agg_formed as f64,
+        agg_splits: on.metrics.agg_splits as f64,
+        off_wall_s,
+        on_wall_s,
+        wall_speedup: off_wall_s / on_wall_s,
     }
 }
 
@@ -781,10 +935,34 @@ fn smoke() {
     }
     obs_smoke();
     parallel_smoke();
+    agg_smoke();
     println!(
         "PERF_SMOKE ok (counters sane, ladder steady state allocation-free, \
          disabled recorder cost-free, threads=1 dispatch cost-free, \
-         parallel replay bit-identical)"
+         parallel replay bit-identical, aggregation bit-identical and \
+         churn-free)"
+    );
+}
+
+/// Aggregation gate: collective flow aggregation must be bit-identical
+/// to the constituent path and must never *increase* the sharing churn
+/// — on the collective-dense shape it must strictly reduce it and
+/// collapse the live entities.
+fn agg_smoke() {
+    let ar_platform = agg_flat_platform(16);
+    let ar_trace = Arc::new(allreduce_trace(16, 10, 1 << 16));
+    let row = agg_row(&ar_platform, &ar_trace, "allreduce-p16-iters10", 2.0, 4.0);
+    eprintln!(
+        "smoke    agg: allreduce churn {:.0} -> {:.0} ({:.1}x), entities {} -> {}",
+        row.off_churn, row.on_churn, row.churn_reduction, row.live_flow_hwm, row.live_entity_hwm
+    );
+    let lu = LuConfig::new(LuClass::S, 8).with_steps(4);
+    let trace = Arc::new(acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace);
+    let bordereau = tit_replay::platform::clusters::bordereau();
+    let row = agg_row(&bordereau, &trace, "lu-s8-steps4", 1.0, 1.0);
+    eprintln!(
+        "smoke    agg: LU churn {:.0} -> {:.0} ({:.2}x), bit-identical",
+        row.off_churn, row.on_churn, row.churn_reduction
     );
 }
 
@@ -914,6 +1092,12 @@ fn main() {
         }
     }
 
+    // Captured before any measurement work: worker pools and allocator
+    // pressure can shrink what `available_parallelism` reports later in
+    // the run, which used to record `host_parallelism: 1` next to a
+    // `parallel` section asserting >=2x speedups.
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
     eprintln!("timing replay back-ends (LU S-16, bordereau)...");
     let lu = LuConfig::new(LuClass::S, 16).with_steps(10);
     let trace = Arc::new(acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace);
@@ -938,6 +1122,7 @@ fn main() {
         &showcase,
         &halo,
         "halo-exchange-p128-iters200",
+        host_parallelism,
         &mut parallel,
     );
     let lu_c64 = LuConfig::new(LuClass::C, 64).with_steps(10);
@@ -950,7 +1135,32 @@ fn main() {
         )
         .trace,
     );
-    parallel_rows(&graphene, &lu_c64_trace, "lu-c64-steps10", &mut parallel);
+    parallel_rows(
+        &graphene,
+        &lu_c64_trace,
+        "lu-c64-steps10",
+        host_parallelism,
+        &mut parallel,
+    );
+
+    eprintln!("timing collective aggregation (allreduce P=128; LU C-64)...");
+    let ar_ranks = 128u32;
+    let ar_platform = agg_flat_platform(ar_ranks);
+    let ar_trace = Arc::new(allreduce_trace(ar_ranks, 50, 1 << 16));
+    let agg = vec![
+        // The collective-dense showcase: O(P)→O(1), so the churn must
+        // shrink >=2x and the entity HWM by >=P/4.
+        agg_row(
+            &ar_platform,
+            &ar_trace,
+            "allreduce-p128-iters50",
+            2.0,
+            f64::from(ar_ranks) / 4.0,
+        ),
+        // The p2p-dominated end-to-end case: aggregation must never
+        // make anything worse.
+        agg_row(&graphene, &lu_c64_trace, "lu-c64-steps10", 1.0, 1.0),
+    ];
 
     eprintln!("timing component churn (16-cabinet cluster)...");
     let churn = component_churn();
@@ -972,10 +1182,11 @@ fn main() {
 
     let doc = Baseline {
         generated_by: "bench/perf_baseline".into(),
-        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()) as f64,
+        host_parallelism: host_parallelism as f64,
         backends,
         sharing,
         parallel,
+        agg,
         component_churn: churn,
         ingest,
         sweep_cells: cells,

@@ -44,6 +44,24 @@ fn halo_trace(ranks: u32, iters: u32, bytes: u64) -> Trace {
     trace
 }
 
+/// A collective-dense synthetic workload: every rank alternates a
+/// compute block with an `MPI_Allreduce` of `bytes`, the shape that
+/// stresses the network model with P simultaneous uniform flows per
+/// phase — the worst case collective flow aggregation collapses to O(1).
+fn allreduce_trace(ranks: u32, iters: u32, bytes: u64) -> Trace {
+    let mut trace = Trace::new(ranks);
+    for r in 0..ranks {
+        let rank = Rank(r);
+        trace.push(rank, Action::Init);
+        for _ in 0..iters {
+            trace.push(rank, Action::Compute { amount: 1e5 });
+            trace.push(rank, Action::Allreduce { bytes });
+        }
+        trace.push(rank, Action::Finalize);
+    }
+    trace
+}
+
 fn write_trace(trace: &Trace, out: &str, binary: bool) {
     let path = std::path::Path::new(out);
     let result = if binary {
@@ -67,10 +85,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: titrace-gen --class S|W|A|B|C|D --procs <2^k> [--steps N] \
          [--mode minimal|fine|coarse] [--opt O0|O3] [--seed N] [--binary] \
-         [--workload lu|halo] [--bytes N] --out <file>\n\
+         [--workload lu|halo|allreduce] [--bytes N] --out <file>\n\
          --binary writes the compact .titb format instead of text;\n\
          --workload halo emits a per-cabinet ring exchange (procs = multiple of 8)\n\
          with --bytes per message (default 65536) over --steps iterations;\n\
+         --workload allreduce emits a collective-dense compute/allreduce loop\n\
+         (--bytes per allreduce, default 65536) over --steps iterations;\n\
          also writes <file>.platform.json with the matching platform model"
     );
     std::process::exit(2);
@@ -114,6 +134,7 @@ fn main() {
             "--workload" => match args.next().as_deref() {
                 Some("lu") => workload = "lu".into(),
                 Some("halo") => workload = "halo".into(),
+                Some("allreduce") => workload = "allreduce".into(),
                 _ => usage(),
             },
             "--bytes" => {
@@ -156,6 +177,35 @@ fn main() {
                 cabinet_bandwidth: 1e10,
                 cabinet_latency: 2e-6,
                 backbone_bandwidth: 2.5e9,
+                backbone_latency: 1e-6,
+            },
+        };
+        write_platform(&out, &spec);
+        return;
+    }
+    if workload == "allreduce" {
+        let (Some(procs), Some(out)) = (procs, out) else {
+            usage()
+        };
+        let iters = steps.unwrap_or(50);
+        let trace = allreduce_trace(procs, iters, bytes);
+        write_trace(&trace, &out, binary);
+        eprintln!(
+            "wrote {} (allreduce loop, {} ranks, {} iterations, {} B/allreduce)",
+            out, procs, iters, bytes
+        );
+        // A flat cluster: every rank on its own node of one switched
+        // segment, so each collective phase contends on shared links.
+        let spec = tit_replay::platform::PlatformSpec {
+            name: "allreduce-flat".into(),
+            kind: tit_replay::platform::spec::SpecKind::Flat {
+                nodes: procs,
+                host_speed: 2e9,
+                cores: 1,
+                cache_bytes: 1 << 20,
+                link_bandwidth: 1.25e9,
+                link_latency: 1e-5,
+                backbone_bandwidth: 1e10,
                 backbone_latency: 1e-6,
             },
         };

@@ -5,7 +5,7 @@
 //! ```text
 //! titreplay [replay] --platform platform.json --trace trace.txt --ranks 8 \
 //!           --rate 2.05e9 [--engine smpi|msg] [--threads N] \
-//!           [--validate] [--no-cache] \
+//!           [--collective-agg] [--validate] [--no-cache] \
 //!           [--sharing bottleneck|maxmin|maxmin-full] \
 //!           [--trace-out <out.json>] [--state-csv <out.csv>] \
 //!           [--metrics <out.json>] [--manifest <out.json>] \
@@ -52,6 +52,7 @@ struct Args {
     engine: ReplayEngine,
     sharing: tit_replay::netmodel::SharingPolicy,
     threads: Option<usize>,
+    collective_agg: bool,
     validate: bool,
     cache: bool,
     trace_out: Option<String>,
@@ -66,7 +67,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: titreplay [replay] --platform <platform.json> --trace <trace.txt|.desc|.titb> \
          --ranks <N> --rate <instr/s> [--engine smpi|msg] [--threads <N>] \
-         [--sharing bottleneck|maxmin|maxmin-full] [--validate] [--no-cache]\n\
+         [--sharing bottleneck|maxmin|maxmin-full] [--collective-agg] [--validate] [--no-cache]\n\
          \x20          [--trace-out <chrome.json>] [--state-csv <states.csv>]\n\
          \x20          [--metrics <metrics.json>] [--manifest <manifest.json>]\n\
          \x20          [--critical-path [path.json]]\n\
@@ -137,6 +138,7 @@ fn parse_args(argv: &[String]) -> Args {
     let mut engine = ReplayEngine::Smpi;
     let mut sharing = tit_replay::netmodel::SharingPolicy::Bottleneck;
     let mut threads = None;
+    let mut collective_agg = false;
     let mut validate = false;
     let mut cache = true;
     let mut trace_out = None;
@@ -164,6 +166,7 @@ fn parse_args(argv: &[String]) -> Args {
                 _ => usage(),
             },
             "--threads" => threads = args.next().and_then(|v| v.parse().ok()),
+            "--collective-agg" => collective_agg = true,
             "--validate" => validate = true,
             "--no-cache" => cache = false,
             "--trace-out" => trace_out = args.next().cloned(),
@@ -191,6 +194,7 @@ fn parse_args(argv: &[String]) -> Args {
             engine,
             sharing,
             threads,
+            collective_agg,
             validate,
             cache,
             trace_out,
@@ -362,6 +366,7 @@ fn main() {
         fel: tit_replay::simkernel::FelImpl::default(),
         threads: args.threads.unwrap_or_else(ReplayConfig::default_threads),
         window_s: None,
+        collective_agg: args.collective_agg,
     };
     let record_spans = args.trace_out.is_some() || args.state_csv.is_some() || args.critical_path;
     let started = std::time::Instant::now();

@@ -240,6 +240,7 @@ impl<'a> Predictor<'a> {
             fel: simkernel::FelImpl::default(),
             threads: ReplayConfig::default_threads(),
             window_s: None,
+            collective_agg: false,
         };
         let sim = match self.cached_trace_path(instance, seed) {
             Some(path) if path.is_file() => {

@@ -428,6 +428,12 @@ impl MsgRun {
         metrics.flows_resolved = net.flows_closed;
         metrics.sharing_resolves = net.resolves;
         metrics.sharing_rate_updates = net.rate_updates;
+        metrics.sharing_flushes = net.flush_batches;
+        metrics.live_flow_hwm = net.live_flow_hwm;
+        metrics.live_entity_hwm = net.live_entity_hwm;
+        metrics.agg_formed = net.agg_formed;
+        metrics.agg_members = net.agg_members;
+        metrics.agg_splits = net.agg_splits;
         let spans = sim.world.recorder.take().and_then(|r| r.finish());
         metrics.recorder_counts = spans.as_ref().map(|l| l.counts());
         Ok((

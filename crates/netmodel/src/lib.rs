@@ -19,6 +19,19 @@
 //!   two are bit-identical in both rates and kernel event sequence, which
 //!   the tests enforce.
 //!
+//! For collective traffic there is additionally a **deferred** open/close
+//! path ([`FlowNet::open_deferred`] / [`FlowNet::close_deferred`]): the
+//! per-flow tables update immediately, but the re-solve is batched to the
+//! end of the current instant ([`FlowNet::flush`], driven by a zero-delay
+//! [`FLUSH_KEY`] timer). Same-instant rate changes cannot affect any
+//! completion time, and the flush re-solves each affected component on
+//! the instant's *final* graph — the same state the per-op sequence ends
+//! in — so allotments stay bit-identical while a P-flow collective phase
+//! costs O(1) solves instead of O(P). When a flushed batch turns out to
+//! be uniform and link-isolated, it is recorded as ONE aggregate entity
+//! ([`sharing::AggregateLedger`]), which is what the live-entity counters
+//! report: O(1) entities per collective phase instead of O(P).
+//!
 //! [`piecewise::PiecewiseFactors`] implements SMPI's piece-wise linear
 //! correction of nominal latency/bandwidth by message size — the paper's
 //! "original piece-wise linear model to take into account the specifics of
@@ -34,9 +47,16 @@ pub use piecewise::PiecewiseFactors;
 pub use sharing::SharingPolicy;
 
 use platform::{LinkId, Platform};
-use simkernel::{ActivityId, Kernel};
+use simkernel::{ActivityId, ActorId, Duration, Kernel};
 
 const NO_FREE: u32 = u32::MAX;
+
+/// Timer key of the deferred-sharing flush tick. Chosen just below the
+/// engines' own sentinel keys (`u64::MAX`, `u64::MAX - 1`) and far above
+/// any packed slab id, so transports can recognise it before unpacking.
+/// A transport that installed itself via [`FlowNet::set_flush_actor`]
+/// must call [`FlowNet::flush`] when a timer with this key fires.
+pub const FLUSH_KEY: u64 = u64::MAX - 2;
 
 /// Handle to an open flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,6 +130,22 @@ pub struct NetStats {
     pub resolves: u64,
     /// Rate changes pushed to the kernel.
     pub rate_updates: u64,
+    /// High-water mark of concurrently live flows.
+    pub live_flow_hwm: u64,
+    /// High-water mark of live *entities* — an aggregate counts once —
+    /// sampled at settle points (after per-op re-solves and batch
+    /// flushes). Without aggregation this equals the flow mark.
+    pub live_entity_hwm: u64,
+    /// Aggregate entities formed from uniform deferred batches.
+    pub agg_formed: u64,
+    /// Member flows covered by the formed aggregates.
+    pub agg_members: u64,
+    /// Aggregates dissolved because a re-solve touched a member (outside
+    /// traffic arrived); dissolution at member close — the phase ending —
+    /// is not counted.
+    pub agg_splits: u64,
+    /// Deferred batches flushed.
+    pub flush_batches: u64,
 }
 
 /// The live network: link occupancies and flow allotments.
@@ -144,6 +180,23 @@ pub struct FlowNet {
     /// Partition-safety guard: when set, opening a flow over a link
     /// outside this mask panics. `None` (the default) allows every link.
     allowed: Option<Vec<bool>>,
+    /// Deferred-batching sink: when set, the first deferred op of an
+    /// instant schedules a zero-delay [`FLUSH_KEY`] timer to this actor,
+    /// whose owner then calls [`FlowNet::flush`].
+    flush_actor: Option<ActorId>,
+    /// Whether a flush timer is already pending for the current instant.
+    flush_scheduled: bool,
+    /// Flows opened deferred since the last flush.
+    batch_opened: Vec<u32>,
+    /// Re-solve seeds from deferred closes: the survivors that shared a
+    /// link with each departing flow at its close (filtered for liveness
+    /// at flush — a seed may itself close later in the same batch).
+    batch_seeds: Vec<u32>,
+    /// Slab slots freed by deferred closes, returned to the free list at
+    /// flush — never mid-batch, so batch indices stay unambiguous.
+    batch_freed: Vec<u32>,
+    /// Aggregate-entity bookkeeping (see [`sharing::AggregateLedger`]).
+    ledger: sharing::AggregateLedger,
 }
 
 impl FlowNet {
@@ -177,6 +230,12 @@ impl FlowNet {
             next_seq: 0,
             stats: NetStats::default(),
             allowed: None,
+            flush_actor: None,
+            flush_scheduled: false,
+            batch_opened: Vec::new(),
+            batch_seeds: Vec::new(),
+            batch_freed: Vec::new(),
+            ledger: sharing::AggregateLedger::new(),
         }
     }
 
@@ -218,6 +277,39 @@ impl FlowNet {
     /// Panics if `route` is empty — loopback transfers never reach the
     /// network layer.
     pub fn open(&mut self, kernel: &mut Kernel, route: &[LinkId], bytes: f64, cap: f64) -> FlowId {
+        let id = self.register(kernel, route, bytes, cap);
+        self.reshare_after_change(kernel, id.index);
+        self.note_entity_hwm();
+        id
+    }
+
+    /// Opens a flow like [`FlowNet::open`] but defers the re-solve to the
+    /// end of the current instant: the flow starts at rate 0 and receives
+    /// its allotment at [`FlowNet::flush`]. Same-instant rate changes
+    /// cannot move any completion time, and the flush solves the
+    /// instant's final graph — the state the per-op sequence ends in — so
+    /// the allotments are bit-identical to opening eagerly. Collective
+    /// phases use this to pay O(1) solves for O(P) flows.
+    ///
+    /// A flow opened deferred must be closed with
+    /// [`FlowNet::close_deferred`] (or after a flush has run), never with
+    /// a same-instant [`FlowNet::close`], which would recycle its slab
+    /// while the batch still references it.
+    pub fn open_deferred(
+        &mut self,
+        kernel: &mut Kernel,
+        route: &[LinkId],
+        bytes: f64,
+        cap: f64,
+    ) -> FlowId {
+        let id = self.register(kernel, route, bytes, cap);
+        self.batch_opened.push(id.index);
+        self.schedule_flush(kernel);
+        id
+    }
+
+    /// Registers a flow in the slab and per-link tables without solving.
+    fn register(&mut self, kernel: &mut Kernel, route: &[LinkId], bytes: f64, cap: f64) -> FlowId {
         assert!(!route.is_empty(), "cannot open a flow over an empty route");
         assert!(cap > 0.0 && cap.is_finite(), "invalid flow cap: {cap}");
         if let Some(mask) = &self.allowed {
@@ -265,12 +357,14 @@ impl FlowNet {
         self.next_seq += 1;
         self.live_count += 1;
         self.stats.flows_opened += 1;
-        let id = FlowId {
+        self.ledger.ensure_flows(self.flows.len());
+        if self.live_count as u64 > self.stats.live_flow_hwm {
+            self.stats.live_flow_hwm = self.live_count as u64;
+        }
+        FlowId {
             index,
             generation: self.flows[index as usize].generation,
-        };
-        self.reshare_after_change(kernel, index);
-        id
+        }
     }
 
     /// The kernel activity carrying this flow's progress (subscribe to it
@@ -285,12 +379,41 @@ impl FlowNet {
     /// redistributes bandwidth. Closing an already-closed flow is an
     /// error.
     pub fn close(&mut self, kernel: &mut Kernel, id: FlowId) {
+        self.unregister(kernel, id);
+        let f = &mut self.flows[id.index as usize];
+        f.next_free = self.free_head;
+        self.free_head = id.index;
+        self.reshare_after_close(kernel, &id);
+        self.note_entity_hwm();
+    }
+
+    /// Closes a flow like [`FlowNet::close`] but defers the re-solve to
+    /// [`FlowNet::flush`]: the flow leaves the tables immediately (so any
+    /// same-instant solve already sees the departure), its surviving
+    /// neighbors are recorded as re-solve seeds, and its slab slot is
+    /// quarantined until the flush. A whole collective phase retiring at
+    /// one instant thus costs O(1) solves instead of O(P).
+    pub fn close_deferred(&mut self, kernel: &mut Kernel, id: FlowId) {
+        self.unregister(kernel, id);
+        for li in 0..self.flows[id.index as usize].route.len() {
+            let lu = self.flows[id.index as usize].route[li].as_usize();
+            self.batch_seeds.extend(self.per_link[lu].iter().copied());
+        }
+        self.batch_freed.push(id.index);
+        self.schedule_flush(kernel);
+    }
+
+    /// Removes a flow from the live tables without recycling its slab or
+    /// solving. Its aggregate, if any, dissolves — the phase is ending —
+    /// which is not counted as a split.
+    fn unregister(&mut self, kernel: &mut Kernel, id: FlowId) {
         let f = &mut self.flows[id.index as usize];
         assert_eq!(f.generation, id.generation, "stale FlowId");
         assert!(f.live, "double close of flow {id:?}");
         f.live = false;
         kernel.cancel(f.activity); // no-op when already completed
-        let route = std::mem::take(&mut f.route);
+        self.ledger.dissolve_member(id.index);
+        let route = std::mem::take(&mut self.flows[id.index as usize].route);
         for l in &route {
             let ls = &mut self.links[l.as_usize()];
             ls.nflows -= 1;
@@ -305,9 +428,201 @@ impl FlowNet {
         self.stats.flows_closed += 1;
         let f = &mut self.flows[id.index as usize];
         f.route = route; // keep the allocation for reuse
-        f.next_free = self.free_head;
-        self.free_head = id.index;
-        self.reshare_after_close(kernel, &id);
+    }
+
+    /// Installs the actor that owns the deferred-flush timer. The engines
+    /// point this at their transport daemon, which recognises
+    /// [`FLUSH_KEY`] and calls [`FlowNet::flush`]. Without a sink,
+    /// deferred ops still batch but the owner must call `flush` itself
+    /// (unit tests do exactly that).
+    pub fn set_flush_actor(&mut self, actor: ActorId) {
+        self.flush_actor = Some(actor);
+    }
+
+    /// Live entities: live flows, with each aggregate counted once.
+    pub fn live_entities(&self) -> usize {
+        self.live_count - self.ledger.surplus()
+    }
+
+    fn schedule_flush(&mut self, kernel: &mut Kernel) {
+        if self.flush_scheduled {
+            return;
+        }
+        if let Some(actor) = self.flush_actor {
+            kernel.set_timer(actor, Duration::ZERO, FLUSH_KEY);
+            self.flush_scheduled = true;
+        }
+    }
+
+    /// Applies every deferred open/close recorded since the last flush:
+    /// one batched re-solve over the affected components of the
+    /// instant's final graph, rate pushes in flow-open order, then — if
+    /// the opened batch is uniform (bitwise-equal ceilings and solved
+    /// rates) and link-isolated from all other traffic — the batch is
+    /// recorded as one aggregate entity. Quarantined slab slots return to
+    /// the free list last, in close order, matching the sequential
+    /// path's free-list state at the end of the instant.
+    pub fn flush(&mut self, kernel: &mut Kernel) {
+        self.flush_scheduled = false;
+        if self.batch_opened.is_empty()
+            && self.batch_seeds.is_empty()
+            && self.batch_freed.is_empty()
+        {
+            return;
+        }
+        self.stats.flush_batches += 1;
+        match self.policy {
+            SharingPolicy::Bottleneck => self.flush_bottleneck(kernel),
+            SharingPolicy::MaxMin => self.flush_maxmin(kernel),
+            SharingPolicy::MaxMinFull => self.reshare_maxmin_full(kernel),
+        }
+        self.try_form_aggregate();
+        for i in 0..self.batch_freed.len() {
+            let idx = self.batch_freed[i];
+            self.flows[idx as usize].next_free = self.free_head;
+            self.free_head = idx;
+        }
+        self.batch_freed.clear();
+        self.batch_seeds.clear();
+        self.note_entity_hwm();
+    }
+
+    /// Batched bottleneck re-solve: one recomputation over every flow
+    /// sharing a link with the batch's opens plus the recorded close
+    /// survivors — the exact set whose link occupancies changed. The
+    /// bottleneck rate is a pure function of the final occupancies, so
+    /// pushing it once per affected flow reproduces the sequential
+    /// sequence's end-of-instant rates bitwise.
+    fn flush_bottleneck(&mut self, kernel: &mut Kernel) {
+        self.scratch.clear();
+        for i in 0..self.batch_opened.len() {
+            let f = self.batch_opened[i] as usize;
+            if !self.flows[f].live {
+                continue;
+            }
+            for li in 0..self.flows[f].route.len() {
+                let lu = self.flows[f].route[li].as_usize();
+                self.scratch.extend(self.per_link[lu].iter().copied());
+            }
+        }
+        self.scratch.extend(self.batch_seeds.iter().copied());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.retain(|&f| self.flows[f as usize].live);
+        scratch.sort_unstable();
+        scratch.dedup();
+        for &f in &scratch {
+            if self.ledger.dissolve_member(f) {
+                self.stats.agg_splits += 1;
+            }
+        }
+        self.stats.resolves += 1;
+        self.stats.rate_updates += scratch.len() as u64;
+        // Push in open order, not slab-index order: see Flow::seq.
+        scratch.sort_unstable_by_key(|&i| self.flows[i as usize].seq);
+        for idx in &scratch {
+            let rate = self.bottleneck_rate(*idx);
+            kernel.set_rate(self.flows[*idx as usize].activity, rate);
+        }
+        scratch.clear();
+        self.scratch = scratch;
+    }
+
+    /// Batched max-min re-solve: every component reachable from a
+    /// batch-opened flow or a close survivor is solved once against the
+    /// final graph. A whole symmetric collective phase lands in O(1)
+    /// components regardless of P.
+    fn flush_maxmin(&mut self, kernel: &mut Kernel) {
+        self.ensure_marks();
+        let start_epoch = self.epoch;
+        let mut seeds = std::mem::take(&mut self.scratch);
+        seeds.clear();
+        seeds.extend(self.batch_opened.iter().copied());
+        seeds.extend(self.batch_seeds.iter().copied());
+        seeds.retain(|&f| self.flows[f as usize].live);
+        seeds.sort_unstable();
+        seeds.dedup();
+        for &seed in &seeds {
+            if self.flow_mark[seed as usize] <= start_epoch {
+                if self.ledger.dissolve_member(seed) {
+                    self.stats.agg_splits += 1;
+                }
+                self.epoch += 1;
+                self.comp_flows.clear();
+                self.comp_links.clear();
+                self.flow_mark[seed as usize] = self.epoch;
+                self.comp_flows.push(seed);
+                self.expand_component();
+                self.solve_component();
+            }
+        }
+        seeds.clear();
+        self.scratch = seeds;
+        self.flush_rates(kernel);
+    }
+
+    /// Records the just-flushed opens as one aggregate entity if every
+    /// still-live member carries the same ceiling, landed on the same
+    /// solved rate (bitwise), and no outside flow shares any member
+    /// link. Those are exactly the conditions under which the batch will
+    /// keep behaving as one entity until something touches it — at which
+    /// point it dissolves (see [`NetStats::agg_splits`]).
+    fn try_form_aggregate(&mut self) {
+        let mut members = std::mem::take(&mut self.batch_opened);
+        members.retain(|&f| self.flows[f as usize].live);
+        if self.certify_uniform_batch(&members) {
+            self.ledger.form(&members);
+            self.stats.agg_formed += 1;
+            self.stats.agg_members += members.len() as u64;
+        }
+        members.clear();
+        self.batch_opened = members;
+    }
+
+    fn certify_uniform_batch(&mut self, members: &[u32]) -> bool {
+        if members.len() < 2 {
+            return false;
+        }
+        let cap0 = self.flows[members[0] as usize].cap.to_bits();
+        let rate0 = self.effective_rate(members[0]).to_bits();
+        for &m in members {
+            if self.flows[m as usize].cap.to_bits() != cap0 {
+                return false;
+            }
+            if self.effective_rate(m).to_bits() != rate0 {
+                return false;
+            }
+        }
+        // Link isolation: every flow on every member link is a member.
+        self.ensure_marks();
+        self.epoch += 1;
+        for &m in members {
+            self.flow_mark[m as usize] = self.epoch;
+        }
+        for &m in members {
+            for l in &self.flows[m as usize].route {
+                for &g in &self.per_link[l.as_usize()] {
+                    if self.flow_mark[g as usize] != self.epoch {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The rate a live flow currently receives under the active policy.
+    fn effective_rate(&self, flow: u32) -> f64 {
+        match self.policy {
+            SharingPolicy::Bottleneck => self.bottleneck_rate(flow),
+            SharingPolicy::MaxMin | SharingPolicy::MaxMinFull => self.flows[flow as usize].rate,
+        }
+    }
+
+    fn note_entity_hwm(&mut self) {
+        let entities = (self.live_count - self.ledger.surplus()) as u64;
+        if entities > self.stats.live_entity_hwm {
+            self.stats.live_entity_hwm = entities;
+        }
     }
 
     fn reshare_after_change(&mut self, kernel: &mut Kernel, new_flow: u32) {
@@ -315,6 +630,12 @@ impl FlowNet {
             SharingPolicy::Bottleneck => {
                 // Affected flows: every flow sharing a link with the new one.
                 self.collect_neighbors(new_flow);
+                for i in 0..self.scratch.len() {
+                    let f = self.scratch[i];
+                    if self.ledger.dissolve_member(f) {
+                        self.stats.agg_splits += 1;
+                    }
+                }
                 self.stats.resolves += 1;
                 self.stats.rate_updates += self.scratch.len() as u64;
                 let mut scratch = std::mem::take(&mut self.scratch);
@@ -345,6 +666,12 @@ impl FlowNet {
                 }
                 self.scratch.sort_unstable();
                 self.scratch.dedup();
+                for i in 0..self.scratch.len() {
+                    let f = self.scratch[i];
+                    if self.ledger.dissolve_member(f) {
+                        self.stats.agg_splits += 1;
+                    }
+                }
                 self.stats.resolves += 1;
                 self.stats.rate_updates += self.scratch.len() as u64;
                 let mut scratch = std::mem::take(&mut self.scratch);
@@ -414,6 +741,9 @@ impl FlowNet {
         seeds.dedup();
         for &seed in &seeds {
             if self.flow_mark[seed as usize] <= start_epoch {
+                if self.ledger.dissolve_member(seed) {
+                    self.stats.agg_splits += 1;
+                }
                 self.epoch += 1;
                 self.comp_flows.clear();
                 self.comp_links.clear();
@@ -438,6 +768,9 @@ impl FlowNet {
         let start_epoch = self.epoch;
         for idx in 0..self.flows.len() {
             if self.flows[idx].live && self.flow_mark[idx] <= start_epoch {
+                if self.ledger.dissolve_member(idx as u32) {
+                    self.stats.agg_splits += 1;
+                }
                 self.epoch += 1;
                 self.comp_flows.clear();
                 self.comp_links.clear();
@@ -471,6 +804,9 @@ impl FlowNet {
                     for &g in &self.per_link[lu] {
                         if self.flow_mark[g as usize] != self.epoch {
                             self.flow_mark[g as usize] = self.epoch;
+                            if self.ledger.dissolve_member(g) {
+                                self.stats.agg_splits += 1;
+                            }
                             self.comp_flows.push(g);
                         }
                     }
@@ -715,6 +1051,124 @@ mod tests {
         assert_ne!(f1, f2);
         let _ = net.activity(f2); // must not panic
     }
+
+    /// The observed rate of a flow under either maintenance scheme.
+    fn rate_of(net: &FlowNet, id: FlowId) -> f64 {
+        net.effective_rate(id.index)
+    }
+
+    #[test]
+    fn deferred_batch_matches_sequential_rates() {
+        for policy in [
+            SharingPolicy::Bottleneck,
+            SharingPolicy::MaxMin,
+            SharingPolicy::MaxMinFull,
+        ] {
+            let (p, mut seq, mut k_seq) = net(policy);
+            let mut def = FlowNet::new(&p, policy);
+            let mut k_def = Kernel::new();
+            // A symmetric 2-pair phase plus one asymmetric flow.
+            let routes = [route(&p, 0, 1), route(&p, 2, 3), route(&p, 0, 2)];
+            let mut pairs = Vec::new();
+            for r in &routes {
+                pairs.push((
+                    seq.open(&mut k_seq, r, 1e6, 90.0),
+                    def.open_deferred(&mut k_def, r, 1e6, 90.0),
+                ));
+            }
+            def.flush(&mut k_def);
+            for (fs, fd) in &pairs {
+                assert_eq!(
+                    rate_of(&seq, *fs).to_bits(),
+                    rate_of(&def, *fd).to_bits(),
+                    "{policy:?}"
+                );
+            }
+            // Retire the phase; the asymmetric survivor must re-expand.
+            let (fs, fd) = pairs.remove(0);
+            seq.close(&mut k_seq, fs);
+            def.close_deferred(&mut k_def, fd);
+            def.flush(&mut k_def);
+            for (fs, fd) in &pairs {
+                assert_eq!(
+                    rate_of(&seq, *fs).to_bits(),
+                    rate_of(&def, *fd).to_bits(),
+                    "{policy:?}"
+                );
+            }
+            assert_eq!(seq.live_flows(), def.live_flows());
+        }
+    }
+
+    #[test]
+    fn uniform_isolated_batch_forms_one_aggregate() {
+        let (p, mut net, mut k) = net(SharingPolicy::MaxMin);
+        // Two disjoint pairs, identical caps: a recursive-doubling round.
+        let f1 = net.open_deferred(&mut k, &route(&p, 0, 1), 1e6, 90.0);
+        let f2 = net.open_deferred(&mut k, &route(&p, 2, 3), 1e6, 90.0);
+        net.flush(&mut k);
+        let s = net.stats();
+        assert_eq!(s.agg_formed, 1);
+        assert_eq!(s.agg_members, 2);
+        assert_eq!(s.flush_batches, 1);
+        assert_eq!(s.live_flow_hwm, 2);
+        assert_eq!(s.live_entity_hwm, 1, "aggregate counts once");
+        assert_eq!(net.live_entities(), 1);
+        // Phase retires: dissolution at close is not a split.
+        net.close_deferred(&mut k, f1);
+        net.close_deferred(&mut k, f2);
+        net.flush(&mut k);
+        let s = net.stats();
+        assert_eq!(s.agg_splits, 0);
+        assert_eq!(net.live_entities(), 0);
+    }
+
+    #[test]
+    fn outside_traffic_splits_an_aggregate() {
+        let (p, mut net, mut k) = net(SharingPolicy::MaxMin);
+        let _f1 = net.open_deferred(&mut k, &route(&p, 0, 1), 1e6, 90.0);
+        let _f2 = net.open_deferred(&mut k, &route(&p, 2, 3), 1e6, 90.0);
+        net.flush(&mut k);
+        assert_eq!(net.live_entities(), 1);
+        // A normal open crossing member links dissolves the aggregate.
+        let _x = net.open(&mut k, &route(&p, 0, 2), 1e6, 1e9);
+        let s = net.stats();
+        assert_eq!(s.agg_splits, 1);
+        assert_eq!(net.live_entities(), 3);
+    }
+
+    #[test]
+    fn non_uniform_batch_is_not_aggregated() {
+        let (p, mut net, mut k) = net(SharingPolicy::MaxMin);
+        let _f1 = net.open_deferred(&mut k, &route(&p, 0, 1), 1e6, 90.0);
+        let _f2 = net.open_deferred(&mut k, &route(&p, 2, 3), 1e6, 40.0);
+        net.flush(&mut k);
+        assert_eq!(net.stats().agg_formed, 0);
+        assert_eq!(net.live_entities(), 2);
+    }
+
+    #[test]
+    fn batch_sharing_links_with_outsiders_is_not_aggregated() {
+        let (p, mut net, mut k) = net(SharingPolicy::MaxMin);
+        let _bg = net.open(&mut k, &route(&p, 0, 3), 1e6, 1e9);
+        let _f1 = net.open_deferred(&mut k, &route(&p, 0, 1), 1e6, 90.0);
+        let _f2 = net.open_deferred(&mut k, &route(&p, 2, 3), 1e6, 90.0);
+        net.flush(&mut k);
+        assert_eq!(net.stats().agg_formed, 0, "not isolated from bg flow");
+    }
+
+    #[test]
+    fn flush_timer_reaches_the_installed_actor() {
+        let (p, mut net, mut k) = net(SharingPolicy::MaxMin);
+        net.set_flush_actor(simkernel::ActorId(7));
+        let _f = net.open_deferred(&mut k, &route(&p, 0, 1), 1e6, 90.0);
+        let (actor, wake) = k.next_wake().expect("flush timer scheduled");
+        assert_eq!(actor, simkernel::ActorId(7));
+        assert!(matches!(wake, simkernel::Wake::Timer(FLUSH_KEY)));
+        assert_eq!(k.now().as_secs(), 0.0, "flush fires within the instant");
+        net.flush(&mut k);
+        assert_eq!(net.stats().flush_batches, 1);
+    }
 }
 
 #[cfg(test)]
@@ -868,6 +1322,60 @@ mod proptests {
                     }
                 }
                 prop_assert!(k_inc.now() == k_ful.now());
+            }
+        }
+
+        /// Differential: a schedule applied through the deferred batch
+        /// path (instant-grouped ops + one flush) ends every instant with
+        /// bitwise the allotments the per-op sequential path holds, for
+        /// all three policies. This is the exactness gate the collective
+        /// aggregation replay path rests on.
+        #[test]
+        fn deferred_flush_is_bitwise_equal_to_sequential(
+            instants in proptest::collection::vec(
+                proptest::collection::vec(
+                    (0u32..8, 0u32..8, 0usize..12, 1.0f64..200.0), 1..5),
+                1..16),
+        ) {
+            let p = churn_platform();
+            for policy in [
+                SharingPolicy::Bottleneck,
+                SharingPolicy::MaxMin,
+                SharingPolicy::MaxMinFull,
+            ] {
+                let mut k_seq = Kernel::new();
+                let mut k_def = Kernel::new();
+                let mut seq = FlowNet::new(&p, policy);
+                let mut def = FlowNet::new(&p, policy);
+                let mut r = Vec::new();
+                let mut open: Vec<(FlowId, FlowId)> = Vec::new();
+                for ops in &instants {
+                    for (s, d, close_at, cap) in ops {
+                        if s != d {
+                            p.route(HostId(*s), HostId(*d), &mut r);
+                            open.push((
+                                seq.open(&mut k_seq, &r, 1e6, *cap),
+                                def.open_deferred(&mut k_def, &r, 1e6, *cap),
+                            ));
+                        }
+                        if *close_at < open.len() {
+                            let (fs, fd) = open.swap_remove(open.len() - 1 - close_at);
+                            seq.close(&mut k_seq, fs);
+                            def.close_deferred(&mut k_def, fd);
+                        }
+                    }
+                    def.flush(&mut k_def);
+                    for (fs, fd) in &open {
+                        let rs = seq.effective_rate(fs.index);
+                        let rd = def.effective_rate(fd.index);
+                        prop_assert!(
+                            rs.to_bits() == rd.to_bits(),
+                            "{policy:?}: sequential {rs} vs deferred {rd}"
+                        );
+                    }
+                    prop_assert!(seq.live_flows() == def.live_flows());
+                    prop_assert!(def.live_entities() <= def.live_flows());
+                }
             }
         }
     }

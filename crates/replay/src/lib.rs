@@ -80,6 +80,12 @@ pub struct ReplayConfig {
     /// forces windowed barrier stepping every `w` simulated seconds (a
     /// testing knob; results are identical either way).
     pub window_s: Option<f64>,
+    /// Collective flow aggregation in the network model: collective
+    /// phases take the deferred batch path, costing O(1) sharing solves
+    /// and O(1) live entities per phase instead of O(P). Results are
+    /// bit-identical with the flag on or off (differential tests gate
+    /// it); off by default to keep the constituent path the reference.
+    pub collective_agg: bool,
 }
 
 impl ReplayConfig {
@@ -108,6 +114,7 @@ impl ReplayConfig {
             fel: simkernel::FelImpl::default(),
             threads: ReplayConfig::default_threads(),
             window_s: None,
+            collective_agg: false,
         }
     }
 
@@ -122,6 +129,7 @@ impl ReplayConfig {
             fel: simkernel::FelImpl::default(),
             threads: ReplayConfig::default_threads(),
             window_s: None,
+            collective_agg: false,
         }
     }
 
@@ -138,6 +146,7 @@ impl ReplayConfig {
             fel: simkernel::FelImpl::default(),
             threads: ReplayConfig::default_threads(),
             window_s: None,
+            collective_agg: false,
         }
     }
 
@@ -157,6 +166,7 @@ impl ReplayConfig {
             fel: simkernel::FelImpl::default(),
             threads: ReplayConfig::default_threads(),
             window_s: None,
+            collective_agg: false,
         }
     }
 }
@@ -403,6 +413,7 @@ fn run_engine(
             smpi_cfg.copy = config.copy_model;
             smpi_cfg.sharing = config.sharing;
             smpi_cfg.fel = config.fel;
+            smpi_cfg.collective_agg = config.collective_agg;
             let (r, obs) = smpi::run_smpi_observed(
                 platform,
                 hosts,
@@ -425,6 +436,7 @@ fn run_engine(
             let mut msg_cfg = msgsim::MsgConfig::legacy();
             msg_cfg.sharing = config.sharing;
             msg_cfg.fel = config.fel;
+            msg_cfg.collective_agg = config.collective_agg;
             let (r, obs) = msgsim::run_msg_observed(
                 platform,
                 hosts,
@@ -530,6 +542,10 @@ pub fn config_fields(config: &ReplayConfig) -> Vec<(String, String)> {
         ("sharing".into(), format!("{:?}", config.sharing)),
         ("fel".into(), format!("{:?}", config.fel)),
         ("threads".into(), format!("{}", config.threads)),
+        (
+            "collective_agg".into(),
+            format!("{}", config.collective_agg),
+        ),
     ]
 }
 
@@ -581,6 +597,7 @@ mod tests {
                 fel: simkernel::FelImpl::default(),
                 threads: ReplayConfig::default_threads(),
                 window_s: None,
+                collective_agg: false,
             };
             let r = replay(&p, &trace, &cfg).unwrap_or_else(|e| panic!("{engine:?}: {e}"));
             assert!(r.time > 0.0, "{engine:?}");
@@ -687,6 +704,7 @@ mod tests {
                 fel: simkernel::FelImpl::default(),
                 threads: ReplayConfig::default_threads(),
                 window_s: None,
+                collective_agg: false,
             };
             let base = replay(&p, &trace, &cfg).unwrap();
             let inputs = [
@@ -792,6 +810,7 @@ mod observability_tests {
             fel,
             threads: ReplayConfig::default_threads(),
             window_s: None,
+            collective_agg: false,
         }
     }
 

@@ -313,6 +313,7 @@ fn prepare_island(
             smpi_cfg.copy = config.copy_model;
             smpi_cfg.sharing = config.sharing;
             smpi_cfg.fel = config.fel;
+            smpi_cfg.collective_agg = config.collective_agg;
             EngineRun::Smpi(smpi::prepare_smpi(
                 platform, hosts, sources, smpi_cfg, hooks, recorder,
             ))
@@ -321,6 +322,7 @@ fn prepare_island(
             let mut msg_cfg = msgsim::MsgConfig::legacy();
             msg_cfg.sharing = config.sharing;
             msg_cfg.fel = config.fel;
+            msg_cfg.collective_agg = config.collective_agg;
             EngineRun::Msg(msgsim::prepare_msg(
                 platform, hosts, sources, msg_cfg, hooks, recorder,
             ))
@@ -378,6 +380,16 @@ fn merge_islands(
         metrics.flows_resolved += m.flows_resolved;
         metrics.sharing_resolves += m.sharing_resolves;
         metrics.sharing_rate_updates += m.sharing_rate_updates;
+        metrics.sharing_flushes += m.sharing_flushes;
+        // High-water marks are per-island maxima: islands run their own
+        // network models, so the global figure is a fold, not a sum (and
+        // legitimately differs from a sequential replay's, which sees all
+        // islands' flows in one model).
+        metrics.live_flow_hwm = metrics.live_flow_hwm.max(m.live_flow_hwm);
+        metrics.live_entity_hwm = metrics.live_entity_hwm.max(m.live_entity_hwm);
+        metrics.agg_formed += m.agg_formed;
+        metrics.agg_members += m.agg_members;
+        metrics.agg_splits += m.agg_splits;
         metrics.match_depth_tracked |= m.match_depth_tracked;
         metrics.max_unexpected_depth = metrics.max_unexpected_depth.max(m.max_unexpected_depth);
         metrics.max_posted_depth = metrics.max_posted_depth.max(m.max_posted_depth);

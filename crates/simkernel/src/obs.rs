@@ -427,6 +427,21 @@ pub struct Metrics {
     pub sharing_resolves: u64,
     /// Flow-rate changes pushed to the kernel by the sharing solver.
     pub sharing_rate_updates: u64,
+    /// Deferred-batch flushes performed by the network model (0 when
+    /// collective aggregation is off).
+    pub sharing_flushes: u64,
+    /// High-water mark of concurrently live flows.
+    pub live_flow_hwm: u64,
+    /// High-water mark of live *entities* — flows, minus the surplus
+    /// members folded into aggregates. Equals `live_flow_hwm` when
+    /// aggregation is off; the aggregation win is the gap between them.
+    pub live_entity_hwm: u64,
+    /// Aggregate entities formed from uniform deferred batches.
+    pub agg_formed: u64,
+    /// Total member flows folded into aggregates.
+    pub agg_members: u64,
+    /// Aggregates dissolved early by outside traffic touching a member.
+    pub agg_splits: u64,
     /// Whether match-queue depths were tracked (the `profile` feature).
     pub match_depth_tracked: bool,
     /// High-water unexpected-queue depth (0 when untracked).
@@ -504,6 +519,17 @@ impl Metrics {
             self.flows_resolved,
             self.sharing_resolves,
             self.sharing_rate_updates
+        ));
+        out.push_str(&format!(
+            "  \"aggregation\": {{\"sharing_flushes\": {}, \"live_flow_hwm\": {}, \
+             \"live_entity_hwm\": {}, \"agg_formed\": {}, \"agg_members\": {}, \
+             \"agg_splits\": {}}},\n",
+            self.sharing_flushes,
+            self.live_flow_hwm,
+            self.live_entity_hwm,
+            self.agg_formed,
+            self.agg_members,
+            self.agg_splits
         ));
         if self.match_depth_tracked {
             out.push_str(&format!(

@@ -25,7 +25,7 @@
 
 use std::collections::VecDeque;
 
-use netmodel::{FlowId, FlowNet};
+use netmodel::{FlowId, FlowNet, FLUSH_KEY};
 use platform::{HostId, LinkId, Platform};
 use simkernel::obs::{Counter, Recorder, SpanKind};
 use simkernel::{ActorId, Duration, Kernel, Wake};
@@ -49,6 +49,9 @@ pub struct Msg {
     arrived: bool,
     /// Transfer started (eager always; rendezvous once matched).
     transferring: bool,
+    /// Collective-internal traffic ([`CH_COLL`]); eligible for the
+    /// deferred/aggregated network path.
+    coll: bool,
     flow: Option<FlowId>,
     matched_post: Option<PostId>,
     /// Set when a receive has directly committed to this message.
@@ -195,7 +198,12 @@ impl SmpiWorld {
                 pair_bandwidth.push(platform.route_bandwidth(hosts[s], hosts[d]));
             }
         }
-        let net = FlowNet::new(platform, cfg.sharing);
+        let mut net = FlowNet::new(platform, cfg.sharing);
+        if cfg.collective_agg {
+            // Deferred collective batches flush off a zero-delay timer
+            // delivered to the transport daemon (see FLUSH_KEY).
+            net.set_flush_actor(transport);
+        }
         SmpiWorld {
             net,
             cfg,
@@ -270,6 +278,7 @@ impl SmpiWorld {
             bytes,
             arrived: false,
             transferring: false,
+            coll: ch == CH_COLL,
             flow: None,
             matched_post: None,
             delivered: false,
@@ -484,9 +493,13 @@ impl SmpiWorld {
                 };
                 let msg = self.msgs.expect_mut(msg_id);
                 let flow = msg.flow.take().expect("flow completion without flow");
-                let (src, dst, bytes) = (msg.src, msg.dst, msg.bytes);
+                let (src, dst, bytes, coll) = (msg.src, msg.dst, msg.bytes, msg.coll);
                 let pair = self.pair(src, dst);
-                self.net.close(kernel, flow);
+                if self.cfg.collective_agg && coll {
+                    self.net.close_deferred(kernel, flow);
+                } else {
+                    self.net.close(kernel, flow);
+                }
                 if let Some(r) = self.recorder.as_mut() {
                     r.flow_close(msg_id.pack(), kernel.now().as_secs());
                 }
@@ -496,6 +509,9 @@ impl SmpiWorld {
                     .factors
                     .effective_latency(bytes, self.pair_latency[pair]);
                 kernel.set_timer(self.transport, Duration::from_secs(lat), msg_id.pack());
+            }
+            Wake::Timer(FLUSH_KEY) => {
+                self.net.flush(kernel);
             }
             Wake::Timer(key) => {
                 self.complete_arrival(kernel, Id::unpack(key));
@@ -511,7 +527,7 @@ impl SmpiWorld {
     fn start_transfer(&mut self, kernel: &mut Kernel, msg_id: MsgId) {
         let msg = self.msgs.expect_mut(msg_id);
         msg.transferring = true;
-        let (src, dst, bytes) = (msg.src, msg.dst, msg.bytes);
+        let (src, dst, bytes, coll) = (msg.src, msg.dst, msg.bytes, msg.coll);
         let pair = self.pair(src, dst);
         if self.routes[pair].is_empty() {
             // Intra-host: a memory copy.
@@ -526,7 +542,11 @@ impl SmpiWorld {
                 .factors
                 .effective_bandwidth(bytes, self.pair_bandwidth[pair]);
             let route = std::mem::take(&mut self.routes[pair]);
-            let flow = self.net.open(kernel, &route, bytes as f64, cap);
+            let flow = if self.cfg.collective_agg && coll {
+                self.net.open_deferred(kernel, &route, bytes as f64, cap)
+            } else {
+                self.net.open(kernel, &route, bytes as f64, cap)
+            };
             self.routes[pair] = route;
             let act = self.net.activity(flow);
             kernel.subscribe(act, self.transport);

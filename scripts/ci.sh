@@ -143,17 +143,44 @@ done
 # Metrics compare with the ladder's profile-gated *restructuring*
 # counters normalized away: one merged FEL and N island FELs
 # legitimately restructure at different points (same exemption as the
-# differential tests); every semantic counter must still match.
-norm_metrics() { sed -E 's/"(spills|bucket_sorts|reseeds)": [0-9]+/"\1": 0/g' "$1"; }
+# differential tests); the live-flow/entity high-water marks are also
+# per-network-model occupancy figures (sequential sees every island's
+# flows in one model, parallel folds per-island maxima); every semantic
+# counter must still match.
+norm_metrics() {
+    sed -E 's/"(spills|bucket_sorts|reseeds|live_flow_hwm|live_entity_hwm)": [0-9]+/"\1": 0/g' "$1"
+}
 cmp <(norm_metrics "$ingest_dir/halo.metrics.1.json") \
     <(norm_metrics "$ingest_dir/halo.metrics.4.json") \
     || { echo "parallel metrics export differs from sequential" >&2; exit 1; }
 echo "PARALLEL_SMOKE ok ($islands islands, simulated_time_s $h_seq identical at 1 and 4 threads)"
 
+# Collective-aggregation smoke: the LU class-B trace from the ingest
+# smoke replayed with --collective-agg on and off must produce the same
+# simulated time and byte-identical observability exports; only the
+# sharing-churn counters may differ (they are the measured win, gated
+# separately by perf_baseline --smoke).
+agg_replay() {
+    tag=$1; shift
+    "$rep" --platform "$plat" --ranks 8 --rate 2e9 --no-cache \
+        --trace "$ingest_dir/lu.trace" \
+        --trace-out "$ingest_dir/agg.chrome.$tag.json" \
+        --state-csv "$ingest_dir/agg.states.$tag.csv" "$@" 2>/dev/null \
+        | awk '$1 == "simulated_time_s" {print $2}'
+}
+a_off=$(agg_replay off)
+a_on=$(agg_replay on --collective-agg)
+[ -n "$a_off" ] && [ "$a_off" = "$a_on" ] \
+    || { echo "--collective-agg changed the simulated time ($a_on vs $a_off)" >&2; exit 1; }
+cmp "$ingest_dir/agg.chrome.off.json" "$ingest_dir/agg.chrome.on.json" \
+    && cmp "$ingest_dir/agg.states.off.csv" "$ingest_dir/agg.states.on.csv" \
+    || { echo "--collective-agg changed the observability exports" >&2; exit 1; }
+echo "AGG_SMOKE ok (simulated_time_s $a_off and exports identical with --collective-agg)"
+
 # Re-run the replay-facing suites with parallel replay as the ambient
 # default, so every differential test also exercises the worker pool.
 TITR_REPLAY_THREADS=4 cargo test -q -p tit-replay \
     --test parallel_replay --test runtime_semantics --test trace_roundtrip \
-    --test observability
+    --test observability --test collective_agg
 TITR_REPLAY_THREADS=4 cargo run --release -p bench --bin perf_baseline -- --smoke
 echo "PARALLEL_SUITE ok (replay tests + perf smoke at TITR_REPLAY_THREADS=4)"

@@ -34,6 +34,7 @@ fn run(trace: Trace, engine: ReplayEngine) -> replay::ReplayResult {
             fel: tit_replay::simkernel::FelImpl::default(),
             threads: ReplayConfig::default_threads(),
             window_s: None,
+            collective_agg: false,
         },
     )
     .expect("replay failed")
@@ -339,6 +340,7 @@ fn packed_placement_uses_loopback() {
             fel: tit_replay::simkernel::FelImpl::default(),
             threads: ReplayConfig::default_threads(),
             window_s: None,
+            collective_agg: false,
         },
     )
     .unwrap();

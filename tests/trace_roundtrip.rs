@@ -96,6 +96,7 @@ proptest! {
                 fel: tit_replay::simkernel::FelImpl::default(),
                 threads: ReplayConfig::default_threads(),
                 window_s: None,
+                collective_agg: false,
             }).unwrap();
             let fast = replay(&platform, &trace, &ReplayConfig {
                 engine, rate: 4e9, placement: Placement::OnePerNode, copy_model: None,
@@ -103,6 +104,7 @@ proptest! {
                 fel: tit_replay::simkernel::FelImpl::default(),
                 threads: ReplayConfig::default_threads(),
                 window_s: None,
+                collective_agg: false,
             }).unwrap();
             prop_assert!(slow.time > 0.0);
             prop_assert!(fast.time <= slow.time * (1.0 + 1e-9),
