@@ -79,6 +79,10 @@ struct Baseline {
     /// Conservative parallel replay: wall-clock speedup over thread
     /// counts, with bit-identical results asserted at every count.
     parallel: Vec<ParallelSpeedup>,
+    /// Windowed PDES inside one coupled component: sub-shard counts,
+    /// window-barrier rounds, mailbox traffic, and wall time per thread
+    /// count, with bit-identical results asserted at every count.
+    pdes: Vec<PdesRow>,
     /// Collective flow aggregation on vs off, with bit-identical
     /// simulated results asserted per row; the sharing-churn and
     /// live-entity reductions are the measured win.
@@ -227,6 +231,42 @@ struct ParallelSpeedup {
     /// Coupling islands the trace decomposes into (1 = the parallel
     /// path degenerates to the sequential replay).
     islands: f64,
+    /// Best-of-N wall time, seconds.
+    wall_s: f64,
+    /// Wall time at threads=1 over this row's wall time.
+    speedup: f64,
+    /// Simulated makespan — bit-identical across thread counts by
+    /// construction (asserted before the row is emitted).
+    simulated_s: f64,
+}
+
+/// Windowed-PDES replay of one workload at one thread count. When the
+/// sub-shard certificate holds (single coupled component, eager-only
+/// cross traffic, exclusive link ownership) the engine shards the
+/// component and the mailbox columns are live; when it does not (LU's
+/// collectives, the allreduce backbone) the engine falls back and the
+/// row records `shards: 1` with zero windows — the identity assertions
+/// hold either way.
+#[derive(Debug, Serialize)]
+struct PdesRow {
+    /// Workload label.
+    workload: String,
+    /// Worker threads configured.
+    threads: f64,
+    /// Sub-shards the windowed engine actually ran (1 = it fell back to
+    /// the sequential or island path).
+    shards: f64,
+    /// Window-barrier rounds executed.
+    windows: f64,
+    /// Cross-shard eager envelopes forwarded through mailboxes.
+    mailbox_envelopes: f64,
+    /// Cross-shard payload arrivals forwarded through mailboxes.
+    mailbox_arrivals: f64,
+    /// Conservative lookahead of the certified plan, seconds (0 when
+    /// the engine fell back).
+    lookahead_s: f64,
+    /// Effective window width, seconds (0 when the engine fell back).
+    window_s: f64,
     /// Best-of-N wall time, seconds.
     wall_s: f64,
     /// Wall time at threads=1 over this row's wall time.
@@ -558,6 +598,116 @@ fn parallel_rows(
         assert!(
             four.speedup >= 2.0,
             "{workload}: expected >=2x speedup at 4 threads, got {:.2}x",
+            four.speedup
+        );
+    }
+}
+
+/// A non-blocking crossbar: every host pair gets a dedicated NIC-link
+/// pair, so single-source-per-receiver traffic (rings) certifies a
+/// sub-shard plan for the windowed engine.
+fn xbar_platform(nodes: u32, link_latency: f64) -> Platform {
+    use tit_replay::platform::topology::{direct_cluster, DirectClusterSpec};
+    direct_cluster(&DirectClusterSpec {
+        name: "xbar".into(),
+        nodes,
+        host_speed: 1e9,
+        cores: 1,
+        cache_bytes: 1 << 20,
+        link_bandwidth: 1.25e8,
+        link_latency,
+    })
+}
+
+/// A coupled ring with relaxed synchronisation: each rank streams
+/// `burst` eager messages to its ring successor per block (one source
+/// per receiver, so the crossbar certificate holds), then waits for
+/// the matching receives and computes a rank- and block-dependent
+/// amount. The burst keeps events dense inside each conservative
+/// window so the per-window work amortises the barrier cost; the
+/// skewed compute keeps event times from tying across ranks.
+fn pdes_ring_trace(ranks: u32, blocks: u32, burst: u32, bytes: u64) -> Trace {
+    let mut trace = Trace::new(ranks);
+    for r in 0..ranks {
+        let next = Rank((r + 1) % ranks);
+        let prev = Rank((r + ranks - 1) % ranks);
+        let rank = Rank(r);
+        trace.push(rank, Action::Init);
+        for b in 0..blocks {
+            for _ in 0..burst {
+                trace.push(rank, Action::Irecv { src: prev, bytes });
+                trace.push(rank, Action::Isend { dst: next, bytes });
+            }
+            trace.push(rank, Action::WaitAll);
+            trace.push(
+                rank,
+                Action::Compute {
+                    amount: 1e5 + (r as f64) * 1.7e3 + (b as f64) * 3.1e2,
+                },
+            );
+        }
+        trace.push(rank, Action::Finalize);
+    }
+    trace
+}
+
+/// Times one workload through the windowed-PDES entry point across
+/// thread counts, asserting bit-identical simulated times at every
+/// count. `expect_engaged` demands that the engine actually sharded the
+/// component at threads >= 2 (set it for certified workloads only; LU
+/// and allreduce fall back by design). The >=2x speedup expectation at
+/// 4 threads only applies on hosts with >= 4 workers; the identity
+/// assertions are unconditional.
+fn pdes_rows(
+    platform: &Platform,
+    trace: &Arc<Trace>,
+    workload: &str,
+    host: usize,
+    expect_engaged: bool,
+    rows: &mut Vec<PdesRow>,
+) {
+    use tit_replay::replay::replay_observed;
+    let mut base: Option<(f64, u64)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut cfg = replay_cfg(ReplayEngine::Smpi, SharingPolicy::Bottleneck);
+        cfg.threads = threads;
+        let report = replay_observed(platform, trace, &cfg, false).unwrap();
+        let wall_s = time_best(3, || replay(platform, trace, &cfg).unwrap());
+        let (base_wall, base_bits) = *base.get_or_insert((wall_s, report.result.time.to_bits()));
+        assert_eq!(
+            report.result.time.to_bits(),
+            base_bits,
+            "{workload}: windowed replay at {threads} threads diverged"
+        );
+        if threads > 1 && expect_engaged {
+            assert!(
+                report.pdes.is_some(),
+                "{workload}: windowed engine failed to engage at {threads} threads"
+            );
+        }
+        let p = report.pdes;
+        rows.push(PdesRow {
+            workload: workload.into(),
+            threads: threads as f64,
+            shards: p.map_or(1.0, |p| p.shards as f64),
+            windows: p.map_or(0.0, |p| p.windows as f64),
+            mailbox_envelopes: p.map_or(0.0, |p| p.mailbox_envelopes as f64),
+            mailbox_arrivals: p.map_or(0.0, |p| p.mailbox_arrivals as f64),
+            lookahead_s: p.map_or(0.0, |p| p.lookahead_s),
+            window_s: p.map_or(0.0, |p| p.window_s),
+            wall_s,
+            speedup: base_wall / wall_s,
+            simulated_s: report.result.time,
+        });
+    }
+    if expect_engaged && host >= 4 {
+        let four = rows
+            .iter()
+            .rfind(|r| r.workload == workload && r.threads == 4.0)
+            .unwrap();
+        assert!(
+            four.speedup >= 2.0,
+            "{workload}: expected >=2x windowed speedup at 4 threads, got {:.2}x",
             four.speedup
         );
     }
@@ -935,12 +1085,60 @@ fn smoke() {
     }
     obs_smoke();
     parallel_smoke();
+    pdes_smoke();
     agg_smoke();
     println!(
         "PERF_SMOKE ok (counters sane, ladder steady state allocation-free, \
          disabled recorder cost-free, threads=1 dispatch cost-free, \
-         parallel replay bit-identical, aggregation bit-identical and \
-         churn-free)"
+         parallel replay bit-identical, windowed PDES bit-identical and \
+         dispatch cost-free on coupled workloads, aggregation \
+         bit-identical and churn-free)"
+    );
+}
+
+/// Windowed-PDES gate: on a *coupled* workload (one island — the shape
+/// the windowed engine exists for) the threads=1 entry point must stay
+/// within 1% of the raw sequential runner (the sub-shard planner never
+/// runs unless threads > 1), and the windowed replay at 4 threads must
+/// actually engage, shard the component, and stay bit-identical to the
+/// sequential result.
+fn pdes_smoke() {
+    use tit_replay::replay::{replay_observed, replay_sources_observed};
+    use tit_replay::titrace::stream;
+    let xbar = xbar_platform(8, 2e-4);
+    let ring = Arc::new(pdes_ring_trace(8, 60, 8, 1 << 10));
+    let input = TraceInput::Memory(Arc::clone(&ring));
+    let cfg = replay_cfg(ReplayEngine::Smpi, SharingPolicy::Bottleneck);
+    assert_eq!(cfg.threads, 1, "bench config must pin the sequential path");
+    let raw_s = time_best(5, || {
+        let sources = stream::open_sources(&input, ring.ranks()).unwrap();
+        replay_sources_observed(&xbar, sources, &cfg, false).unwrap()
+    });
+    let dispatch_s = time_best(5, || replay(&xbar, &ring, &cfg).unwrap());
+    let slack = (raw_s * 0.01).max(1e-3);
+    eprintln!("smoke   pdes: raw sequential {raw_s:.6}s, threads=1 dispatch {dispatch_s:.6}s");
+    assert!(
+        dispatch_s <= raw_s + slack,
+        "threads=1 replay of a coupled workload regressed the sequential \
+         path by more than 1%: {dispatch_s:.6}s vs {raw_s:.6}s"
+    );
+
+    let base = replay_observed(&xbar, &ring, &cfg, false).unwrap();
+    let mut cfg4 = cfg.clone();
+    cfg4.threads = 4;
+    let par = replay_observed(&xbar, &ring, &cfg4, false).unwrap();
+    assert_eq!(
+        base.result.time.to_bits(),
+        par.result.time.to_bits(),
+        "windowed replay at 4 threads diverged from the sequential result"
+    );
+    let stats = par.pdes.expect("windowed engine failed to engage on the coupled ring");
+    assert_eq!(stats.shards, 4, "windowed engine did not shard the ring 4 ways");
+    assert!(stats.windows > 0 && stats.mailbox_envelopes > 0);
+    eprintln!(
+        "smoke   pdes: 4-thread windowed replay bit-identical \
+         ({} shards, {} windows, {} cross envelopes, simulated {:.6}s)",
+        stats.shards, stats.windows, stats.mailbox_envelopes, base.result.time
     );
 }
 
@@ -1147,6 +1345,35 @@ fn main() {
     let ar_ranks = 128u32;
     let ar_platform = agg_flat_platform(ar_ranks);
     let ar_trace = Arc::new(allreduce_trace(ar_ranks, 50, 1 << 16));
+
+    eprintln!("timing windowed PDES (coupled ring on crossbar; LU C-64; allreduce P=128)...");
+    let xbar = xbar_platform(16, 2e-4);
+    let ring = Arc::new(pdes_ring_trace(16, 300, 32, 1 << 10));
+    let mut pdes = Vec::new();
+    pdes_rows(
+        &xbar,
+        &ring,
+        "coupled-ring-p16-blocks300-burst32",
+        host_parallelism,
+        true,
+        &mut pdes,
+    );
+    pdes_rows(
+        &graphene,
+        &lu_c64_trace,
+        "lu-c64-steps10",
+        host_parallelism,
+        false,
+        &mut pdes,
+    );
+    pdes_rows(
+        &ar_platform,
+        &ar_trace,
+        "allreduce-p128-iters50",
+        host_parallelism,
+        false,
+        &mut pdes,
+    );
     let agg = vec![
         // The collective-dense showcase: O(P)→O(1), so the churn must
         // shrink >=2x and the entity HWM by >=P/4.
@@ -1186,6 +1413,7 @@ fn main() {
         backends,
         sharing,
         parallel,
+        pdes,
         agg,
         component_churn: churn,
         ingest,

@@ -4,14 +4,14 @@
 //!
 //! ```text
 //! titreplay [replay] --platform platform.json --trace trace.txt --ranks 8 \
-//!           --rate 2.05e9 [--engine smpi|msg] [--threads N] \
+//!           --rate 2.05e9 [--engine smpi|msg] [--threads N] [--window-s W] \
 //!           [--collective-agg] [--validate] [--no-cache] \
 //!           [--sharing bottleneck|maxmin|maxmin-full] \
 //!           [--trace-out <out.json>] [--state-csv <out.csv>] \
 //!           [--metrics <out.json>] [--manifest <out.json>] \
 //!           [--critical-path [out.json]]
 //! titreplay inspect --trace <trace.txt|.desc|.titb> --ranks 8 \
-//!           [--platform platform.json]
+//!           [--platform platform.json] [--threads N]
 //! titreplay trace pack <trace.txt|trace.desc> <out.titb> --ranks 8
 //! titreplay trace unpack <in.titb> <out.txt>
 //! ```
@@ -33,9 +33,13 @@
 //! it also reports the parallel-replay partition (coupling islands,
 //! lookahead bound, action balance).
 //!
-//! `--threads N` replays decoupled rank groups on N worker threads
-//! (default: `TITR_REPLAY_THREADS`, else 1); results are bit-identical
-//! to the sequential replay at any thread count.
+//! `--threads N` replays decoupled rank groups — or, when the trace
+//! certifies a sub-shard plan, one coupled component under the windowed
+//! PDES engine — on N worker threads (default: `TITR_REPLAY_THREADS`,
+//! else 1); results are bit-identical to the sequential replay at any
+//! thread count. `--window-s W` caps the conservative window width in
+//! simulated seconds (it can only tighten the certified safe bound;
+//! rejected unless `--threads >= 2`).
 
 use std::path::Path;
 use std::sync::Arc;
@@ -52,6 +56,7 @@ struct Args {
     engine: ReplayEngine,
     sharing: tit_replay::netmodel::SharingPolicy,
     threads: Option<usize>,
+    window_s: Option<f64>,
     collective_agg: bool,
     validate: bool,
     cache: bool,
@@ -66,13 +71,13 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: titreplay [replay] --platform <platform.json> --trace <trace.txt|.desc|.titb> \
-         --ranks <N> --rate <instr/s> [--engine smpi|msg] [--threads <N>] \
+         --ranks <N> --rate <instr/s> [--engine smpi|msg] [--threads <N>] [--window-s <W>] \
          [--sharing bottleneck|maxmin|maxmin-full] [--collective-agg] [--validate] [--no-cache]\n\
          \x20          [--trace-out <chrome.json>] [--state-csv <states.csv>]\n\
          \x20          [--metrics <metrics.json>] [--manifest <manifest.json>]\n\
          \x20          [--critical-path [path.json]]\n\
          \x20      titreplay inspect --trace <trace.txt|.desc|.titb> --ranks <N> \
-         [--platform <platform.json>] [--no-cache]\n\
+         [--platform <platform.json>] [--threads <N>] [--no-cache]\n\
          \x20      titreplay trace pack <in.txt|in.desc> <out.titb> --ranks <N>\n\
          \x20      titreplay trace unpack <in.titb> <out.txt>"
     );
@@ -138,6 +143,7 @@ fn parse_args(argv: &[String]) -> Args {
     let mut engine = ReplayEngine::Smpi;
     let mut sharing = tit_replay::netmodel::SharingPolicy::Bottleneck;
     let mut threads = None;
+    let mut window_s = None;
     let mut collective_agg = false;
     let mut validate = false;
     let mut cache = true;
@@ -166,6 +172,22 @@ fn parse_args(argv: &[String]) -> Args {
                 _ => usage(),
             },
             "--threads" => threads = args.next().and_then(|v| v.parse().ok()),
+            "--window-s" => {
+                // Validated here, at parse time: a window that is not a
+                // positive finite number of simulated seconds can never
+                // be a horizon increment, and silently clamping it would
+                // hide the typo.
+                let raw = args.next().unwrap_or_else(|| usage());
+                let w: f64 = raw.parse().unwrap_or_else(|_| {
+                    fail(&format!("--window-s expects a number, got '{raw}'"))
+                });
+                if !w.is_finite() || w <= 0.0 {
+                    fail(&format!(
+                        "--window-s must be a positive finite number of simulated seconds, got {raw}"
+                    ));
+                }
+                window_s = Some(w);
+            }
             "--collective-agg" => collective_agg = true,
             "--validate" => validate = true,
             "--no-cache" => cache = false,
@@ -185,6 +207,12 @@ fn parse_args(argv: &[String]) -> Args {
             _ => usage(),
         }
     }
+    // A window without worker threads is a contradiction: the window
+    // only paces the parallel engines. Rejected up front with the
+    // effective thread count (flag or TITR_REPLAY_THREADS) considered.
+    if window_s.is_some() && threads.unwrap_or_else(ReplayConfig::default_threads) <= 1 {
+        fail("--window-s requires --threads >= 2 (or TITR_REPLAY_THREADS >= 2)");
+    }
     match (platform, trace, ranks, rate) {
         (Some(platform), Some(trace), Some(ranks), Some(rate)) => Args {
             platform,
@@ -194,6 +222,7 @@ fn parse_args(argv: &[String]) -> Args {
             engine,
             sharing,
             threads,
+            window_s,
             collective_agg,
             validate,
             cache,
@@ -210,18 +239,23 @@ fn parse_args(argv: &[String]) -> Args {
 
 /// `titreplay inspect` — summarise a trace without replaying it. With
 /// `--platform` it additionally reports the parallel-replay partition
-/// quality: coupling islands, the conservative lookahead bound (minimum
-/// inter-island link latency), and per-island action-count balance.
+/// quality: coupling islands (with per-island rank/action counts), the
+/// conservative lookahead bound, action-count balance, and — for a
+/// single coupled component — whether the windowed-PDES engine would
+/// engage at `--threads` workers, with the certified sub-shard plan or
+/// the reason it fails.
 fn inspect_command(args: &[String]) -> ! {
     let mut trace_path = None;
     let mut ranks = None;
     let mut platform_path = None;
+    let mut threads = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace_path = it.next().cloned(),
             "--ranks" => ranks = it.next().and_then(|v| v.parse().ok()),
             "--platform" => platform_path = it.next().cloned(),
+            "--threads" => threads = it.next().and_then(|v| v.parse().ok()),
             "--no-cache" => {}
             _ => usage(),
         }
@@ -295,6 +329,39 @@ fn inspect_command(args: &[String]) -> ! {
         println!("island_actions_min {}", report.min_island_actions);
         println!("island_actions_max {}", report.max_island_actions);
         println!("island_balance {:.3}", report.balance_ratio());
+        for (i, (r, a)) in report
+            .island_ranks
+            .iter()
+            .zip(&report.island_actions)
+            .enumerate()
+        {
+            println!("island {i} ranks {r} actions {a}");
+        }
+        // One coupled component: report whether the windowed-PDES
+        // engine could split it, and how.
+        if report.islands == 1 {
+            let threads =
+                threads.unwrap_or_else(|| ReplayConfig::default_threads().max(2));
+            let eager = tit_replay::smpi::SmpiConfig::smpi_replay();
+            match partition::plan_subshards(&scan, &platform, &hosts, threads, |b| {
+                eager.is_eager(b)
+            }) {
+                Ok(plan) => {
+                    println!("subshards {}", plan.shards.len());
+                    println!("subshard_lookahead_s {:.9}", plan.lookahead_s);
+                    println!("subshard_balance {:.3}", plan.balance_ratio());
+                    for (i, s) in plan.shards.iter().enumerate() {
+                        println!(
+                            "subshard {i} ranks {} actions {} links {}",
+                            s.ranks.len(),
+                            s.actions,
+                            s.links.len()
+                        );
+                    }
+                }
+                Err(reason) => println!("subshards none ({reason})"),
+            }
+        }
     }
     std::process::exit(0);
 }
@@ -365,7 +432,7 @@ fn main() {
         sharing: args.sharing,
         fel: tit_replay::simkernel::FelImpl::default(),
         threads: args.threads.unwrap_or_else(ReplayConfig::default_threads),
-        window_s: None,
+        window_s: args.window_s,
         collective_agg: args.collective_agg,
     };
     let record_spans = args.trace_out.is_some() || args.state_csv.is_some() || args.critical_path;

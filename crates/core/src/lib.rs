@@ -84,7 +84,7 @@ pub mod prelude {
     pub use platform::{Placement, Platform, PlatformSpec};
     pub use replay::{
         replay, replay_input, replay_input_observed, replay_observed, replay_sources,
-        replay_sources_observed, ReplayConfig, ReplayEngine, ReplayReport,
+        replay_sources_observed, PdesStats, ReplayConfig, ReplayEngine, ReplayReport,
     };
     pub use simkernel::obs::{chrome_trace, critical_path, state_csv, CriticalPath, Metrics};
     pub use simkernel::stats::{relative_percent, Summary};

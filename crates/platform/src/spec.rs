@@ -21,7 +21,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::topology::{cabinet_cluster, flat_cluster, CabinetClusterSpec, FlatClusterSpec};
+use crate::topology::{
+    cabinet_cluster, direct_cluster, flat_cluster, CabinetClusterSpec, DirectClusterSpec,
+    FlatClusterSpec,
+};
 use crate::Platform;
 
 /// Serializable description of a cluster platform.
@@ -54,6 +57,22 @@ pub enum SpecKind {
         backbone_bandwidth: f64,
         /// Fabric latency, seconds.
         backbone_latency: f64,
+    },
+    /// Non-blocking crossbar: every pair connected through dedicated
+    /// NIC links only (no shared fabric stage).
+    Direct {
+        /// Number of nodes.
+        nodes: u32,
+        /// Peak per-core instruction rate (instructions/s).
+        host_speed: f64,
+        /// Cores per node.
+        cores: u32,
+        /// Per-core cache in bytes.
+        cache_bytes: u64,
+        /// NIC bandwidth, bytes/s.
+        link_bandwidth: f64,
+        /// NIC latency, seconds.
+        link_latency: f64,
     },
     /// Cabinet hierarchy.
     Cabinets {
@@ -105,6 +124,22 @@ impl PlatformSpec {
                 link_latency: *link_latency,
                 backbone_bandwidth: *backbone_bandwidth,
                 backbone_latency: *backbone_latency,
+            }),
+            SpecKind::Direct {
+                nodes,
+                host_speed,
+                cores,
+                cache_bytes,
+                link_bandwidth,
+                link_latency,
+            } => direct_cluster(&DirectClusterSpec {
+                name: self.name.clone(),
+                nodes: *nodes,
+                host_speed: *host_speed,
+                cores: *cores,
+                cache_bytes: *cache_bytes,
+                link_bandwidth: *link_bandwidth,
+                link_latency: *link_latency,
             }),
             SpecKind::Cabinets {
                 cabinets,
@@ -201,6 +236,26 @@ mod tests {
         };
         let p = spec.build();
         assert_eq!(p.host_count(), 8);
+        let back = PlatformSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn direct_spec_builds_and_roundtrips() {
+        let spec = PlatformSpec {
+            name: "xbar".into(),
+            kind: SpecKind::Direct {
+                nodes: 8,
+                host_speed: 1e9,
+                cores: 1,
+                cache_bytes: 1 << 20,
+                link_bandwidth: 1.25e8,
+                link_latency: 10e-6,
+            },
+        };
+        let p = spec.build();
+        assert_eq!(p.host_count(), 8);
+        assert_eq!(p.links().len(), 16);
         let back = PlatformSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(spec, back);
     }

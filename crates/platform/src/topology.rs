@@ -27,6 +27,19 @@ pub enum Topology {
         /// The switch fabric, shared by all traffic.
         backbone: LinkId,
     },
+    /// Non-blocking point-to-point fabric: `src.up -> dst.down` with no
+    /// shared switch stage. Models a full-crossbar (or ideally
+    /// over-provisioned fat-tree) interconnect where distinct host pairs
+    /// never contend — which also makes it the topology on which the
+    /// windowed-PDES link-ownership certificate holds for any
+    /// communication pattern whose receivers each have a single source
+    /// shard (rings, pipelines, halo exchanges along one axis).
+    Direct {
+        /// Egress link of each host.
+        uplinks: Vec<LinkId>,
+        /// Ingress link of each host.
+        downlinks: Vec<LinkId>,
+    },
     /// Two-level hierarchy: hosts in cabinets, cabinets on a backbone.
     /// Intra-cabinet traffic: `src.up -> dst.down`.
     /// Inter-cabinet: `src.up -> cab(src).up -> backbone -> cab(dst).down
@@ -59,6 +72,13 @@ impl Topology {
             } => {
                 out.push(uplinks[src.as_usize()]);
                 out.push(*backbone);
+                out.push(downlinks[dst.as_usize()]);
+            }
+            Topology::Direct {
+                uplinks,
+                downlinks,
+            } => {
+                out.push(uplinks[src.as_usize()]);
                 out.push(downlinks[dst.as_usize()]);
             }
             Topology::Cabinets {
@@ -99,6 +119,18 @@ impl Topology {
                     .copied()
                     .for_each(check);
                 check(*backbone);
+            }
+            Topology::Direct {
+                uplinks,
+                downlinks,
+            } => {
+                assert_eq!(uplinks.len() as u32, hosts, "one uplink per host");
+                assert_eq!(downlinks.len() as u32, hosts, "one downlink per host");
+                uplinks
+                    .iter()
+                    .chain(downlinks.iter())
+                    .copied()
+                    .for_each(check);
             }
             Topology::Cabinets {
                 uplinks,
@@ -194,6 +226,63 @@ pub fn flat_cluster(spec: &FlatClusterSpec) -> Platform {
             uplinks,
             downlinks,
             backbone,
+        },
+    )
+}
+
+/// Parameters for [`direct_cluster`].
+#[derive(Debug, Clone)]
+pub struct DirectClusterSpec {
+    /// Cluster name; hosts are named `<name>-<i>`.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Peak per-core instruction rate (instructions/s).
+    pub host_speed: f64,
+    /// Cores per node.
+    pub cores: u32,
+    /// Per-core cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Node NIC bandwidth, bytes/s (each direction).
+    pub link_bandwidth: f64,
+    /// Node NIC latency, seconds (each direction).
+    pub link_latency: f64,
+}
+
+/// Builds a non-blocking crossbar cluster ([`Topology::Direct`]).
+pub fn direct_cluster(spec: &DirectClusterSpec) -> Platform {
+    assert!(spec.nodes > 0);
+    let mut hosts = Vec::with_capacity(spec.nodes as usize);
+    let mut links = Vec::with_capacity(2 * spec.nodes as usize);
+    let mut uplinks = Vec::with_capacity(spec.nodes as usize);
+    let mut downlinks = Vec::with_capacity(spec.nodes as usize);
+    for i in 0..spec.nodes {
+        hosts.push(Host {
+            name: format!("{}-{}", spec.name, i),
+            speed: spec.host_speed,
+            cores: spec.cores,
+            cache_bytes: spec.cache_bytes,
+        });
+        uplinks.push(LinkId(links.len() as u32));
+        links.push(Link {
+            name: format!("{}-{}-up", spec.name, i),
+            bandwidth: spec.link_bandwidth,
+            latency: spec.link_latency,
+        });
+        downlinks.push(LinkId(links.len() as u32));
+        links.push(Link {
+            name: format!("{}-{}-down", spec.name, i),
+            bandwidth: spec.link_bandwidth,
+            latency: spec.link_latency,
+        });
+    }
+    Platform::new(
+        spec.name.clone(),
+        hosts,
+        links,
+        Topology::Direct {
+            uplinks,
+            downlinks,
         },
     )
 }
@@ -340,6 +429,30 @@ mod tests {
         assert_eq!(p.host_count(), 6);
         // 2 links per host + 2 per cabinet + backbone
         assert_eq!(p.links().len(), 6 * 2 + 2 * 2 + 1);
+    }
+
+    #[test]
+    fn direct_routes_are_pairwise_link_disjoint_per_sender() {
+        let p = direct_cluster(&DirectClusterSpec {
+            name: "d".into(),
+            nodes: 4,
+            host_speed: 1e9,
+            cores: 1,
+            cache_bytes: 1 << 20,
+            link_bandwidth: 1e8,
+            link_latency: 10e-6,
+        });
+        assert_eq!(p.links().len(), 8);
+        let mut r = Vec::new();
+        p.route(HostId(0), HostId(3), &mut r);
+        assert_eq!(r.len(), 2);
+        assert!((p.route_latency(HostId(0), HostId(3)) - 20e-6).abs() < 1e-15);
+        // Distinct ordered pairs with distinct endpoints share no links.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        p.route(HostId(0), HostId(1), &mut a);
+        p.route(HostId(2), HostId(3), &mut b);
+        assert!(a.iter().all(|l| !b.contains(l)));
     }
 
     #[test]

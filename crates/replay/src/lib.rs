@@ -184,6 +184,27 @@ pub struct ReplayResult {
     pub events: u64,
 }
 
+/// Execution figures of the windowed-PDES engine (see
+/// [`partition::plan_subshards`] and the `parallel` module). `None` on
+/// every other path; the simulated results carry no trace of which path
+/// ran — these numbers describe only *how* the identical answer was
+/// computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdesStats {
+    /// Sub-shards the coupled component was split into.
+    pub shards: usize,
+    /// Conservative window rounds executed.
+    pub windows: u64,
+    /// Cross-shard send-time envelopes exchanged through the mailboxes.
+    pub mailbox_envelopes: u64,
+    /// Cross-shard arrival records exchanged through the mailboxes.
+    pub mailbox_arrivals: u64,
+    /// Certified lookahead of the shard plan, seconds.
+    pub lookahead_s: f64,
+    /// Effective window width used per round, seconds.
+    pub window_s: f64,
+}
+
 /// Outcome of an observed replay: the engine result plus the unified
 /// observability payload (see [`simkernel::obs`]).
 #[derive(Debug, Clone)]
@@ -196,6 +217,9 @@ pub struct ReplayReport {
     /// Recorded simulated-time spans (present iff span recording was
     /// requested).
     pub spans: Option<SpanLog>,
+    /// Windowed-PDES execution figures when that engine ran the replay;
+    /// `None` for the sequential and island-parallel paths.
+    pub pdes: Option<PdesStats>,
 }
 
 impl ReplayReport {
@@ -460,6 +484,7 @@ fn run_engine(
         result,
         metrics: obs.metrics,
         spans: obs.spans,
+        pdes: None,
     })
 }
 

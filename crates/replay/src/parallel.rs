@@ -26,17 +26,18 @@
 //! counts — and identical to the sequential path, which the differential
 //! tests assert.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
 use platform::{HostId, LinkId, Platform};
 use simkernel::obs::{merge_span_logs, Metrics, RankMappedRecorder, Recorder, RunObservation};
 use simkernel::Time;
+use smpi::{CrossArrival, CrossEnvelope};
 use titrace::{ActionSource, Rank, SourceError, TraceInput};
 use workloads::{MpiOp, OpSource};
 
-use crate::partition::{island_links, partition_ranks, scan_sources, Island};
-use crate::{action_to_op, ReplayConfig, ReplayEngine, ReplayReport, ReplayResult};
+use crate::partition::{island_links, partition_ranks, plan_subshards, scan_sources, CommScan, Island};
+use crate::{action_to_op, PdesStats, ReplayConfig, ReplayEngine, ReplayReport, ReplayResult};
 
 /// Replays `input` under `config.threads` workers, falling back to the
 /// sequential path when the trace yields a single island (e.g. any
@@ -72,6 +73,18 @@ pub(crate) fn replay_input_parallel(
     let hosts: Vec<HostId> = config.placement.assign(platform, ranks)?;
     let part = partition_ranks(&scan, platform, &hosts);
     if part.islands.len() <= 1 || config.threads <= 1 {
+        // One coupled component. Before giving up on parallelism, try
+        // the windowed conservative engine: if the trace/platform pair
+        // certifies a sub-shard plan, the component itself is replayed
+        // across threads — bit-identically. Any gate failure falls back
+        // to the unchanged sequential path.
+        if config.threads > 1 {
+            if let Some(report) =
+                try_replay_windowed(platform, input, ranks, &scan, &hosts, config, record_spans)?
+            {
+                return Ok(report);
+            }
+        }
         let sources = titrace::stream::open_sources(input, ranks).map_err(|e| e.to_string())?;
         return crate::replay_sources_observed(platform, sources, config, record_spans);
     }
@@ -240,6 +253,238 @@ pub(crate) fn replay_input_parallel(
     Ok(merge_islands(config, ranks, &part.islands, islands_done))
 }
 
+/// Windowed conservative replay of one fully coupled component, split
+/// into sub-shards that exchange cross-shard traffic through mailboxes
+/// at window barriers (the tentpole of the windowed-PDES engine; see
+/// [`plan_subshards`] for the certificate that makes it exact).
+///
+/// Returns `Ok(None)` when the engine cannot run exactly — wrong
+/// back-end, span recording requested (the rank-mapped recorder has no
+/// cross-shard story yet), or the shard-plan certificate fails — so the
+/// caller falls back to the sequential path. `Ok(Some(report))` is
+/// bit-identical to that sequential path's report.
+///
+/// Execution model, per window round (3 barriers):
+///
+/// 1. every shard publishes its next pending event time (`+inf` when
+///    quiesced) and waits;
+/// 2. the leader folds the global minimum `m` and posts the horizon
+///    `h = m + w`, where `w <= lookahead/2`; a global `+inf` minimum
+///    means no shard has work *and* no cross traffic is in flight
+///    (pending flows and arrival timers are events), i.e. termination;
+/// 3. every shard advances to `h`, drains its cross-shard outbox into
+///    the destination shards' inboxes, and waits;
+/// 4. after the barrier each shard sorts its inbox deterministically
+///    (envelopes by `(src, dst, ch, seq)`, arrivals by
+///    `(at, src, dst, ch, seq)`) and injects — envelopes first, so an
+///    arrival never beats its own envelope.
+///
+/// Safety of the horizon: any cross-shard send processed in this window
+/// happened at `tf >= m`, and its arrival is `tf + lat` with
+/// `lat >= lookahead` (protocol latency factors are `>= 1`), so the
+/// arrival lands at or beyond `m + lookahead >= m + 2w > h` — strictly
+/// past every horizon that could consume it too early.
+fn try_replay_windowed(
+    platform: &Platform,
+    input: &TraceInput,
+    ranks: u32,
+    scan: &CommScan,
+    hosts: &[HostId],
+    config: &ReplayConfig,
+    record_spans: bool,
+) -> Result<Option<ReplayReport>, String> {
+    if config.engine != ReplayEngine::Smpi || record_spans {
+        return Ok(None);
+    }
+    let smpi_cfg = smpi_config(config);
+    let plan = match plan_subshards(scan, platform, hosts, config.threads, |b| {
+        smpi_cfg.is_eager(b)
+    }) {
+        Ok(plan) => plan,
+        Err(_) => return Ok(None),
+    };
+    // Half the certified lookahead keeps injected arrivals *strictly*
+    // past the horizon (see the safety note above); a user window only
+    // ever tightens it.
+    let window = match config.window_s {
+        Some(user) => user.min(plan.lookahead_s / 2.0),
+        None => plan.lookahead_s / 2.0,
+    };
+    let nshards = plan.shards.len();
+    let mut cursors: Vec<Option<Box<dyn ActionSource>>> =
+        titrace::stream::open_sources(input, ranks)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(Some)
+            .collect();
+    let all_ranks: Arc<Vec<u32>> = Arc::new((0..ranks).collect());
+    let fault: Arc<Mutex<Option<(Rank, SourceError)>>> = Arc::new(Mutex::new(None));
+
+    // Shared round state. Published minima and the horizon travel as
+    // f64 bit patterns (all values are non-negative or +inf, so decoding
+    // and comparing as floats is exact).
+    let mins: Vec<AtomicU64> = (0..nshards).map(|_| AtomicU64::new(0)).collect();
+    let horizon = AtomicU64::new(0);
+    let windows = AtomicU64::new(0);
+    let mailbox_envelopes = AtomicU64::new(0);
+    let mailbox_arrivals = AtomicU64::new(0);
+    let barrier = Barrier::new(nshards);
+    type Inbox = (Vec<CrossEnvelope>, Vec<CrossArrival>);
+    let inboxes: Vec<Mutex<Inbox>> = (0..nshards)
+        .map(|_| Mutex::new((Vec::new(), Vec::new())))
+        .collect();
+    let results: Mutex<Vec<(usize, Result<IslandDone, String>)>> =
+        Mutex::new(Vec::with_capacity(nshards));
+
+    std::thread::scope(|s| {
+        for (index, shard) in plan.shards.iter().enumerate() {
+            let shard_cursors: Vec<Box<dyn ActionSource>> = shard
+                .ranks
+                .iter()
+                .map(|&r| cursors[r as usize].take().expect("rank in two shards"))
+                .collect();
+            let (mins, horizon, windows, barrier, inboxes, results) =
+                (&mins, &horizon, &windows, &barrier, &inboxes, &results);
+            let (mailbox_envelopes, mailbox_arrivals) = (&mailbox_envelopes, &mailbox_arrivals);
+            let (plan, smpi_cfg) = (&plan, &smpi_cfg);
+            let fault = Arc::clone(&fault);
+            let all_ranks = Arc::clone(&all_ranks);
+            s.spawn(move || {
+                // Peer ranks keep their global ids (the shard world
+                // spans the whole component), so the identity remap of
+                // `PartitionOpSource` only contributes fault parking.
+                let sources: Vec<Box<dyn OpSource>> = shard_cursors
+                    .into_iter()
+                    .zip(shard.ranks.iter())
+                    .map(|(inner, &r)| {
+                        Box::new(PartitionOpSource {
+                            inner,
+                            rank: Rank(r),
+                            island_ranks: Arc::clone(&all_ranks),
+                            fault: Arc::clone(&fault),
+                        }) as Box<dyn OpSource>
+                    })
+                    .collect();
+                let local: Vec<bool> = (0..ranks)
+                    .map(|r| plan.rank_shard[r as usize] == index as u32)
+                    .collect();
+                // Hooks over the full component (not the local subset):
+                // byte-identical compute plans to the merged run's.
+                let hooks = Box::new(smpi::FixedRateHooks::uniform(
+                    config.rate,
+                    hosts.len() as u32,
+                ));
+                let mut run = smpi::prepare_smpi_shard(
+                    platform,
+                    hosts,
+                    local,
+                    sources,
+                    smpi_cfg.clone(),
+                    hooks,
+                );
+                run.restrict_links(&shard.links);
+                loop {
+                    let next = run
+                        .next_pending_time()
+                        .map_or(f64::INFINITY, |t| t.as_secs());
+                    mins[index].store(next.to_bits(), Ordering::SeqCst);
+                    barrier.wait();
+                    if index == 0 {
+                        let m = mins
+                            .iter()
+                            .map(|a| f64::from_bits(a.load(Ordering::SeqCst)))
+                            .fold(f64::INFINITY, f64::min);
+                        let h = if m.is_finite() { m + window } else { m };
+                        horizon.store(h.to_bits(), Ordering::SeqCst);
+                        if h.is_finite() {
+                            windows.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    barrier.wait();
+                    let h = f64::from_bits(horizon.load(Ordering::SeqCst));
+                    if !h.is_finite() {
+                        break;
+                    }
+                    run.advance(Time::from_secs(h));
+                    let (envs, arrs) = run.drain_cross_outbox();
+                    mailbox_envelopes.fetch_add(envs.len() as u64, Ordering::SeqCst);
+                    mailbox_arrivals.fetch_add(arrs.len() as u64, Ordering::SeqCst);
+                    for e in envs {
+                        let dst = plan.rank_shard[e.dst as usize] as usize;
+                        inboxes[dst].lock().expect("inbox poisoned").0.push(e);
+                    }
+                    for a in arrs {
+                        let dst = plan.rank_shard[a.dst as usize] as usize;
+                        inboxes[dst].lock().expect("inbox poisoned").1.push(a);
+                    }
+                    barrier.wait();
+                    let (mut envs, mut arrs) =
+                        std::mem::take(&mut *inboxes[index].lock().expect("inbox poisoned"));
+                    // Deterministic injection order regardless of which
+                    // peer shard drained first. Envelopes carry no time
+                    // (their per-channel seq is the whole order);
+                    // arrivals replay in global (time, sender) order,
+                    // matching the merged kernel's tie-break for
+                    // same-instant deliveries from distinct senders.
+                    envs.sort_unstable_by_key(|e| (e.src, e.dst, e.ch, e.seq));
+                    arrs.sort_unstable_by_key(|a| (a.at, a.src, a.dst, a.ch, a.seq));
+                    for e in &envs {
+                        run.inject_cross_envelope(e);
+                    }
+                    for a in &arrs {
+                        run.inject_cross_arrival(a);
+                    }
+                }
+                let outcome = run
+                    .finalize()
+                    .map(|(res, obs)| IslandDone {
+                        rank_times: res.rank_times,
+                        messages: res.stats.messages,
+                        events: res.events,
+                        obs,
+                    })
+                    .map_err(|e| {
+                        format!("shard {index} (global ranks {:?}): {e}", shard.ranks)
+                    });
+                results
+                    .lock()
+                    .expect("results poisoned")
+                    .push((index, outcome));
+            });
+        }
+    });
+
+    if let Some((rank, e)) = fault.lock().expect("fault slot poisoned").take() {
+        return Err(format!("rank {rank} trace stream failed: {e}"));
+    }
+    let mut done = results.into_inner().expect("results poisoned");
+    done.sort_by_key(|(i, _)| *i);
+    let mut shards_done = Vec::with_capacity(nshards);
+    for (_, outcome) in done {
+        shards_done.push(outcome?);
+    }
+    // Sub-shards merge exactly like islands: scatter by member rank,
+    // sum the counters, fold the high-water marks.
+    let pseudo_islands: Vec<Island> = plan
+        .shards
+        .iter()
+        .map(|s| Island {
+            ranks: s.ranks.clone(),
+            actions: s.actions,
+        })
+        .collect();
+    let mut report = merge_islands(config, ranks, &pseudo_islands, shards_done);
+    report.pdes = Some(PdesStats {
+        shards: nshards,
+        windows: windows.into_inner(),
+        mailbox_envelopes: mailbox_envelopes.into_inner(),
+        mailbox_arrivals: mailbox_arrivals.into_inner(),
+        lookahead_s: plan.lookahead_s,
+        window_s: window,
+    });
+    Ok(Some(report))
+}
+
 /// What finishing one island yields before the deterministic merge.
 struct IslandDone {
     /// Per-rank finish times, island-local order.
@@ -294,6 +539,18 @@ impl EngineRun {
     }
 }
 
+/// The SMPI protocol configuration the sequential [`crate::run_engine`]
+/// would build for `config` — shared by the island and windowed paths so
+/// all three construct byte-identical engines.
+fn smpi_config(config: &ReplayConfig) -> smpi::SmpiConfig {
+    let mut smpi_cfg = smpi::SmpiConfig::smpi_replay();
+    smpi_cfg.copy = config.copy_model;
+    smpi_cfg.sharing = config.sharing;
+    smpi_cfg.fel = config.fel;
+    smpi_cfg.collective_agg = config.collective_agg;
+    smpi_cfg
+}
+
 /// Prepares one island's simulation with the same engine configuration
 /// the sequential [`crate::run_engine`] would build.
 fn prepare_island(
@@ -308,16 +565,14 @@ fn prepare_island(
         hosts.len() as u32,
     ));
     match config.engine {
-        ReplayEngine::Smpi => {
-            let mut smpi_cfg = smpi::SmpiConfig::smpi_replay();
-            smpi_cfg.copy = config.copy_model;
-            smpi_cfg.sharing = config.sharing;
-            smpi_cfg.fel = config.fel;
-            smpi_cfg.collective_agg = config.collective_agg;
-            EngineRun::Smpi(smpi::prepare_smpi(
-                platform, hosts, sources, smpi_cfg, hooks, recorder,
-            ))
-        }
+        ReplayEngine::Smpi => EngineRun::Smpi(smpi::prepare_smpi(
+            platform,
+            hosts,
+            sources,
+            smpi_config(config),
+            hooks,
+            recorder,
+        )),
         ReplayEngine::Msg => {
             let mut msg_cfg = msgsim::MsgConfig::legacy();
             msg_cfg.sharing = config.sharing;
@@ -412,6 +667,7 @@ fn merge_islands(
         },
         metrics,
         spans,
+        pdes: None,
     }
 }
 

@@ -36,6 +36,9 @@ pub struct CommScan {
     /// Deduplicated directed communication edges `(src, dst)` observed
     /// in send *and* receive actions, in ascending order.
     pub edges: Vec<(u32, u32)>,
+    /// Largest message observed on the matching `edges` entry (the
+    /// eager-protocol certificate input of [`plan_subshards`]).
+    pub edge_max_bytes: Vec<u64>,
     /// Whether any collective appears (a collective couples all ranks).
     pub has_collective: bool,
 }
@@ -48,7 +51,7 @@ pub struct CommScan {
 pub fn scan_sources(sources: Vec<Box<dyn ActionSource>>) -> Result<CommScan, String> {
     let ranks = sources.len() as u32;
     let mut actions_per_rank = vec![0u64; ranks as usize];
-    let mut edges = std::collections::BTreeSet::new();
+    let mut edges = std::collections::BTreeMap::new();
     let mut has_collective = false;
     let check = |rank: u32, peer: Rank| -> Result<u32, String> {
         if peer.0 >= ranks {
@@ -67,11 +70,13 @@ pub fn scan_sources(sources: Vec<Box<dyn ActionSource>>) -> Result<CommScan, Str
         {
             actions_per_rank[r as usize] += 1;
             match action {
-                Action::Send { dst, .. } | Action::Isend { dst, .. } => {
-                    edges.insert((r, check(r, dst)?));
+                Action::Send { dst, bytes } | Action::Isend { dst, bytes } => {
+                    let e = edges.entry((r, check(r, dst)?)).or_insert(0u64);
+                    *e = (*e).max(bytes);
                 }
-                Action::Recv { src, .. } | Action::Irecv { src, .. } => {
-                    edges.insert((check(r, src)?, r));
+                Action::Recv { src, bytes } | Action::Irecv { src, bytes } => {
+                    let e = edges.entry((check(r, src)?, r)).or_insert(0u64);
+                    *e = (*e).max(bytes);
                 }
                 Action::Barrier
                 | Action::Bcast { .. }
@@ -85,10 +90,12 @@ pub fn scan_sources(sources: Vec<Box<dyn ActionSource>>) -> Result<CommScan, Str
             }
         }
     }
+    let (edges, edge_max_bytes) = edges.into_iter().unzip();
     Ok(CommScan {
         ranks,
         actions_per_rank,
-        edges: edges.into_iter().collect(),
+        edges,
+        edge_max_bytes,
         has_collective,
     })
 }
@@ -224,6 +231,183 @@ pub fn island_links(platform: &Platform, hosts: &[HostId], island: &Island) -> V
     links
 }
 
+/// One sub-shard of a coupled component (windowed PDES; see
+/// [`plan_subshards`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubShard {
+    /// Member ranks, ascending, component-global ids.
+    pub ranks: Vec<u32>,
+    /// Total trace actions over the members (load estimate).
+    pub actions: u64,
+    /// Links this shard's netmodel owns: the union of the routes of
+    /// every observed edge whose *sender* is local. Installed as the
+    /// shard's link restriction so an ownership bug fails loudly.
+    pub links: Vec<LinkId>,
+}
+
+/// A certified sub-shard plan for windowed conservative execution
+/// *within* a coupled component. Unlike coupling islands, sub-shards do
+/// exchange messages; the certificate in [`plan_subshards`] guarantees
+/// the exchange can be replayed bit-identically through window-boundary
+/// mailboxes: every cross-shard message is eager (sender-detached, so no
+/// cross-shard control dependence faster than the wire), every network
+/// link is exercised by exactly one shard's flows (so bandwidth sharing
+/// never couples shards), and every cross-shard route carries at least
+/// [`ShardPlan::lookahead_s`] of latency (the conservative window bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// Sub-shards ordered by their smallest member rank.
+    pub shards: Vec<SubShard>,
+    /// `rank_shard[r]` = index into `shards` owning rank `r`.
+    pub rank_shard: Vec<u32>,
+    /// Conservative lookahead: the minimum *nominal* route latency over
+    /// the observed cross-shard edges. Protocol latency factors are
+    /// always `>= 1`, so a cross-shard message sent at `t` can never
+    /// arrive before `t + lookahead_s` — the engine may safely run each
+    /// shard to `min(all shards' next event) + lookahead/2` per window.
+    pub lookahead_s: f64,
+}
+
+impl ShardPlan {
+    /// `max/min` shard load ratio.
+    pub fn balance_ratio(&self) -> f64 {
+        let min = self.shards.iter().map(|s| s.actions).min().unwrap_or(0);
+        let max = self.shards.iter().map(|s| s.actions).max().unwrap_or(0);
+        max as f64 / min as f64
+    }
+}
+
+/// Splits a fully coupled component into up to `shards` sub-shards for
+/// windowed conservative execution, or explains why it cannot be done
+/// exactly.
+///
+/// The split is host-grouped LPT: whole hosts (all ranks placed on one
+/// host) are the assignment unit — so intra-host loopback traffic never
+/// crosses a shard boundary — greedily placed on the least-loaded shard
+/// by descending action count. Deterministic: depends only on the scan
+/// and the placement.
+///
+/// # Errors
+/// Returns a human-readable reason when the windowed-execution
+/// certificate fails: collectives present, fewer than two populated
+/// hosts, a cross-shard edge carrying rendezvous-size messages, a link
+/// shared between two shards' flows, or a zero-latency cross-shard
+/// route. Callers fall back to sequential (or island-parallel) replay.
+pub fn plan_subshards(
+    scan: &CommScan,
+    platform: &Platform,
+    hosts: &[HostId],
+    shards: usize,
+    eager: impl Fn(u64) -> bool,
+) -> Result<ShardPlan, String> {
+    assert_eq!(hosts.len(), scan.ranks as usize, "one host per rank");
+    if shards < 2 {
+        return Err("windowed execution needs at least two shards".into());
+    }
+    if scan.has_collective {
+        return Err("trace contains collectives, which couple all ranks each phase".into());
+    }
+    // Host groups, keyed by smallest member rank for determinism.
+    let mut groups: std::collections::BTreeMap<HostId, Vec<u32>> = std::collections::BTreeMap::new();
+    for r in 0..scan.ranks {
+        groups.entry(hosts[r as usize]).or_default().push(r);
+    }
+    if groups.len() < 2 {
+        return Err("all ranks share one host; no shard boundary without loopback".into());
+    }
+    let mut groups: Vec<Vec<u32>> = groups.into_values().collect();
+    // LPT: heaviest group first, ties broken by smallest member rank
+    // (groups at this point are sorted by host id; sort_by is stable).
+    let weight = |g: &[u32]| -> u64 {
+        g.iter()
+            .map(|&r| scan.actions_per_rank[r as usize].max(1))
+            .sum()
+    };
+    groups.sort_by_key(|g| std::cmp::Reverse(weight(g)));
+    let bins = shards.min(groups.len());
+    let mut bin_ranks: Vec<Vec<u32>> = vec![Vec::new(); bins];
+    let mut bin_load = vec![0u64; bins];
+    for g in groups {
+        let w = weight(&g);
+        let lightest = (0..bins).min_by_key(|&b| (bin_load[b], b)).unwrap();
+        bin_load[lightest] += w;
+        bin_ranks[lightest].extend(g);
+    }
+    for b in &mut bin_ranks {
+        b.sort_unstable();
+    }
+    bin_ranks.sort_by_key(|b| b[0]);
+    let mut rank_shard = vec![0u32; scan.ranks as usize];
+    for (i, b) in bin_ranks.iter().enumerate() {
+        for &r in b {
+            rank_shard[r as usize] = i as u32;
+        }
+    }
+    // Certificate over every observed edge: eager-only cross traffic,
+    // exclusive link ownership (owner = sender's shard), and a positive
+    // lookahead on every cross route.
+    let mut link_user: Vec<Option<u32>> = vec![None; platform.links().len()];
+    let mut shard_links: Vec<Vec<LinkId>> = vec![Vec::new(); bins];
+    let mut lookahead_s = f64::INFINITY;
+    let mut route = Vec::new();
+    for (i, &(src, dst)) in scan.edges.iter().enumerate() {
+        let (ss, ds) = (rank_shard[src as usize], rank_shard[dst as usize]);
+        if ss != ds {
+            let bytes = scan.edge_max_bytes[i];
+            if !eager(bytes) {
+                return Err(format!(
+                    "edge {src}->{dst} carries {bytes}-byte rendezvous messages across shards"
+                ));
+            }
+            let lat = platform.route_latency(hosts[src as usize], hosts[dst as usize]);
+            if lat <= 0.0 {
+                return Err(format!("zero-latency cross-shard route {src}->{dst}"));
+            }
+            lookahead_s = lookahead_s.min(lat);
+        }
+        platform.route(hosts[src as usize], hosts[dst as usize], &mut route);
+        for l in &route {
+            match link_user[l.as_usize()] {
+                Some(user) if user != ss => {
+                    return Err(format!(
+                        "link {} carries flows of shards {user} and {ss}; \
+                         bandwidth sharing would couple them",
+                        l.as_usize()
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    link_user[l.as_usize()] = Some(ss);
+                    shard_links[ss as usize].push(*l);
+                }
+            }
+        }
+    }
+    if lookahead_s == f64::INFINITY {
+        return Err("no cross-shard traffic; ranks decouple into islands instead".into());
+    }
+    for links in &mut shard_links {
+        links.sort_by_key(|l| l.as_usize());
+    }
+    let shards = bin_ranks
+        .into_iter()
+        .zip(shard_links)
+        .map(|(ranks, links)| SubShard {
+            actions: ranks
+                .iter()
+                .map(|&r| scan.actions_per_rank[r as usize])
+                .sum(),
+            ranks,
+            links,
+        })
+        .collect();
+    Ok(ShardPlan {
+        shards,
+        rank_shard,
+        lookahead_s,
+    })
+}
+
 /// Partition-quality figures for `titreplay inspect`: how much
 /// parallelism the trace/platform pair exposes and how balanced it is.
 #[derive(Debug, Clone, PartialEq)]
@@ -241,6 +425,10 @@ pub struct PartitionReport {
     pub min_island_actions: u64,
     /// Largest per-island action count (event-count balance, high side).
     pub max_island_actions: u64,
+    /// Rank count of each island, in island order.
+    pub island_ranks: Vec<usize>,
+    /// Action count of each island, in island order.
+    pub island_actions: Vec<u64>,
 }
 
 impl PartitionReport {
@@ -287,6 +475,8 @@ pub fn partition_report(
         lookahead_s,
         min_island_actions: min,
         max_island_actions: max,
+        island_ranks: partition.islands.iter().map(|i| i.ranks.len()).collect(),
+        island_actions: partition.islands.iter().map(|i| i.actions).collect(),
     }
 }
 
@@ -444,6 +634,140 @@ mod tests {
             }
         }
         assert!(!seen.is_empty());
+    }
+
+    /// A ring over all ranks (one rank per host): fully coupled without
+    /// collectives.
+    fn full_ring_trace(ranks: u32, bytes: u64) -> Trace {
+        let mut trace = Trace::new(ranks);
+        for r in 0..ranks {
+            trace.push(Rank(r), Action::Init);
+            trace.push(
+                Rank(r),
+                Action::Irecv {
+                    src: Rank((r + ranks - 1) % ranks),
+                    bytes,
+                },
+            );
+            trace.push(
+                Rank(r),
+                Action::Isend {
+                    dst: Rank((r + 1) % ranks),
+                    bytes,
+                },
+            );
+            trace.push(Rank(r), Action::WaitAll);
+            trace.push(Rank(r), Action::Finalize);
+        }
+        trace
+    }
+
+    fn direct(nodes: u32) -> Platform {
+        platform::topology::direct_cluster(&platform::topology::DirectClusterSpec {
+            name: "d".into(),
+            nodes,
+            host_speed: 1e9,
+            cores: 1,
+            cache_bytes: 1 << 20,
+            link_bandwidth: 1e8,
+            link_latency: 1e-5,
+        })
+    }
+
+    #[test]
+    fn scan_records_per_edge_max_bytes() {
+        let mut trace = Trace::new(2);
+        trace.push(
+            Rank(0),
+            Action::Send {
+                dst: Rank(1),
+                bytes: 100,
+            },
+        );
+        trace.push(
+            Rank(0),
+            Action::Send {
+                dst: Rank(1),
+                bytes: 9000,
+            },
+        );
+        trace.push(
+            Rank(1),
+            Action::Recv {
+                src: Rank(0),
+                bytes: 100,
+            },
+        );
+        trace.push(
+            Rank(1),
+            Action::Recv {
+                src: Rank(0),
+                bytes: 9000,
+            },
+        );
+        let scan = scan_trace(trace);
+        assert_eq!(scan.edges, vec![(0, 1)]);
+        assert_eq!(scan.edge_max_bytes, vec![9000]);
+    }
+
+    #[test]
+    fn subshard_plan_certifies_direct_ring() {
+        let n = 8u32;
+        let p = direct(n);
+        let scan = scan_trace(full_ring_trace(n, 1024));
+        // The ring couples everything into one island on any topology.
+        let part = partition_ranks(&scan, &p, &hosts(n));
+        assert_eq!(part.islands.len(), 1);
+        let plan = plan_subshards(&scan, &p, &hosts(n), 4, |b| b < 64 * 1024).expect("certifies");
+        assert_eq!(plan.shards.len(), 4);
+        assert_eq!(
+            plan.shards.iter().map(|s| s.ranks.len()).sum::<usize>(),
+            n as usize
+        );
+        // Every rank in exactly one shard; shard order by smallest rank.
+        for w in plan.shards.windows(2) {
+            assert!(w[0].ranks[0] < w[1].ranks[0]);
+        }
+        for (r, &s) in plan.rank_shard.iter().enumerate() {
+            assert!(plan.shards[s as usize].ranks.contains(&(r as u32)));
+        }
+        // Dedicated pair links: shards own disjoint link sets.
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &plan.shards {
+            assert!(!s.links.is_empty());
+            for l in &s.links {
+                assert!(seen.insert(l.as_usize()), "link owned twice");
+            }
+        }
+        // Direct route: two 10µs NIC-link hops.
+        assert!((plan.lookahead_s - 2e-5).abs() < 1e-12);
+        assert!(plan.balance_ratio() < 2.0, "{}", plan.balance_ratio());
+    }
+
+    #[test]
+    fn subshard_plan_rejects_collectives_and_shared_links() {
+        let n = 4u32;
+        let scan_ring = scan_trace(full_ring_trace(n, 1024));
+        // Flat cluster: every route crosses the shared backbone.
+        let err = plan_subshards(&scan_ring, &flat(n), &hosts(n), 2, |b| b < 64 * 1024)
+            .expect_err("backbone is shared");
+        assert!(err.contains("link"), "{err}");
+        // Collectives.
+        let mut t = full_ring_trace(n, 1024);
+        t.push(Rank(0), Action::Allreduce { bytes: 8 });
+        let err = plan_subshards(&scan_trace(t), &direct(n), &hosts(n), 2, |b| b < 64 * 1024)
+            .expect_err("collectives");
+        assert!(err.contains("collective"), "{err}");
+        // Rendezvous-size cross traffic.
+        let err = plan_subshards(
+            &scan_trace(full_ring_trace(n, 1 << 20)),
+            &direct(n),
+            &hosts(n),
+            2,
+            |b| b < 64 * 1024,
+        )
+        .expect_err("rendezvous");
+        assert!(err.contains("rendezvous"), "{err}");
     }
 
     #[test]

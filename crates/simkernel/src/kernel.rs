@@ -320,10 +320,41 @@ impl Kernel {
         );
     }
 
+    /// Wakes `actor` at the absolute instant `at` with [`Wake::Timer`]
+    /// carrying `key`. The windowed parallel replay engine uses this to
+    /// inject cross-shard arrivals at the exact simulated time the merged
+    /// run would deliver them — the timestamp is shipped between kernels,
+    /// not re-derived, so the float is bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock.
+    pub fn set_timer_at(&mut self, actor: ActorId, at: Time, key: u64) {
+        assert!(at >= self.now, "timer scheduled in the past");
+        self.queue.push(
+            at,
+            EventKind::Timer {
+                actor: actor.0,
+                key,
+            },
+        );
+    }
+
     /// Immediately enqueues a wake for `actor` (delivered at the current
     /// instant, in FIFO order with other pending wakes).
     pub fn wake(&mut self, actor: ActorId, wake: Wake) {
         self.ready.push_back((actor, wake));
+    }
+
+    /// The earliest instant at which this kernel has anything to do:
+    /// `now` when same-instant wakes are queued, otherwise the timestamp
+    /// of the next queued event (which may be a superseded entry — a
+    /// lower bound, never an overestimate — so conservative horizon
+    /// computations remain safe), or `None` when fully quiesced.
+    pub fn next_pending_time(&self) -> Option<Time> {
+        if !self.ready.is_empty() {
+            return Some(self.now);
+        }
+        self.queue.peek_time()
     }
 
     // ------------------------------------------------------------------
@@ -680,6 +711,36 @@ mod tests {
         assert!(!k.queue.is_empty(), "stale entries drain lazily");
         assert!(k.next_wake().is_none());
         assert_eq!(k.pending_events(), 0);
+    }
+
+    #[test]
+    fn absolute_timer_fires_at_exact_instant() {
+        let mut k = Kernel::new();
+        k.set_timer(ActorId(0), Duration::from_secs(1.0), 0);
+        let _ = k.next_wake().unwrap();
+        assert_eq!(k.now(), Time::from_secs(1.0));
+        // An absolute timer is delivered at precisely the shipped instant,
+        // not a re-derived now+delta.
+        let at = Time::from_secs(2.5);
+        k.set_timer_at(ActorId(1), at, 42);
+        let (actor, wake) = k.next_wake().unwrap();
+        assert_eq!(actor, ActorId(1));
+        assert_eq!(wake, Wake::Timer(42));
+        assert_eq!(k.now().as_secs().to_bits(), at.as_secs().to_bits());
+    }
+
+    #[test]
+    fn next_pending_time_tracks_ready_and_queue() {
+        let mut k = Kernel::new();
+        assert_eq!(k.next_pending_time(), None);
+        k.set_timer(ActorId(0), Duration::from_secs(3.0), 0);
+        assert_eq!(k.next_pending_time(), Some(Time::from_secs(3.0)));
+        k.wake(ActorId(1), Wake::Timer(9));
+        assert_eq!(k.next_pending_time(), Some(Time::ZERO));
+        let _ = k.next_wake().unwrap(); // drains the ready wake
+        assert_eq!(k.next_pending_time(), Some(Time::from_secs(3.0)));
+        let _ = k.next_wake().unwrap();
+        assert_eq!(k.next_pending_time(), None);
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub struct RankActor {
 
 impl RankActor {
     /// Creates the actor for `rank`; `me` must equal the id it will be
-    /// spawned under (ranks are spawned in order, so `ActorId(rank)`).
+    /// spawned under. In a merged run ranks are spawned in order, so
+    /// `me == ActorId(rank)`; in a windowed sub-shard only the shard's
+    /// local ranks get actors, so `rank` stays component-global while
+    /// `me` is the dense local spawn index.
     pub fn new(rank: u32, me: ActorId, source: Box<dyn OpSource>) -> RankActor {
         RankActor {
             rank,

@@ -37,9 +37,12 @@ pub mod timeline;
 pub mod world;
 
 pub use hooks::{ComputePlan, ExecHooks, FixedRateHooks};
-pub use runner::{prepare_smpi, run_smpi, run_smpi_observed, run_smpi_traced, SmpiResult, SmpiRun};
+pub use runner::{
+    prepare_smpi, prepare_smpi_shard, run_smpi, run_smpi_observed, run_smpi_traced, SmpiResult,
+    SmpiRun,
+};
 pub use timeline::{Segment, SegmentKind, Timeline};
-pub use world::{SmpiWorld, WorldStats};
+pub use world::{CrossArrival, CrossEnvelope, SmpiWorld, WorldStats};
 
 use netmodel::{PiecewiseFactors, SharingPolicy};
 

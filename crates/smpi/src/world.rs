@@ -28,7 +28,7 @@ use std::collections::VecDeque;
 use netmodel::{FlowId, FlowNet, FLUSH_KEY};
 use platform::{HostId, LinkId, Platform};
 use simkernel::obs::{Counter, Recorder, SpanKind};
-use simkernel::{ActorId, Duration, Kernel, Wake};
+use simkernel::{ActorId, Duration, Kernel, Time, Wake};
 
 use crate::hooks::ExecHooks;
 use crate::slab::{ActivityMap, Id, Slab, Waiters};
@@ -59,6 +59,52 @@ pub struct Msg {
     sender_req: Option<ReqId>,
     recv_req: Option<ReqId>,
     waiters: Waiters,
+    /// Per-channel FIFO sequence number for cross-shard messages
+    /// (windowed partitioned replay); 0 and unused for local traffic.
+    cross_seq: u64,
+}
+
+/// Send-time record of a cross-shard message (windowed partitioned
+/// replay): everything the receiver shard needs to replicate the merged
+/// run's matching — the channel identity, the payload size, and the
+/// per-channel FIFO sequence number assigned at send time. Envelopes are
+/// exchanged at the window barrier following the send; a receive posted
+/// later matches them in exactly the merged order because matching is
+/// FIFO per channel and all of a channel's envelopes originate from one
+/// sender rank (hence one shard, hence one ordered stream).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossEnvelope {
+    /// Sending rank (component-global id).
+    pub src: u32,
+    /// Receiving rank (component-global id).
+    pub dst: u32,
+    /// Channel ([`CH_APP`] or [`CH_COLL`]).
+    pub ch: u8,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Per-(src, dst, ch) FIFO sequence number.
+    pub seq: u64,
+}
+
+/// Completion record of a cross-shard message: the *absolute* simulated
+/// instant the merged run would deliver it, computed on the sender shard
+/// with bit-identical arithmetic (flow completion time + the same
+/// protocol-corrected tail latency) and shipped as a float, never
+/// re-derived. The conservative window bound guarantees `at` lies
+/// strictly beyond the horizon of the window that produced it, so the
+/// receiver can always still schedule it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossArrival {
+    /// Sending rank (component-global id).
+    pub src: u32,
+    /// Receiving rank (component-global id).
+    pub dst: u32,
+    /// Channel ([`CH_APP`] or [`CH_COLL`]).
+    pub ch: u8,
+    /// Sequence number pairing this arrival with its envelope.
+    pub seq: u64,
+    /// Absolute arrival instant.
+    pub at: Time,
 }
 
 /// A posted receive not yet matched (or matched, awaiting arrival).
@@ -153,6 +199,20 @@ pub struct SmpiWorld {
     posted: Vec<VecDeque<PostId>>,
     flow_msg: ActivityMap<MsgId>,
     transport: ActorId,
+    /// Rank locality for windowed partitioned replay: `local[r]` is
+    /// false when rank `r` is simulated on another shard. Empty (the
+    /// default) means every rank is local — the ordinary merged run.
+    local: Vec<bool>,
+    /// Per-channel send-side sequence counters for cross-shard FIFO
+    /// pairing (allocated by [`SmpiWorld::set_locality`]).
+    cross_seq: Vec<u64>,
+    /// Outbound cross-shard records accumulated during the current
+    /// window, drained at the barrier.
+    outbox_env: Vec<CrossEnvelope>,
+    outbox_arr: Vec<CrossArrival>,
+    /// Receiver-side index from (channel, seq) to the ghost message an
+    /// injected envelope created, consumed by the matching arrival.
+    remote_pending: std::collections::HashMap<(usize, u64), MsgId>,
 }
 
 /// Initial capacity of each per-channel match queue. Unexpected/posted
@@ -230,12 +290,95 @@ impl SmpiWorld {
                 .collect(),
             flow_msg: ActivityMap::with_capacity(simkernel::replay_sizing(n).0),
             transport,
+            local: Vec::new(),
+            cross_seq: Vec::new(),
+            outbox_env: Vec::new(),
+            outbox_arr: Vec::new(),
+            remote_pending: std::collections::HashMap::new(),
         }
     }
 
     /// Number of ranks.
     pub fn ranks(&self) -> u32 {
         self.ranks
+    }
+
+    /// Marks this world as one sub-shard of a windowed partitioned run:
+    /// ranks with `local[r] == false` live on other shards, and traffic
+    /// to/from them goes through the cross-shard mailbox
+    /// ([`SmpiWorld::drain_cross_outbox`] /
+    /// [`SmpiWorld::inject_cross_envelope`] /
+    /// [`SmpiWorld::inject_cross_arrival`]).
+    pub fn set_locality(&mut self, local: Vec<bool>) {
+        assert_eq!(local.len(), self.ranks as usize, "one flag per rank");
+        self.local = local;
+        self.cross_seq = vec![0; self.unexpected.len()];
+    }
+
+    fn is_remote(&self, rank: u32) -> bool {
+        !self.local.is_empty() && !self.local[rank as usize]
+    }
+
+    /// Takes the cross-shard records produced since the last drain, in
+    /// emission order (which, per channel, is send order — events are
+    /// processed in nondecreasing simulated time).
+    pub fn drain_cross_outbox(&mut self) -> (Vec<CrossEnvelope>, Vec<CrossArrival>) {
+        (
+            std::mem::take(&mut self.outbox_env),
+            std::mem::take(&mut self.outbox_arr),
+        )
+    }
+
+    /// Receiver-side half of a cross-shard send: creates the ghost
+    /// message (already transferring — the flow runs on the sender
+    /// shard) and matches it against the posted queue exactly as the
+    /// merged run's `send` would. Counters and stats are *not* touched:
+    /// the sender shard already accounted for this message.
+    pub fn inject_cross_envelope(&mut self, env: &CrossEnvelope) {
+        debug_assert!(!self.is_remote(env.dst), "envelope routed to wrong shard");
+        let msg_id = self.msgs.insert(Msg {
+            src: env.src,
+            dst: env.dst,
+            bytes: env.bytes,
+            arrived: false,
+            transferring: true,
+            coll: env.ch == CH_COLL,
+            flow: None,
+            matched_post: None,
+            delivered: false,
+            sender_req: None,
+            recv_req: None,
+            waiters: Waiters::new(),
+            cross_seq: env.seq,
+        });
+        let chan = self.chan(env.dst, env.src, env.ch);
+        if let Some(post_id) = self.posted[chan].pop_front() {
+            let post = self.posts.expect_mut(post_id);
+            assert_eq!(
+                post.bytes, env.bytes,
+                "message size mismatch on channel {}->{}",
+                env.src, env.dst
+            );
+            post.matched = Some(msg_id);
+            self.msgs.expect_mut(msg_id).matched_post = Some(post_id);
+        } else {
+            self.unexpected[chan].push_back(msg_id);
+        }
+        self.remote_pending.insert((chan, env.seq), msg_id);
+    }
+
+    /// Receiver-side delivery of a cross-shard message: schedules the
+    /// regular arrival timer at the sender-computed absolute instant.
+    /// The envelope must have been injected first (same or an earlier
+    /// barrier — envelopes are emitted at send time, arrivals at flow
+    /// completion, so an arrival never precedes its envelope).
+    pub fn inject_cross_arrival(&mut self, kernel: &mut Kernel, arr: &CrossArrival) {
+        let chan = self.chan(arr.dst, arr.src, arr.ch);
+        let msg_id = self
+            .remote_pending
+            .remove(&(chan, arr.seq))
+            .expect("cross arrival without a preceding envelope");
+        kernel.set_timer_at(self.transport, arr.at, msg_id.pack());
     }
 
     fn chan(&self, dst: u32, src: u32, ch: u8) -> usize {
@@ -285,7 +428,42 @@ impl SmpiWorld {
             sender_req: None,
             recv_req: None,
             waiters: Waiters::new(),
+            cross_seq: 0,
         });
+        if self.is_remote(dst) {
+            // Windowed partitioned replay: the receiver lives on another
+            // shard. The flow is still simulated *here* (sender-side link
+            // ownership — the partition certificate guarantees no other
+            // shard touches these links), while matching is replicated on
+            // the receiver shard from the envelope record. Only eager
+            // traffic may cross shards (certificate), so the sender is
+            // always detached and never observes the receiver.
+            assert!(eager, "cross-shard rendezvous send {src}->{dst}");
+            let chan = self.chan(dst, src, ch);
+            let pair = self.pair(src, dst);
+            assert!(
+                !self.routes[pair].is_empty(),
+                "cross-shard loopback {src}->{dst} (shards must be host-aligned)"
+            );
+            let seq = self.cross_seq[chan];
+            self.cross_seq[chan] += 1;
+            self.outbox_env.push(CrossEnvelope {
+                src,
+                dst,
+                ch,
+                bytes,
+                seq,
+            });
+            self.msgs.expect_mut(msg_id).cross_seq = seq;
+            self.start_transfer(kernel, msg_id);
+            let req = (!blocking).then(|| {
+                self.reqs.insert(Req {
+                    done: true,
+                    waiter: None,
+                })
+            });
+            return (SendResult::Done, req);
+        }
         // Try to match an already-posted receive.
         let chan = self.chan(dst, src, ch);
         let matched = self.posted[chan].pop_front();
@@ -508,7 +686,25 @@ impl SmpiWorld {
                     .cfg
                     .factors
                     .effective_latency(bytes, self.pair_latency[pair]);
-                kernel.set_timer(self.transport, Duration::from_secs(lat), msg_id.pack());
+                if self.is_remote(dst) {
+                    // Sender shard of a cross-shard message: the arrival
+                    // instant is exactly what the merged run's tail timer
+                    // would compute (`now + lat`, same arithmetic) —
+                    // ship it absolute and retire the local half. The
+                    // receiver shard owns the rest of the lifecycle.
+                    let at = kernel.now() + Duration::from_secs(lat);
+                    let seq = self.msgs.expect(msg_id).cross_seq;
+                    self.outbox_arr.push(CrossArrival {
+                        src,
+                        dst,
+                        ch: if coll { CH_COLL } else { CH_APP },
+                        seq,
+                        at,
+                    });
+                    self.retire_msg(msg_id);
+                } else {
+                    kernel.set_timer(self.transport, Duration::from_secs(lat), msg_id.pack());
+                }
             }
             Wake::Timer(FLUSH_KEY) => {
                 self.net.flush(kernel);

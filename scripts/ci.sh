@@ -177,10 +177,89 @@ cmp "$ingest_dir/agg.chrome.off.json" "$ingest_dir/agg.chrome.on.json" \
     || { echo "--collective-agg changed the observability exports" >&2; exit 1; }
 echo "AGG_SMOKE ok (simulated_time_s $a_off and exports identical with --collective-agg)"
 
+# Windowed-PDES smoke, two halves. (a) LU class B, 8 ranks: one coupled
+# island *with collectives*, so the windowed engine must fall back —
+# every export at --threads 4 must be byte-identical to --threads 1,
+# metrics included (the fallback is literally the sequential path).
+pdes_replay() {
+    n=$1; shift
+    "$rep" --platform "$plat" --ranks 8 --rate 2e9 --no-cache \
+        --trace "$ingest_dir/lu.trace" --threads "$n" \
+        --trace-out "$ingest_dir/pdes.chrome.$n.json" \
+        --state-csv "$ingest_dir/pdes.states.$n.csv" \
+        --metrics "$ingest_dir/pdes.metrics.$n.json" "$@" 2>/dev/null \
+        | awk '$1 == "simulated_time_s" {print $2}'
+}
+p_seq=$(pdes_replay 1)
+p_par=$(pdes_replay 4)
+[ -n "$p_seq" ] && [ "$p_seq" = "$p_par" ] \
+    || { echo "LU replay time at --threads 4 ($p_par) != sequential ($p_seq)" >&2; exit 1; }
+for f in pdes.chrome.1.json pdes.states.1.csv pdes.metrics.1.json; do
+    cmp "$ingest_dir/$f" "$ingest_dir/${f/.1./.4.}" \
+        || { echo "LU export $f differs at --threads 4" >&2; exit 1; }
+done
+# (b) A coupled ring on a non-blocking crossbar: the sub-shard
+# certificate holds, so the windowed engine engages — `inspect` must
+# report the 4-way plan, and the replay must stay byte-identical to
+# the sequential run (match-queue depth HWMs normalized alongside the
+# FEL restructuring counters: the mailbox protocol injects envelopes at
+# window boundaries, which moves those diagnostics without moving any
+# semantic counter).
+cat >"$ingest_dir/xbar.json" <<'EOF'
+{ "name": "xbar", "kind": { "Direct": {
+    "nodes": 8, "host_speed": 1e9, "cores": 1, "cache_bytes": 1048576,
+    "link_bandwidth": 1.25e8, "link_latency": 1e-5 } } }
+EOF
+ring_trace="$ingest_dir/ring.trace"
+: >"$ring_trace"
+for r in $(seq 0 7); do
+    prev=$(( (r + 7) % 8 )); next=$(( (r + 1) % 8 ))
+    {
+        echo "$r init"
+        for i in $(seq 0 29); do
+            echo "$r irecv $prev 1024"
+            echo "$r isend $next 1024"
+            echo "$r waitall"
+            echo "$r compute $((100000 + r * 1700 + i * 310))"
+        done
+        echo "$r finalize"
+    } >>"$ring_trace"
+done
+"$rep" inspect --trace "$ring_trace" --ranks 8 --platform "$ingest_dir/xbar.json" \
+    --threads 4 >"$ingest_dir/ring.inspect.out"
+grep -q '^subshards 4$' "$ingest_dir/ring.inspect.out" \
+    || { echo "inspect did not certify a 4-way sub-shard plan for the ring" >&2; exit 1; }
+ring_replay() {
+    n=$1; shift
+    "$rep" --platform "$ingest_dir/xbar.json" --ranks 8 --rate 1e9 --no-cache \
+        --trace "$ring_trace" --threads "$n" \
+        --trace-out "$ingest_dir/ring.chrome.$n.json" \
+        --state-csv "$ingest_dir/ring.states.$n.csv" \
+        --metrics "$ingest_dir/ring.metrics.$n.json" "$@"
+}
+r_seq=$(ring_replay 1 2>/dev/null | awk '$1 == "simulated_time_s" {print $2}')
+ring_replay 4 --critical-path >"$ingest_dir/ring.par.out" 2>/dev/null
+r_par=$(awk '$1 == "simulated_time_s" {print $2}' "$ingest_dir/ring.par.out")
+r_cp=$(awk '$1 == "critical_path_end_s" {print $2}' "$ingest_dir/ring.par.out")
+[ -n "$r_seq" ] && [ "$r_seq" = "$r_par" ] \
+    || { echo "windowed ring replay time ($r_par) != sequential ($r_seq)" >&2; exit 1; }
+[ "$r_cp" = "$r_par" ] \
+    || { echo "windowed critical path end ($r_cp) != simulated time ($r_par)" >&2; exit 1; }
+cmp "$ingest_dir/ring.chrome.1.json" "$ingest_dir/ring.chrome.4.json" \
+    && cmp "$ingest_dir/ring.states.1.csv" "$ingest_dir/ring.states.4.csv" \
+    || { echo "windowed ring exports differ from sequential" >&2; exit 1; }
+norm_pdes_metrics() {
+    sed -E 's/"(spills|bucket_sorts|reseeds|live_flow_hwm|live_entity_hwm|max_unexpected_depth|max_posted_depth)": [0-9]+/"\1": 0/g' "$1"
+}
+cmp <(norm_pdes_metrics "$ingest_dir/ring.metrics.1.json") \
+    <(norm_pdes_metrics "$ingest_dir/ring.metrics.4.json") \
+    || { echo "windowed ring metrics differ from sequential" >&2; exit 1; }
+echo "PDES_SMOKE ok (LU fallback byte-identical; ring windowed replay engaged, simulated_time_s $r_seq identical at 1 and 4 threads)"
+
 # Re-run the replay-facing suites with parallel replay as the ambient
 # default, so every differential test also exercises the worker pool.
 TITR_REPLAY_THREADS=4 cargo test -q -p tit-replay \
     --test parallel_replay --test runtime_semantics --test trace_roundtrip \
-    --test observability --test collective_agg
+    --test observability --test collective_agg --test windowed_pdes
 TITR_REPLAY_THREADS=4 cargo run --release -p bench --bin perf_baseline -- --smoke
 echo "PARALLEL_SUITE ok (replay tests + perf smoke at TITR_REPLAY_THREADS=4)"
