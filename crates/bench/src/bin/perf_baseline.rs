@@ -100,6 +100,10 @@ struct Baseline {
     /// Recorder overhead: replay with the span recorder disabled vs
     /// enabled (the disabled column is the plain entry point).
     obs: Vec<ObsOverhead>,
+    /// Replay-as-a-service throughput: an embedded `titserved` on
+    /// loopback answering what-if queries cold, memoized, and under a
+    /// concurrent identical burst (deduplicated to one execution).
+    serve: ServeSection,
 }
 
 /// Events-per-second measurement of one back-end.
@@ -347,6 +351,40 @@ struct IngestSpeed {
     /// Process peak RSS (VmHWM) when this row was measured, MiB.
     /// Monotone over the process lifetime; 0 outside Linux.
     peak_rss_mb: f64,
+}
+
+/// Service-level query throughput against an embedded `titserved`.
+///
+/// Every number includes the full loopback HTTP round trip (connect,
+/// request parse, response). The cold row is a single observation by
+/// construction: repeating the query would hit the memo table, which is
+/// exactly what the memoized row then measures.
+#[derive(Debug, Serialize)]
+struct ServeSection {
+    /// Workload label.
+    workload: String,
+    /// Worker threads in the service replay pool.
+    workers: f64,
+    /// Wall time of the first query at a fresh key — parse, trace
+    /// load, replay, manifest — seconds.
+    cold_wall_s: f64,
+    /// `1 / cold_wall_s`.
+    cold_qps: f64,
+    /// Repeats of the same query answered from the memo table.
+    memo_queries: f64,
+    /// Wall time for all memoized repeats, seconds.
+    memo_wall_s: f64,
+    /// `memo_queries / memo_wall_s`.
+    memo_qps: f64,
+    /// `memo_qps / cold_qps` — the win from never replaying twice.
+    memo_speedup: f64,
+    /// Concurrent identical queries fired at a key the service has
+    /// never seen.
+    dedup_clients: f64,
+    /// Replays actually executed for that burst (asserted == 1).
+    dedup_executions: f64,
+    /// `dedup_clients / dedup_executions` — answers per replay.
+    dedup_amplification: f64,
 }
 
 /// One cell of the experiment sweep.
@@ -1056,6 +1094,138 @@ fn sweep_cells() -> Vec<SweepCell> {
         .collect()
 }
 
+// ----------------------------------------------------------------------
+// Replay-as-a-service throughput (embedded titserved over loopback)
+
+/// Reads one numeric field out of the service's `/stats` body.
+fn stats_field(addr: &str, key: &str) -> f64 {
+    let resp = titserved::client::get(addr, "/stats").expect("stats request");
+    let body = String::from_utf8(resp.body).expect("stats utf-8");
+    let needle = format!("\"{key}\":");
+    body.lines()
+        .find_map(|l| l.trim().strip_prefix(needle.as_str()))
+        .and_then(|v| v.trim().trim_end_matches(',').parse().ok())
+        .unwrap_or_else(|| panic!("stats missing {key}: {body}"))
+}
+
+/// Boots a `titserved` on an ephemeral loopback port, serves `trace`
+/// from a temp file, and measures the three service-level rates: the
+/// cold first query, memoized repeats, and a concurrent identical burst
+/// at a fresh key. Asserts the burst deduplicates to one execution with
+/// byte-identical bodies before reporting it as amplification.
+fn serve_section(
+    trace: &Trace,
+    workload: &str,
+    workers: usize,
+    memo_queries: usize,
+    clients: usize,
+) -> ServeSection {
+    use tit_replay::platform::spec::{PlatformSpec, SpecKind};
+    use tit_replay::titrace::files;
+    use titserved::client;
+    use titserved::server::{Server, ServerConfig};
+
+    let ranks = trace.ranks();
+    let dir = std::env::temp_dir().join(format!("titr-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("serve temp dir");
+    let trace_path = dir.join("bench.trace");
+    files::write_merged(trace, &trace_path).expect("write service trace");
+
+    let spec = PlatformSpec {
+        name: "bench-serve".into(),
+        kind: SpecKind::Flat {
+            nodes: ranks,
+            host_speed: 1e9,
+            cores: 1,
+            cache_bytes: 1 << 20,
+            link_bandwidth: 1.25e9,
+            link_latency: 1.5e-5,
+            backbone_bandwidth: 1.25e10,
+            backbone_latency: 5e-6,
+        },
+    };
+    let server = Server::bind("127.0.0.1:0", ServerConfig { workers, sidecar: true })
+        .expect("bind loopback");
+    let addr = format!("127.0.0.1:{}", server.addr().port());
+    let handle = std::thread::spawn(move || server.run());
+    let body = |rate: f64| {
+        format!(
+            "{{\"trace\": \"{}\", \"ranks\": {ranks}, \"platform\": {}, \
+             \"config\": {{\"rate\": {rate}, \"threads\": 1}}}}",
+            trace_path.display(),
+            spec.to_json()
+        )
+    };
+
+    // Cold: first sight of this key — parse, trace load, replay,
+    // manifest, all inside one round trip.
+    let cold_body = body(2e9);
+    let t = Instant::now();
+    let first = client::predict(&addr, &cold_body).expect("cold predict");
+    let cold_wall_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        first.status,
+        200,
+        "cold query failed: {}",
+        String::from_utf8_lossy(&first.body)
+    );
+
+    // Memoized: the same key again and again, answered from the memo
+    // table with the stored bytes and no replay.
+    let t = Instant::now();
+    for _ in 0..memo_queries {
+        let r = client::predict(&addr, &cold_body).expect("memo predict");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, first.body, "memo hit must return the stored bytes");
+    }
+    let memo_wall_s = t.elapsed().as_secs_f64();
+
+    // Dedup: a concurrent burst at a key the service has never seen.
+    // One client wins the slot and replays; everyone else blocks on the
+    // in-flight entry and shares its bytes.
+    let fresh_body = body(3e9);
+    let exec_before = stats_field(&addr, "executions");
+    let burst: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| s.spawn(|| client::predict(&addr, &fresh_body).expect("dedup predict")))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for r in &burst {
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, burst[0].body, "dedup responses must be byte-identical");
+    }
+    let dedup_executions = stats_field(&addr, "executions") - exec_before;
+    assert_eq!(
+        dedup_executions, 1.0,
+        "{clients} identical concurrent queries must run exactly one replay"
+    );
+
+    client::post(&addr, "/shutdown", "").expect("shutdown");
+    handle.join().expect("join server").expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_qps = 1.0 / cold_wall_s;
+    let memo_qps = memo_queries as f64 / memo_wall_s;
+    ServeSection {
+        workload: workload.into(),
+        workers: workers as f64,
+        cold_wall_s,
+        cold_qps,
+        memo_queries: memo_queries as f64,
+        memo_wall_s,
+        memo_qps,
+        memo_speedup: memo_qps / cold_qps,
+        dedup_clients: clients as f64,
+        dedup_executions,
+        dedup_amplification: clients as f64 / dedup_executions,
+    }
+}
+
 fn usage() -> ! {
     eprintln!("usage: perf_baseline [--out <BENCH_replay.json>] [--smoke]");
     std::process::exit(2);
@@ -1087,12 +1257,35 @@ fn smoke() {
     parallel_smoke();
     pdes_smoke();
     agg_smoke();
+    serve_smoke();
     println!(
         "PERF_SMOKE ok (counters sane, ladder steady state allocation-free, \
          disabled recorder cost-free, threads=1 dispatch cost-free, \
          parallel replay bit-identical, windowed PDES bit-identical and \
          dispatch cost-free on coupled workloads, aggregation \
-         bit-identical and churn-free)"
+         bit-identical and churn-free, service dedup single-execution \
+         and memo faster than cold)"
+    );
+}
+
+/// Service gate: an embedded `titserved` must collapse a concurrent
+/// burst of identical queries into exactly one replay with
+/// byte-identical bodies (asserted inside [`serve_section`]), and the
+/// memoized repeat rate must beat the cold query rate.
+fn serve_smoke() {
+    let lu = LuConfig::new(LuClass::S, 8).with_steps(4);
+    let trace = acquire(lu.sources(), Instrumentation::Minimal, CompilerOpt::O3, 1).trace;
+    let row = serve_section(&trace, "lu-s8-steps4", 2, 20, 6);
+    eprintln!(
+        "smoke  serve: cold {:.1} q/s, memoized {:.1} q/s ({:.0}x), \
+         {}-client burst -> {} execution(s)",
+        row.cold_qps, row.memo_qps, row.memo_speedup, row.dedup_clients, row.dedup_executions
+    );
+    assert!(
+        row.memo_qps > row.cold_qps,
+        "memoized repeats ({:.1} q/s) must beat the cold query ({:.1} q/s)",
+        row.memo_qps,
+        row.cold_qps
     );
 }
 
@@ -1407,6 +1600,17 @@ fn main() {
         obs_overhead(&showcase, &halo, "halo-exchange-p128-iters200"),
     ];
 
+    eprintln!("timing the prediction service (LU B-8 over loopback)...");
+    let serve_lu = LuConfig::new(LuClass::B, 8).with_steps(10);
+    let serve_trace = acquire(
+        serve_lu.sources(),
+        Instrumentation::Minimal,
+        CompilerOpt::O3,
+        1,
+    )
+    .trace;
+    let serve = serve_section(&serve_trace, "lu-b8-steps10", 4, 200, 8);
+
     let doc = Baseline {
         generated_by: "bench/perf_baseline".into(),
         host_parallelism: host_parallelism as f64,
@@ -1420,6 +1624,7 @@ fn main() {
         sweep_cells: cells,
         fel,
         obs,
+        serve,
     };
     let json = serde_json::to_string_pretty(&doc).expect("baseline always serializes");
     std::fs::write(&out_path, json + "\n").expect("write baseline");

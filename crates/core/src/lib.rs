@@ -57,8 +57,10 @@
 
 pub mod metrics;
 pub mod pipeline;
+pub mod querykey;
 
 pub use pipeline::{Pipeline, Prediction, Predictor};
+pub use querykey::QueryKey;
 
 // Re-export the component crates under one roof.
 pub use acquisition;

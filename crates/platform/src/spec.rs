@@ -170,6 +170,21 @@ impl PlatformSpec {
         }
     }
 
+    /// A stable 64-bit digest of the spec: FNV-1a over the canonical
+    /// serialized tree, with floats taken as their IEEE-754 bit patterns
+    /// (never as formatted text). Two specs hash equal iff they describe
+    /// the same named platform, so the digest is a well-defined
+    /// memoization-key component for a what-if prediction service: it is
+    /// invariant under JSON whitespace/formatting and stable across
+    /// processes and releases. The name participates — predictions embed
+    /// it in their manifests, so differently-named twins are different
+    /// answers.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        hash_value(&mut h, &self.to_value());
+        h.digest()
+    }
+
     /// Parses a spec from JSON.
     pub fn from_json(json: &str) -> Result<PlatformSpec, serde_json::Error> {
         serde_json::from_str(json)
@@ -178,6 +193,65 @@ impl PlatformSpec {
     /// Serializes the spec to pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("PlatformSpec always serializes")
+    }
+}
+
+/// FNV-1a, 64-bit — the same function the `.titb` trace format uses for
+/// its payload checksum, re-stated here so `platform` stays free of a
+/// `titrace` dependency.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn digest(self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes a serialized value tree with unambiguous framing: every node
+/// is tagged with its kind and every composite with its length, so
+/// distinct trees can never produce the same byte stream. Numbers hash
+/// as IEEE-754 bits — no formatting round-trip is involved.
+fn hash_value(h: &mut Fnv64, v: &serde::Value) {
+    use serde::Value;
+    match v {
+        Value::Null => h.update(b"n"),
+        Value::Bool(b) => h.update(if *b { b"t" } else { b"f" }),
+        Value::Number(n) => {
+            h.update(b"d");
+            h.update(&n.to_bits().to_le_bytes());
+        }
+        Value::String(s) => {
+            h.update(b"s");
+            h.update(&(s.len() as u64).to_le_bytes());
+            h.update(s.as_bytes());
+        }
+        Value::Array(items) => {
+            h.update(b"a");
+            h.update(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                hash_value(h, item);
+            }
+        }
+        Value::Object(pairs) => {
+            h.update(b"o");
+            h.update(&(pairs.len() as u64).to_le_bytes());
+            for (k, item) in pairs {
+                h.update(&(k.len() as u64).to_le_bytes());
+                h.update(k.as_bytes());
+                hash_value(h, item);
+            }
+        }
     }
 }
 
@@ -263,5 +337,100 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(PlatformSpec::from_json("{ not json").is_err());
+    }
+
+    #[test]
+    fn canonical_hash_survives_a_json_roundtrip() {
+        let spec = flat_spec();
+        // Formatting must not matter: pretty JSON, compact JSON, and the
+        // in-memory original all hash identically.
+        let pretty = PlatformSpec::from_json(&spec.to_json()).unwrap();
+        let compact =
+            PlatformSpec::from_json(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(spec.canonical_hash(), pretty.canonical_hash());
+        assert_eq!(spec.canonical_hash(), compact.canonical_hash());
+    }
+
+    #[test]
+    fn canonical_hash_changes_with_any_field() {
+        let base = flat_spec();
+        let mut seen = vec![base.canonical_hash()];
+        let mut check = |label: &str, spec: PlatformSpec| {
+            let h = spec.canonical_hash();
+            assert!(!seen.contains(&h), "changing {label} did not change the hash");
+            seen.push(h);
+        };
+        let mut renamed = base.clone();
+        renamed.name = "mini2".into();
+        check("name", renamed);
+        let SpecKind::Flat {
+            nodes,
+            host_speed,
+            cores,
+            cache_bytes,
+            link_bandwidth,
+            link_latency,
+            backbone_bandwidth,
+            backbone_latency,
+        } = base.kind.clone()
+        else {
+            unreachable!()
+        };
+        let rebuild = |kind: SpecKind| PlatformSpec {
+            name: base.name.clone(),
+            kind,
+        };
+        check(
+            "nodes",
+            rebuild(SpecKind::Flat {
+                nodes: nodes + 1,
+                host_speed,
+                cores,
+                cache_bytes,
+                link_bandwidth,
+                link_latency,
+                backbone_bandwidth,
+                backbone_latency,
+            }),
+        );
+        check(
+            "host_speed",
+            rebuild(SpecKind::Flat {
+                nodes,
+                host_speed: host_speed * 2.0,
+                cores,
+                cache_bytes,
+                link_bandwidth,
+                link_latency,
+                backbone_bandwidth,
+                backbone_latency,
+            }),
+        );
+        check(
+            "link_bandwidth",
+            rebuild(SpecKind::Flat {
+                nodes,
+                host_speed,
+                cores,
+                cache_bytes,
+                link_bandwidth: link_bandwidth + 1.0,
+                link_latency,
+                backbone_bandwidth,
+                backbone_latency,
+            }),
+        );
+        // A different topology family with overlapping parameters is a
+        // different platform.
+        check(
+            "kind",
+            rebuild(SpecKind::Direct {
+                nodes,
+                host_speed,
+                cores,
+                cache_bytes,
+                link_bandwidth,
+                link_latency,
+            }),
+        );
     }
 }

@@ -103,6 +103,65 @@ impl ReplayConfig {
             .unwrap_or(1)
     }
 
+    /// A stable 64-bit digest of the *semantic* configuration — the
+    /// fields that shape the simulated result: engine, rate, placement,
+    /// copy model, sharing policy, and collective aggregation. The
+    /// execution-strategy fields (`fel`, `threads`, `window_s`) are
+    /// deliberately excluded: results are bit-identical across them
+    /// (pinned by the differential suites), so two configs that differ
+    /// only there are the *same* what-if question and must share a memo
+    /// entry in the prediction service.
+    ///
+    /// The digest is FNV-1a over a canonical field rendering with floats
+    /// taken as their IEEE-754 bit patterns, so it is stable across
+    /// processes, architectures, and formatting changes — any semantic
+    /// field change changes the hash.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut fnv = titrace::binfmt::Fnv1a::new();
+        let mut field = |name: &str, value: &[u8]| {
+            fnv.update(name.as_bytes());
+            fnv.update(b"=");
+            fnv.update(value);
+            fnv.update(b";");
+        };
+        field(
+            "engine",
+            match self.engine {
+                ReplayEngine::Msg => b"msg",
+                ReplayEngine::Smpi => b"smpi",
+            },
+        );
+        field("rate", &self.rate.to_bits().to_le_bytes());
+        field(
+            "placement",
+            match self.placement {
+                Placement::OnePerNode => b"one-per-node".as_slice(),
+                Placement::PackCores => b"pack-cores",
+                Placement::RoundRobin => b"round-robin",
+            },
+        );
+        match self.copy_model {
+            None => field("copy", b"none"),
+            Some(c) => {
+                field("copy.base", &c.base_seconds.to_bits().to_le_bytes());
+                field("copy.bps", &c.bytes_per_second.to_bits().to_le_bytes());
+            }
+        }
+        field(
+            "sharing",
+            match self.sharing {
+                netmodel::SharingPolicy::Bottleneck => b"bottleneck".as_slice(),
+                netmodel::SharingPolicy::MaxMin => b"maxmin",
+                netmodel::SharingPolicy::MaxMinFull => b"maxmin-full",
+            },
+        );
+        field(
+            "collective_agg",
+            if self.collective_agg { b"1" } else { b"0" },
+        );
+        fnv.digest()
+    }
+
     /// Config for the legacy pipeline.
     pub fn legacy(rate: f64) -> ReplayConfig {
         ReplayConfig {
@@ -782,6 +841,75 @@ mod tests {
             "fault not surfaced: {err}"
         );
         assert!(err.contains("p1"), "fault should name the rank: {err}");
+    }
+
+    #[test]
+    fn canonical_hash_is_stable_and_ignores_execution_strategy() {
+        let base = ReplayConfig::improved(2e9);
+        // Deterministic across calls (and pinned across releases: the
+        // memo keys of a long-running prediction server must not move).
+        assert_eq!(base.canonical_hash(), base.canonical_hash());
+        // Execution-strategy knobs never change the simulated result
+        // (bit-identity is enforced by the differential suites), so they
+        // must not change the hash either: the same question asked with
+        // a different FEL or thread count shares the memo entry.
+        let mut strategy = base.clone();
+        strategy.fel = simkernel::FelImpl::Heap;
+        strategy.threads = 7;
+        strategy.window_s = Some(0.25);
+        assert_eq!(base.canonical_hash(), strategy.canonical_hash());
+    }
+
+    #[test]
+    fn canonical_hash_changes_with_every_semantic_field() {
+        let base = ReplayConfig::improved(2e9);
+        let mut variants: Vec<(&str, ReplayConfig)> = Vec::new();
+        let mut v = base.clone();
+        v.engine = ReplayEngine::Msg;
+        variants.push(("engine", v));
+        let mut v = base.clone();
+        v.rate = 2e9 + 1.0;
+        variants.push(("rate", v));
+        let mut v = base.clone();
+        v.placement = Placement::RoundRobin;
+        variants.push(("placement", v));
+        let mut v = base.clone();
+        v.copy_model = Some(smpi::CopyCost {
+            base_seconds: 1e-6,
+            bytes_per_second: 1e9,
+        });
+        variants.push(("copy_model", v));
+        let mut v = base.clone();
+        v.sharing = netmodel::SharingPolicy::MaxMin;
+        variants.push(("sharing", v));
+        let mut v = base.clone();
+        v.collective_agg = true;
+        variants.push(("collective_agg", v));
+        let mut seen = vec![base.canonical_hash()];
+        for (field, variant) in &variants {
+            let h = variant.canonical_hash();
+            assert!(
+                !seen.contains(&h),
+                "changing {field} did not change the canonical hash"
+            );
+            seen.push(h);
+        }
+    }
+
+    #[test]
+    fn copy_model_fields_are_domain_separated_in_the_hash() {
+        // Swapping the two copy-model floats must not collide.
+        let mut a = ReplayConfig::improved(2e9);
+        a.copy_model = Some(smpi::CopyCost {
+            base_seconds: 1.0,
+            bytes_per_second: 2.0,
+        });
+        let mut b = a.clone();
+        b.copy_model = Some(smpi::CopyCost {
+            base_seconds: 2.0,
+            bytes_per_second: 1.0,
+        });
+        assert_ne!(a.canonical_hash(), b.canonical_hash());
     }
 
     #[test]

@@ -556,6 +556,25 @@ pub fn encode_with_source(trace: &Trace, sig: Option<(u64, u64)>) -> Vec<u8> {
     out
 }
 
+/// The FNV-1a digest of the trace's encoded action payload — exactly
+/// the checksum a `.titb` written from this trace carries in its
+/// header, computed without materialising the file image. This is the
+/// canonical *content* identity of a trace: independent of file path,
+/// mtime, text formatting, and storage form, so it is the trace
+/// component of a what-if memoization key (see `tit_replay::querykey`).
+pub fn content_checksum(trace: &Trace) -> u64 {
+    let mut fnv = Fnv1a::new();
+    let mut scratch = Vec::with_capacity(32);
+    for (_, actions) in trace.iter() {
+        for a in actions {
+            scratch.clear();
+            encode_action(a, &mut scratch);
+            fnv.update(&scratch);
+        }
+    }
+    fnv.digest()
+}
+
 /// Decodes a full `.titb` image into a [`Trace`], verifying the
 /// checksum and every block length.
 ///
@@ -599,9 +618,30 @@ pub fn decode(bytes: &[u8]) -> Result<Trace, BinError> {
 /// a placeholder header is written first and patched once the payload
 /// lengths and checksum are known.
 ///
+/// The file is assembled in a uniquely named temp sibling and moved
+/// into place with `rename`, so concurrent readers of `path` only ever
+/// observe a complete image — never a half-written header — and two
+/// simultaneous writers race to an identical result instead of
+/// interleaving.
+///
 /// # Errors
 /// Propagates I/O failures (with the path).
 pub fn write_file(trace: &Trace, path: &Path, sig: Option<(u64, u64)>) -> Result<(), FileError> {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "titb.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let result = write_file_at(trace, &tmp, sig)
+        .and_then(|()| std::fs::rename(&tmp, path).map_err(|e| FileError::Io(path.to_path_buf(), e)));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn write_file_at(trace: &Trace, path: &Path, sig: Option<(u64, u64)>) -> Result<(), FileError> {
     let io_err = |e: io::Error| FileError::Io(path.to_path_buf(), e);
     let file = std::fs::File::create(path).map_err(io_err)?;
     let mut out = io::BufWriter::new(file);
@@ -952,6 +992,33 @@ mod tests {
         write_file(&t, &p, Some((7, 9))).unwrap();
         let streamed = std::fs::read(&p).unwrap();
         assert_eq!(streamed, encode_with_source(&t, Some((7, 9))));
+    }
+
+    #[test]
+    fn content_checksum_matches_written_file_header() {
+        let dir = std::env::temp_dir().join(format!("titrace-binfmt-ck-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("ck.titb");
+        let t = sample();
+        write_file(&t, &p, Some((11, 13))).unwrap();
+        let header = read_header(&std::fs::read(&p).unwrap()).unwrap();
+        assert_eq!(content_checksum(&t), header.checksum);
+        // Independent of the source signature and of going through a file.
+        let in_memory = read_header(&encode(&t)).unwrap();
+        assert_eq!(content_checksum(&t), in_memory.checksum);
+    }
+
+    #[test]
+    fn write_file_leaves_no_temp_siblings() {
+        let dir = std::env::temp_dir().join(format!("titrace-binfmt-tmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("clean.titb");
+        write_file(&sample(), &p, None).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names, vec!["clean.titb".to_string()], "temp files must be renamed away");
     }
 }
 

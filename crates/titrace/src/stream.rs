@@ -838,6 +838,45 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_sidecar_opens_never_observe_a_torn_cache() {
+        let dir = std::env::temp_dir().join(format!("titrace-cache-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("app.trace");
+        std::fs::write(&p, sample_text(4, 200)).unwrap();
+        let expected = {
+            let (t, _) = load_merged_cached(&p, 4, false).unwrap();
+            t
+        };
+        // Many threads all cold-open the same trace: every one must get
+        // the full trace whether it wins the cache write, loses the
+        // rename race, or reads a freshly renamed side-car. The atomic
+        // write_file guarantees no reader ever sees a partial image.
+        for round in 0..4 {
+            if round % 2 == 1 {
+                let _ = std::fs::remove_file(sidecar_path(&p));
+            }
+            let results = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| s.spawn(|_| load_merged_cached(&p, 4, true).unwrap()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .unwrap();
+            for (t, _) in results {
+                assert_eq!(t, expected, "round {round}");
+            }
+        }
+        // After the dust settles the side-car is valid and hot.
+        let (t, outcome) = load_merged_cached(&p, 4, true).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(t, expected);
+    }
+
+    #[test]
     fn detect_classifies_inputs() {
         let dir = std::env::temp_dir().join(format!("titrace-detect-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,61 @@
+//! A tiny blocking client for the service, used by the `titserved
+//! query` subcommand, the integration tests, and the capacity-planning
+//! example. Speaks exactly the dialect [`crate::http`] serves: one
+//! request per connection, `Content-Length`-framed bodies.
+
+use std::io;
+use std::net::TcpStream;
+
+use crate::http::{self, Response};
+
+/// Normalizes `http://host:port`, `host:port`, or `host:port/` to the
+/// socket address part.
+fn host_port(server: &str) -> &str {
+    let s = server.strip_prefix("http://").unwrap_or(server);
+    s.trim_end_matches('/')
+}
+
+/// Issues one request and reads the full response.
+pub fn request(server: &str, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+    let addr = host_port(server);
+    let mut stream = TcpStream::connect(addr)?;
+    {
+        use io::Write;
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            body.len()
+        )?;
+        stream.write_all(body)?;
+        stream.flush()?;
+    }
+    http::read_response(&stream)
+}
+
+/// `GET path`.
+pub fn get(server: &str, path: &str) -> io::Result<Response> {
+    request(server, "GET", path, b"")
+}
+
+/// `POST path` with a JSON body.
+pub fn post(server: &str, path: &str, body: &str) -> io::Result<Response> {
+    request(server, "POST", path, body.as_bytes())
+}
+
+/// Posts a what-if query to `/predict`; returns the response (body is
+/// the manifest envelope on 200, an error object otherwise).
+pub fn predict(server: &str, query_json: &str) -> io::Result<Response> {
+    post(server, "/predict", query_json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_port_normalizes() {
+        assert_eq!(host_port("http://127.0.0.1:80"), "127.0.0.1:80");
+        assert_eq!(host_port("127.0.0.1:80/"), "127.0.0.1:80");
+        assert_eq!(host_port("localhost:8080"), "localhost:8080");
+    }
+}

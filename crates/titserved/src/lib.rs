@@ -1,0 +1,48 @@
+//! `titserved` — replay-as-a-service.
+//!
+//! The paper's central economics: acquiring a time-independent trace is
+//! expensive and done once; answering "what if this application ran on
+//! platform X" with that trace is cheap and asked many times. The CLI
+//! shape (`titreplay`) pays a cold start per question — process spawn,
+//! platform parse, trace decode — and shares nothing between askers.
+//! This crate turns the replay pipeline into a long-running prediction
+//! service so the many-questions side is priced accordingly:
+//!
+//! * **memoization** — completed predictions are stored under a
+//!   canonical [`tit_replay::querykey::QueryKey`] (trace content
+//!   checksum × platform hash × semantic config hash × ranks); asking
+//!   the same question twice returns the identical bytes without
+//!   replaying;
+//! * **in-flight dedup** — N concurrent identical queries run exactly
+//!   one replay; the other N−1 block on the first and receive the same
+//!   body;
+//! * **shared hot traces** — decoded traces live in a process-wide
+//!   [`query::TraceStore`] (`Arc<Trace>`), loaded through the `.titb`
+//!   side-car cache, so distinct questions about one trace decode it
+//!   once;
+//! * **bounded workers** — independent queries fan out over a counting
+//!   semaphore; each execution reuses the parallel replay machinery
+//!   (`threads`/`window_s` in the query config).
+//!
+//! Endpoints: `POST /predict` (what-if query → manifest envelope,
+//! byte-identical to the `titreplay --manifest` output for the same
+//! inputs modulo wall time; the `x-titserved-cache` response header
+//! says `miss`, `hit`, or `joined`), `POST /inspect` (trace summary
+//! without replay), `GET /healthz`, `GET /stats` (counters including
+//! cache hit rate, in-flight, queue depth, worker utilization), and
+//! `POST /shutdown` (clean stop).
+//!
+//! ```no_run
+//! use titserved::server::{Server, ServerConfig};
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! println!("listening http://{}", server.addr());
+//! server.run().unwrap();
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod query;
+pub mod server;
+
+pub use query::{TraceStore, WhatIfQuery};
+pub use server::{Server, ServerConfig};

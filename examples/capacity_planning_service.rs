@@ -1,0 +1,122 @@
+//! Capacity planning through the prediction service: the same nine
+//! candidate-cluster sweep as `examples/capacity_planning.rs`, but
+//! asked of a running `titserved` instead of replaying in-process.
+//!
+//! The example embeds its own server (bound to an ephemeral port) so it
+//! runs standalone, then drives it exactly as a remote planner would:
+//! one acquired trace on disk, one `/predict` POST per candidate, and a
+//! final `/stats` read showing what the service shared. Each candidate
+//! is asked *twice* — the second sweep is answered entirely from the
+//! memo table, which is the point of putting replay behind a service.
+//!
+//! Run with: `cargo run --release --example capacity_planning_service`
+
+use tit_replay::platform::spec::{PlatformSpec, SpecKind};
+use tit_replay::prelude::*;
+use tit_replay::titrace::files;
+use titserved::client;
+use titserved::server::{Server, ServerConfig};
+
+fn main() {
+    let instance = LuConfig::new(LuClass::C, 64).with_steps(20);
+    println!("workload: {} ({} steps)", instance.label(), instance.steps);
+
+    // Acquire once and park the trace on disk, as a real deployment
+    // would: the server answers every question from this one file.
+    let trace = acquire(
+        instance.sources(),
+        Instrumentation::Minimal,
+        CompilerOpt::O3,
+        7,
+    )
+    .trace;
+    let dir = std::env::temp_dir().join(format!("titserved-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace_path = dir.join("lu-c-64.trace");
+    files::write_merged(&trace, &trace_path).expect("write trace");
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = format!("127.0.0.1:{}", server.addr().port());
+    let server_thread = std::thread::spawn(move || server.run());
+    println!("titserved listening on http://{addr}\n");
+
+    let cpu_options = [(2.0e9, 1000.0), (3.0e9, 1400.0), (4.0e9, 1900.0)];
+    let nic_options = [(1.25e8, 50.0), (2.5e8, 120.0), (1.25e9, 400.0)];
+    let target_seconds = 2.3;
+
+    for sweep in ["cold sweep", "memoized sweep"] {
+        println!(
+            "{sweep}:\n{:<26}{:>12}{:>14}{:>12}{:>10}",
+            "configuration", "price/node", "predicted(s)", "meets it?", "cache"
+        );
+        let mut best: Option<(f64, String, f64)> = None;
+        for (cpu, cpu_price) in cpu_options {
+            for (nic, nic_price) in nic_options {
+                let spec = PlatformSpec {
+                    name: format!("candidate-{:.0}GHz-{:.0}MBps", cpu / 1e9, nic / 1e6),
+                    kind: SpecKind::Flat {
+                        nodes: 64,
+                        host_speed: cpu,
+                        cores: 4,
+                        cache_bytes: 2 << 20,
+                        link_bandwidth: nic,
+                        link_latency: 15e-6,
+                        backbone_bandwidth: 10.0 * nic,
+                        backbone_latency: 4e-6,
+                    },
+                };
+                // The same what-if framing as the in-process example:
+                // the quoted CPU speed doubles as the replay rate.
+                let body = format!(
+                    "{{\"trace\": \"{}\", \"ranks\": 64, \"platform\": {}, \
+                     \"config\": {{\"rate\": {cpu}}}}}",
+                    trace_path.display(),
+                    spec.to_json()
+                );
+                let resp = client::predict(&addr, &body).expect("predict");
+                assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                let manifest = String::from_utf8(resp.body).expect("utf-8 manifest");
+                let sim = manifest
+                    .lines()
+                    .find_map(|l| {
+                        l.trim()
+                            .strip_prefix("\"simulated_time_s\": ")
+                            .map(|v| v.trim_end_matches(','))
+                    })
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .expect("manifest has simulated_time_s");
+                let disposition = resp
+                    .headers
+                    .get("x-titserved-cache")
+                    .cloned()
+                    .unwrap_or_default();
+                let price = 64.0 * (cpu_price + nic_price);
+                let ok = sim <= target_seconds;
+                println!(
+                    "{:<26}{:>12.0}{:>14.3}{:>12}{:>10}",
+                    spec.name,
+                    price,
+                    sim,
+                    if ok { "yes" } else { "no" },
+                    disposition
+                );
+                if ok && best.as_ref().is_none_or(|(p, _, _)| price < *p) {
+                    best = Some((price, spec.name.clone(), sim));
+                }
+            }
+        }
+        match &best {
+            Some((price, name, t)) => println!(
+                "cheapest configuration meeting the target: {name} ({price:.0} units, {t:.3}s)\n"
+            ),
+            None => println!("no candidate meets the {target_seconds}s target\n"),
+        }
+    }
+
+    let stats = client::get(&addr, "/stats").expect("stats");
+    println!("service stats:\n{}", String::from_utf8_lossy(&stats.body));
+
+    client::post(&addr, "/shutdown", "").expect("shutdown");
+    server_thread.join().expect("join").expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -263,3 +263,54 @@ TITR_REPLAY_THREADS=4 cargo test -q -p tit-replay \
     --test observability --test collective_agg --test windowed_pdes
 TITR_REPLAY_THREADS=4 cargo run --release -p bench --bin perf_baseline -- --smoke
 echo "PARALLEL_SUITE ok (replay tests + perf smoke at TITR_REPLAY_THREADS=4)"
+
+# Serve smoke: start titserved on an ephemeral port, issue the same
+# what-if query twice — the first must execute, the second must be
+# served from the memo (checked via /stats) with a byte-identical body —
+# byte-compare the served manifest against a direct `titreplay
+# --manifest` run (modulo the wall-time line), and shut down cleanly.
+served=target/release/titserved
+"$served" serve --port 0 --workers 2 >"$ingest_dir/serve.out" 2>&1 &
+serve_pid=$!
+server=""
+for _ in $(seq 1 100); do
+    server=$(awk '/^listening/ {print $2; exit}' "$ingest_dir/serve.out" 2>/dev/null || true)
+    [ -n "$server" ] && break
+    sleep 0.1
+done
+[ -n "$server" ] || { echo "titserved did not report a listening address" >&2; exit 1; }
+# Dependency-free HTTP helper (bash /dev/tcp): prints the response body.
+serve_http() { # method path
+    exec 3<>"/dev/tcp/127.0.0.1/${server##*:}"
+    printf '%s %s HTTP/1.1\r\nhost: ci\r\ncontent-length: 0\r\nconnection: close\r\n\r\n' \
+        "$1" "$2" >&3
+    sed '1,/^\r*$/d' <&3
+    exec 3>&-
+}
+serve_http GET /healthz | grep -q '^ok$' \
+    || { echo "titserved /healthz failed" >&2; exit 1; }
+serve_query() {
+    "$served" query --server "$server" --trace "$ingest_dir/lu.trace" \
+        --platform "$plat" --ranks 8 --rate 2e9
+}
+serve_query >"$ingest_dir/serve.1.json" 2>"$ingest_dir/serve.1.log"
+serve_query >"$ingest_dir/serve.2.json" 2>"$ingest_dir/serve.2.log"
+grep -q '^cache: miss$' "$ingest_dir/serve.1.log" \
+    || { echo "first serve query was not a miss" >&2; exit 1; }
+grep -q '^cache: hit$' "$ingest_dir/serve.2.log" \
+    || { echo "second serve query was not a memo hit" >&2; exit 1; }
+cmp "$ingest_dir/serve.1.json" "$ingest_dir/serve.2.json" \
+    || { echo "memoized response body differs from the original" >&2; exit 1; }
+serve_http GET /stats >"$ingest_dir/serve.stats.json"
+grep -q '"executions": 1' "$ingest_dir/serve.stats.json" \
+    && grep -q '"cache_hits": 1' "$ingest_dir/serve.stats.json" \
+    || { echo "serve stats disagree: $(cat "$ingest_dir/serve.stats.json")" >&2; exit 1; }
+"$rep" --platform "$plat" --ranks 8 --rate 2e9 --trace "$ingest_dir/lu.trace" \
+    --manifest "$ingest_dir/serve.cli.json" >/dev/null 2>&1
+norm_manifest() { sed '/"wall_time_s"/d' "$1"; }
+cmp <(norm_manifest "$ingest_dir/serve.1.json") <(norm_manifest "$ingest_dir/serve.cli.json") \
+    || { echo "served manifest differs from the titreplay CLI manifest" >&2; exit 1; }
+serve_http POST /shutdown >/dev/null
+wait "$serve_pid" \
+    || { echo "titserved did not shut down cleanly" >&2; exit 1; }
+echo "SERVE_SMOKE ok (memoized second query byte-identical, manifest matches CLI)"
