@@ -100,6 +100,10 @@ struct Baseline {
     /// Recorder overhead: replay with the span recorder disabled vs
     /// enabled (the disabled column is the plain entry point).
     obs: Vec<ObsOverhead>,
+    /// Wall-clock profiling overhead: the profiled entry point with
+    /// profiling off vs on (the off column is the production path),
+    /// with bit-identical results asserted per row.
+    telemetry: Vec<TelemetryOverhead>,
     /// Replay-as-a-service throughput: an embedded `titserved` on
     /// loopback answering what-if queries cold, memoized, and under a
     /// concurrent identical burst (deduplicated to one execution).
@@ -203,6 +207,32 @@ struct ObsOverhead {
     flows: f64,
     /// Simulated makespan — bit-identical with and without the
     /// recorder, asserted when this row is measured.
+    simulated_s: f64,
+}
+
+/// Replay wall time with per-worker wall-clock profiling off vs on,
+/// through the same entry point (`replay_input_profiled`; the off
+/// column *is* the production path — `replay_input_observed` forwards
+/// here with profiling off), so the delta is the full cost of the
+/// worker stopwatches.
+#[derive(Debug, Serialize)]
+struct TelemetryOverhead {
+    /// Workload label.
+    workload: String,
+    /// Worker threads configured.
+    threads: f64,
+    /// Best-of-N wall time with profiling off, seconds.
+    off_wall_s: f64,
+    /// Best-of-N wall time with profiling on, seconds.
+    on_wall_s: f64,
+    /// `(on - off) / off * 100`.
+    overhead_percent: f64,
+    /// Worker rows in the profile of the enabled run.
+    workers: f64,
+    /// Max/mean work-time ratio across those workers.
+    imbalance: f64,
+    /// Simulated makespan — bit-identical with profiling on or off,
+    /// asserted when this row is measured.
     simulated_s: f64,
 }
 
@@ -907,6 +937,46 @@ fn obs_overhead(platform: &Platform, trace: &Arc<Trace>, workload: &str) -> ObsO
     }
 }
 
+fn telemetry_overhead(
+    platform: &Platform,
+    trace: &Arc<Trace>,
+    workload: &str,
+    threads: usize,
+) -> TelemetryOverhead {
+    use tit_replay::replay::replay_input_profiled;
+    use tit_replay::titrace::TraceInput;
+    let mut cfg = replay_cfg(ReplayEngine::Smpi, SharingPolicy::Bottleneck);
+    cfg.threads = threads;
+    let ranks = trace.ranks();
+    let input = TraceInput::Memory(Arc::clone(trace));
+    let off = replay_input_profiled(platform, &input, ranks, &cfg, false, false).unwrap();
+    let on = replay_input_profiled(platform, &input, ranks, &cfg, false, true).unwrap();
+    assert_eq!(
+        off.result.time.to_bits(),
+        on.result.time.to_bits(),
+        "wall-clock profiling changed the simulated time"
+    );
+    assert_eq!(off.result, on.result, "profiling changed the replay result");
+    assert_eq!(off.metrics, on.metrics, "profiling changed the metrics");
+    let prof = on.profile.expect("profiled run carries a profile");
+    let off_wall_s = time_best(5, || {
+        replay_input_profiled(platform, &input, ranks, &cfg, false, false).unwrap()
+    });
+    let on_wall_s = time_best(5, || {
+        replay_input_profiled(platform, &input, ranks, &cfg, false, true).unwrap()
+    });
+    TelemetryOverhead {
+        workload: workload.into(),
+        threads: threads as f64,
+        off_wall_s,
+        on_wall_s,
+        overhead_percent: (on_wall_s - off_wall_s) / off_wall_s * 100.0,
+        workers: prof.workers.len() as f64,
+        imbalance: prof.imbalance(),
+        simulated_s: off.result.time,
+    }
+}
+
 fn sharing_speedup(platform: &Platform, trace: &Arc<Trace>, workload: &str) -> SharingSpeedup {
     let run = |sharing| {
         let cfg = replay_cfg(ReplayEngine::Smpi, sharing);
@@ -1145,8 +1215,17 @@ fn serve_section(
             backbone_latency: 5e-6,
         },
     };
-    let server = Server::bind("127.0.0.1:0", ServerConfig { workers, sidecar: true })
-        .expect("bind loopback");
+    // Access logging off: the benchmark drives thousands of requests
+    // and the stderr lines are pure noise at that volume.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            sidecar: true,
+            access_log: false,
+        },
+    )
+    .expect("bind loopback");
     let addr = format!("127.0.0.1:{}", server.addr().port());
     let handle = std::thread::spawn(move || server.run());
     let body = |rate: f64| {
@@ -1197,7 +1276,10 @@ fn serve_section(
     });
     for r in &burst {
         assert_eq!(r.status, 200);
-        assert_eq!(r.body, burst[0].body, "dedup responses must be byte-identical");
+        assert_eq!(
+            r.body, burst[0].body,
+            "dedup responses must be byte-identical"
+        );
     }
     let dedup_executions = stats_field(&addr, "executions") - exec_before;
     assert_eq!(
@@ -1258,13 +1340,85 @@ fn smoke() {
     pdes_smoke();
     agg_smoke();
     serve_smoke();
+    telemetry_smoke();
     println!(
         "PERF_SMOKE ok (counters sane, ladder steady state allocation-free, \
          disabled recorder cost-free, threads=1 dispatch cost-free, \
          parallel replay bit-identical, windowed PDES bit-identical and \
          dispatch cost-free on coupled workloads, aggregation \
          bit-identical and churn-free, service dedup single-execution \
-         and memo faster than cold)"
+         and memo faster than cold, wall-clock profiling bit-identical \
+         and cost-free when off)"
+    );
+}
+
+/// Telemetry gate: with profiling off, the profiled entry point must
+/// stay within 1% of the plain observed entry point (it *is* that
+/// function's implementation — the delta bounds measurement noise plus
+/// the dormant stopwatch branches), and a profiled parallel run must
+/// change no simulated bit while carrying a coherent per-worker
+/// breakdown (each worker's timed sections fit inside its own wall
+/// interval).
+fn telemetry_smoke() {
+    use tit_replay::replay::{replay_input_observed, replay_input_profiled};
+    use tit_replay::titrace::TraceInput;
+    let showcase = perfwork::showcase_platform();
+    let halo = Arc::new(perfwork::halo_exchange_trace(32, 50, 1 << 18));
+    let ranks = halo.ranks();
+    let input = TraceInput::Memory(Arc::clone(&halo));
+
+    let mut cfg = replay_cfg(ReplayEngine::Smpi, SharingPolicy::Bottleneck);
+    cfg.threads = 4;
+    let off = replay_input_profiled(&showcase, &input, ranks, &cfg, false, false).unwrap();
+    let on = replay_input_profiled(&showcase, &input, ranks, &cfg, false, true).unwrap();
+    assert!(
+        off.profile.is_none(),
+        "profiling off must not attach a profile"
+    );
+    assert_eq!(
+        off.result.time.to_bits(),
+        on.result.time.to_bits(),
+        "wall-clock profiling changed the simulated time"
+    );
+    assert_eq!(off.result, on.result, "profiling changed the replay result");
+    assert_eq!(off.metrics, on.metrics, "profiling changed the metrics");
+    let prof = on.profile.expect("profiled run carries a profile");
+    assert!(
+        prof.workers.len() >= 2,
+        "halo exchange should profile >= 2 workers, got {}",
+        prof.workers.len()
+    );
+    for w in &prof.workers {
+        let parts = w.work_s + w.barrier_s + w.mailbox_s;
+        assert!(
+            parts <= w.wall_s + 5e-3,
+            "worker {}: timed sections ({parts:.6}s) exceed its wall interval ({:.6}s)",
+            w.worker,
+            w.wall_s
+        );
+    }
+    eprintln!(
+        "smoke    tel: {} workers (mode {}), imbalance {:.2}, bit-identical on/off",
+        prof.workers.len(),
+        prof.mode,
+        prof.imbalance()
+    );
+
+    // Wall-time gate for the disabled path, sequential (the shape every
+    // production replay takes when nobody asks for a profile).
+    cfg.threads = 1;
+    let plain_s = time_best(5, || {
+        replay_input_observed(&showcase, &input, ranks, &cfg, false).unwrap()
+    });
+    let off_s = time_best(5, || {
+        replay_input_profiled(&showcase, &input, ranks, &cfg, false, false).unwrap()
+    });
+    let slack = (plain_s * 0.01).max(1e-3);
+    eprintln!("smoke    tel: churn replay plain {plain_s:.6}s, profiling off {off_s:.6}s");
+    assert!(
+        off_s <= plain_s + slack,
+        "profiling-off path regressed the churn replay by more than 1%: \
+         {off_s:.6}s vs {plain_s:.6}s"
     );
 }
 
@@ -1325,8 +1479,13 @@ fn pdes_smoke() {
         par.result.time.to_bits(),
         "windowed replay at 4 threads diverged from the sequential result"
     );
-    let stats = par.pdes.expect("windowed engine failed to engage on the coupled ring");
-    assert_eq!(stats.shards, 4, "windowed engine did not shard the ring 4 ways");
+    let stats = par
+        .pdes
+        .expect("windowed engine failed to engage on the coupled ring");
+    assert_eq!(
+        stats.shards, 4,
+        "windowed engine did not shard the ring 4 ways"
+    );
     assert!(stats.windows > 0 && stats.mailbox_envelopes > 0);
     eprintln!(
         "smoke   pdes: 4-thread windowed replay bit-identical \
@@ -1600,6 +1759,12 @@ fn main() {
         obs_overhead(&showcase, &halo, "halo-exchange-p128-iters200"),
     ];
 
+    eprintln!("timing wall-clock profiling overhead (halo exchange P=128)...");
+    let telemetry = vec![
+        telemetry_overhead(&showcase, &halo, "halo-exchange-p128-iters200", 1),
+        telemetry_overhead(&showcase, &halo, "halo-exchange-p128-iters200", 4),
+    ];
+
     eprintln!("timing the prediction service (LU B-8 over loopback)...");
     let serve_lu = LuConfig::new(LuClass::B, 8).with_steps(10);
     let serve_trace = acquire(
@@ -1624,6 +1789,7 @@ fn main() {
         sweep_cells: cells,
         fel,
         obs,
+        telemetry,
         serve,
     };
     let json = serde_json::to_string_pretty(&doc).expect("baseline always serializes");

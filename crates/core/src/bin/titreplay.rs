@@ -11,7 +11,8 @@
 //!           [--metrics <out.json>] [--manifest <out.json>] \
 //!           [--critical-path [out.json]]
 //! titreplay inspect --trace <trace.txt|.desc|.titb> --ranks 8 \
-//!           [--platform platform.json] [--threads N]
+//!           [--platform platform.json] [--threads N] \
+//!           [--profile] [--profile-json <out.json>] [--rate <instr/s>]
 //! titreplay trace pack <trace.txt|trace.desc> <out.titb> --ranks 8
 //! titreplay trace unpack <in.titb> <out.txt>
 //! ```
@@ -31,7 +32,13 @@
 //! optional JSON output path). `titreplay inspect` summarises a trace —
 //! ranks, action mix, volumes — without replaying it; with `--platform`
 //! it also reports the parallel-replay partition (coupling islands,
-//! lookahead bound, action balance).
+//! lookahead bound, action balance). `inspect --profile` additionally
+//! runs one parallel replay (`--threads`, default >= 2; `--rate`,
+//! default 2e9) and prints the wall-clock execution profile — per-worker
+//! work / barrier-wait / mailbox-stall breakdown and the load-imbalance
+//! ratio; `--profile-json` writes the same breakdown as JSON. Profiling
+//! never changes simulated results (the profile holds the only
+//! wall-clock figures).
 //!
 //! `--threads N` replays decoupled rank groups — or, when the trace
 //! certifies a sub-shard plan, one coupled component under the windowed
@@ -78,6 +85,7 @@ fn usage() -> ! {
          \x20          [--critical-path [path.json]]\n\
          \x20      titreplay inspect --trace <trace.txt|.desc|.titb> --ranks <N> \
          [--platform <platform.json>] [--threads <N>] [--no-cache]\n\
+         \x20          [--profile] [--profile-json <out.json>] [--rate <instr/s>]\n\
          \x20      titreplay trace pack <in.txt|in.desc> <out.titb> --ranks <N>\n\
          \x20      titreplay trace unpack <in.titb> <out.txt>"
     );
@@ -178,9 +186,9 @@ fn parse_args(argv: &[String]) -> Args {
                 // be a horizon increment, and silently clamping it would
                 // hide the typo.
                 let raw = args.next().unwrap_or_else(|| usage());
-                let w: f64 = raw.parse().unwrap_or_else(|_| {
-                    fail(&format!("--window-s expects a number, got '{raw}'"))
-                });
+                let w: f64 = raw
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--window-s expects a number, got '{raw}'")));
                 if !w.is_finite() || w <= 0.0 {
                     fail(&format!(
                         "--window-s must be a positive finite number of simulated seconds, got {raw}"
@@ -249,6 +257,9 @@ fn inspect_command(args: &[String]) -> ! {
     let mut ranks = None;
     let mut platform_path = None;
     let mut threads = None;
+    let mut profile = false;
+    let mut profile_json = None;
+    let mut rate = 2e9f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -256,6 +267,20 @@ fn inspect_command(args: &[String]) -> ! {
             "--ranks" => ranks = it.next().and_then(|v| v.parse().ok()),
             "--platform" => platform_path = it.next().cloned(),
             "--threads" => threads = it.next().and_then(|v| v.parse().ok()),
+            "--profile" => profile = true,
+            "--profile-json" => {
+                profile = true;
+                profile_json = it.next().cloned();
+                if profile_json.is_none() {
+                    fail("--profile-json expects an output path");
+                }
+            }
+            "--rate" => {
+                rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--rate expects a number"));
+            }
             "--no-cache" => {}
             _ => usage(),
         }
@@ -263,6 +288,9 @@ fn inspect_command(args: &[String]) -> ! {
     let (Some(trace_path), Some(ranks)) = (trace_path, ranks) else {
         usage()
     };
+    if profile && platform_path.is_none() {
+        fail("inspect --profile needs --platform (profiling runs one replay)");
+    }
     let input = TraceInput::detect(Path::new(&trace_path)).unwrap_or_else(|e| fail(&e.to_string()));
     let sig = tit_replay::replay::trace_signature(&input, ranks);
     let trace = stream::load_trace(&input, ranks).unwrap_or_else(|e| fail(&e.to_string()));
@@ -340,8 +368,7 @@ fn inspect_command(args: &[String]) -> ! {
         // One coupled component: report whether the windowed-PDES
         // engine could split it, and how.
         if report.islands == 1 {
-            let threads =
-                threads.unwrap_or_else(|| ReplayConfig::default_threads().max(2));
+            let threads = threads.unwrap_or_else(|| ReplayConfig::default_threads().max(2));
             let eager = tit_replay::smpi::SmpiConfig::smpi_replay();
             match partition::plan_subshards(&scan, &platform, &hosts, threads, |b| {
                 eager.is_eager(b)
@@ -360,6 +387,34 @@ fn inspect_command(args: &[String]) -> ! {
                     }
                 }
                 Err(reason) => println!("subshards none ({reason})"),
+            }
+        }
+        if profile {
+            // One profiled replay at the requested (or inferred) thread
+            // count. Wall-clock figures live only in the profile; the
+            // simulated result is bit-identical to an unprofiled run.
+            let run_threads = threads.unwrap_or_else(|| ReplayConfig::default_threads().max(2));
+            let config = ReplayConfig {
+                engine: ReplayEngine::Smpi,
+                rate,
+                placement: Placement::OnePerNode,
+                copy_model: None,
+                sharing: tit_replay::netmodel::SharingPolicy::Bottleneck,
+                fel: tit_replay::simkernel::FelImpl::default(),
+                threads: run_threads,
+                window_s: None,
+                collective_agg: false,
+            };
+            let report = tit_replay::replay::replay_input_profiled(
+                &platform, &input, ranks, &config, false, true,
+            )
+            .unwrap_or_else(|e| fail(&e));
+            let prof = report.profile.expect("profiled run must carry a profile");
+            println!("profile_threads {run_threads}");
+            println!("profile_simulated_time_s {:.9}", report.result.time);
+            print!("{}", prof.render_text());
+            if let Some(path) = &profile_json {
+                write_or_fail(path, &prof.to_json());
             }
         }
     }

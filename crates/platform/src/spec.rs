@@ -345,8 +345,7 @@ mod tests {
         // Formatting must not matter: pretty JSON, compact JSON, and the
         // in-memory original all hash identically.
         let pretty = PlatformSpec::from_json(&spec.to_json()).unwrap();
-        let compact =
-            PlatformSpec::from_json(&serde_json::to_string(&spec).unwrap()).unwrap();
+        let compact = PlatformSpec::from_json(&serde_json::to_string(&spec).unwrap()).unwrap();
         assert_eq!(spec.canonical_hash(), pretty.canonical_hash());
         assert_eq!(spec.canonical_hash(), compact.canonical_hash());
     }
@@ -357,7 +356,10 @@ mod tests {
         let mut seen = vec![base.canonical_hash()];
         let mut check = |label: &str, spec: PlatformSpec| {
             let h = spec.canonical_hash();
-            assert!(!seen.contains(&h), "changing {label} did not change the hash");
+            assert!(
+                !seen.contains(&h),
+                "changing {label} did not change the hash"
+            );
             seen.push(h);
         };
         let mut renamed = base.clone();

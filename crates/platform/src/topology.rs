@@ -74,10 +74,7 @@ impl Topology {
                 out.push(*backbone);
                 out.push(downlinks[dst.as_usize()]);
             }
-            Topology::Direct {
-                uplinks,
-                downlinks,
-            } => {
+            Topology::Direct { uplinks, downlinks } => {
                 out.push(uplinks[src.as_usize()]);
                 out.push(downlinks[dst.as_usize()]);
             }
@@ -120,10 +117,7 @@ impl Topology {
                     .for_each(check);
                 check(*backbone);
             }
-            Topology::Direct {
-                uplinks,
-                downlinks,
-            } => {
+            Topology::Direct { uplinks, downlinks } => {
                 assert_eq!(uplinks.len() as u32, hosts, "one uplink per host");
                 assert_eq!(downlinks.len() as u32, hosts, "one downlink per host");
                 uplinks
@@ -280,10 +274,7 @@ pub fn direct_cluster(spec: &DirectClusterSpec) -> Platform {
         spec.name.clone(),
         hosts,
         links,
-        Topology::Direct {
-            uplinks,
-            downlinks,
-        },
+        Topology::Direct { uplinks, downlinks },
     )
 }
 

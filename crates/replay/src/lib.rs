@@ -21,6 +21,7 @@
 
 mod parallel;
 pub mod partition;
+pub mod profile;
 
 use std::sync::{Arc, Mutex};
 
@@ -279,6 +280,10 @@ pub struct ReplayReport {
     /// Windowed-PDES execution figures when that engine ran the replay;
     /// `None` for the sequential and island-parallel paths.
     pub pdes: Option<PdesStats>,
+    /// Wall-clock execution profile (present iff profiling was requested
+    /// via [`replay_input_profiled`]). Purely diagnostic: simulated
+    /// results carry no trace of whether it was collected.
+    pub profile: Option<profile::ReplayProfile>,
 }
 
 impl ReplayReport {
@@ -476,11 +481,47 @@ pub fn replay_input_observed(
     config: &ReplayConfig,
     record_spans: bool,
 ) -> Result<ReplayReport, String> {
+    replay_input_profiled(platform, input, ranks, config, record_spans, false)
+}
+
+/// Like [`replay_input_observed`], additionally measuring where the
+/// host spends wall-clock time when `profile` is set: per-worker work /
+/// barrier-wait / mailbox-stall breakdowns on
+/// [`ReplayReport::profile`]. With `profile` false this is exactly
+/// [`replay_input_observed`] — no host clock is read, and either way
+/// every deterministic output (simulated times, metrics, spans,
+/// manifests) is byte-identical to the unprofiled run.
+///
+/// # Errors
+/// See [`replay_input`].
+pub fn replay_input_profiled(
+    platform: &Platform,
+    input: &TraceInput,
+    ranks: u32,
+    config: &ReplayConfig,
+    record_spans: bool,
+    profile: bool,
+) -> Result<ReplayReport, String> {
     if config.threads > 1 {
-        return parallel::replay_input_parallel(platform, input, ranks, config, record_spans);
+        return parallel::replay_input_parallel(
+            platform,
+            input,
+            ranks,
+            config,
+            record_spans,
+            profile,
+        );
     }
+    let sw = simkernel::telemetry::Stopwatch::start(profile);
     let sources = titrace::stream::open_sources(input, ranks).map_err(|e| e.to_string())?;
-    replay_sources_observed(platform, sources, config, record_spans)
+    let mut report = replay_sources_observed(platform, sources, config, record_spans)?;
+    if profile {
+        report.profile = Some(profile::ReplayProfile::sequential(
+            sw.elapsed_s(),
+            ranks as usize,
+        ));
+    }
+    Ok(report)
 }
 
 fn run_engine(
@@ -544,6 +585,7 @@ fn run_engine(
         metrics: obs.metrics,
         spans: obs.spans,
         pdes: None,
+        profile: None,
     })
 }
 
@@ -578,7 +620,14 @@ pub fn replay_observed(
     assert!(ranks > 0, "empty trace");
     if config.threads > 1 {
         let input = TraceInput::Memory(Arc::clone(trace));
-        return parallel::replay_input_parallel(platform, &input, ranks, config, record_spans);
+        return parallel::replay_input_parallel(
+            platform,
+            &input,
+            ranks,
+            config,
+            record_spans,
+            false,
+        );
     }
     let hosts: Vec<HostId> = config.placement.assign(platform, ranks)?;
     run_engine(platform, &hosts, trace_sources(trace), config, record_spans)

@@ -36,7 +36,12 @@ use smpi::{CrossArrival, CrossEnvelope};
 use titrace::{ActionSource, Rank, SourceError, TraceInput};
 use workloads::{MpiOp, OpSource};
 
-use crate::partition::{island_links, partition_ranks, plan_subshards, scan_sources, CommScan, Island};
+use simkernel::telemetry::Stopwatch;
+
+use crate::partition::{
+    island_links, partition_ranks, plan_subshards, scan_sources, CommScan, Island,
+};
+use crate::profile::{ReplayProfile, WorkerProfile};
 use crate::{action_to_op, PdesStats, ReplayConfig, ReplayEngine, ReplayReport, ReplayResult};
 
 /// Replays `input` under `config.threads` workers, falling back to the
@@ -54,7 +59,9 @@ pub(crate) fn replay_input_parallel(
     ranks: u32,
     config: &ReplayConfig,
     record_spans: bool,
+    profile: bool,
 ) -> Result<ReplayReport, String> {
+    let run_sw = Stopwatch::start(profile);
     // Merged text would otherwise be parsed twice (scan + replay);
     // materialise it once up front.
     let materialised;
@@ -79,14 +86,28 @@ pub(crate) fn replay_input_parallel(
         // across threads — bit-identically. Any gate failure falls back
         // to the unchanged sequential path.
         if config.threads > 1 {
-            if let Some(report) =
-                try_replay_windowed(platform, input, ranks, &scan, &hosts, config, record_spans)?
-            {
+            if let Some(report) = try_replay_windowed(
+                platform,
+                input,
+                ranks,
+                &scan,
+                &hosts,
+                config,
+                record_spans,
+                profile,
+            )? {
                 return Ok(report);
             }
         }
         let sources = titrace::stream::open_sources(input, ranks).map_err(|e| e.to_string())?;
-        return crate::replay_sources_observed(platform, sources, config, record_spans);
+        let mut report = crate::replay_sources_observed(platform, sources, config, record_spans)?;
+        if profile {
+            report.profile = Some(ReplayProfile::sequential(
+                run_sw.elapsed_s(),
+                ranks as usize,
+            ));
+        }
+        return Ok(report);
     }
 
     // Longest-processing-time-first island assignment. Deterministic,
@@ -140,24 +161,32 @@ pub(crate) fn replay_input_parallel(
     let total = part.islands.len();
     let window = config.window_s;
     let finished = AtomicUsize::new(0);
+    let rounds = AtomicU64::new(0);
     let barrier = Barrier::new(workers);
     let results: Mutex<Vec<(usize, Result<IslandDone, String>)>> =
         Mutex::new(Vec::with_capacity(total));
+    let profiles: Mutex<Vec<WorkerProfile>> = Mutex::new(Vec::with_capacity(workers));
     std::thread::scope(|s| {
-        for worker_islands in &assignment {
+        for (windex, worker_islands) in assignment.iter().enumerate() {
             let jobs_for_worker: Vec<IslandJob> = worker_islands
                 .iter()
                 .map(|&i| jobs[i].take().expect("island assigned twice"))
                 .collect();
             let (finished, barrier, results) = (&finished, &barrier, &results);
+            let (rounds, profiles) = (&rounds, &profiles);
             let fault = Arc::clone(&fault);
             s.spawn(move || {
+                let wall = Stopwatch::start(profile);
+                let mut work_s = 0.0f64;
+                let mut barrier_s = 0.0f64;
+                let mut advances = 0u64;
                 struct WorkerRun {
                     index: usize,
                     ranks: Arc<Vec<u32>>,
                     done: bool,
                     run: EngineRun,
                 }
+                let prep = Stopwatch::start(profile);
                 let mut runs: Vec<WorkerRun> = jobs_for_worker
                     .into_iter()
                     .map(|job| {
@@ -189,12 +218,16 @@ pub(crate) fn replay_input_parallel(
                         }
                     })
                     .collect();
+                work_s += prep.elapsed_s();
                 match window {
                     None => {
                         // Unbounded lookahead: run each island straight
                         // to quiescence, no synchronization at all.
                         for r in &mut runs {
+                            let sw = Stopwatch::start(profile);
                             r.run.advance(Time::NEVER);
+                            work_s += sw.elapsed_s();
+                            advances += 1;
                             r.done = true;
                         }
                     }
@@ -207,15 +240,26 @@ pub(crate) fn replay_input_parallel(
                         // the termination check.
                         let mut k = 1u64;
                         loop {
+                            let sw = Stopwatch::start(profile);
                             for r in &mut runs {
-                                if !r.done && r.run.advance(Time::from_secs(w * k as f64)) {
+                                if r.done {
+                                    continue;
+                                }
+                                advances += 1;
+                                if r.run.advance(Time::from_secs(w * k as f64)) {
                                     r.done = true;
                                     finished.fetch_add(1, Ordering::SeqCst);
                                 }
                             }
+                            work_s += sw.elapsed_s();
+                            if windex == 0 {
+                                rounds.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let bw = Stopwatch::start(profile);
                             barrier.wait();
                             let all_done = finished.load(Ordering::SeqCst) == total;
                             barrier.wait();
+                            barrier_s += bw.elapsed_s();
                             if all_done {
                                 break;
                             }
@@ -223,6 +267,9 @@ pub(crate) fn replay_input_parallel(
                         }
                     }
                 }
+                let islands_run = runs.len();
+                let ranks_run: usize = runs.iter().map(|r| r.ranks.len()).sum();
+                let fin = Stopwatch::start(profile);
                 for r in runs {
                     let (index, island_ranks) = (r.index, r.ranks);
                     let outcome = r.run.finalize().map_err(|e| {
@@ -234,6 +281,22 @@ pub(crate) fn replay_input_parallel(
                         .lock()
                         .expect("results poisoned")
                         .push((index, outcome));
+                }
+                work_s += fin.elapsed_s();
+                if profile {
+                    profiles
+                        .lock()
+                        .expect("profiles poisoned")
+                        .push(WorkerProfile {
+                            worker: windex,
+                            islands: islands_run,
+                            ranks: ranks_run,
+                            work_s,
+                            barrier_s,
+                            mailbox_s: 0.0,
+                            wall_s: wall.elapsed_s(),
+                            advances,
+                        });
                 }
             });
         }
@@ -250,7 +313,18 @@ pub(crate) fn replay_input_parallel(
     for (_, outcome) in done {
         islands_done.push(outcome?);
     }
-    Ok(merge_islands(config, ranks, &part.islands, islands_done))
+    let mut report = merge_islands(config, ranks, &part.islands, islands_done);
+    if profile {
+        let mut worker_profiles = profiles.into_inner().expect("profiles poisoned");
+        worker_profiles.sort_by_key(|w| w.worker);
+        report.profile = Some(ReplayProfile {
+            mode: "islands",
+            wall_s: run_sw.elapsed_s(),
+            windows: rounds.into_inner(),
+            workers: worker_profiles,
+        });
+    }
+    Ok(report)
 }
 
 /// Windowed conservative replay of one fully coupled component, split
@@ -284,6 +358,7 @@ pub(crate) fn replay_input_parallel(
 /// `lat >= lookahead` (protocol latency factors are `>= 1`), so the
 /// arrival lands at or beyond `m + lookahead >= m + 2w > h` — strictly
 /// past every horizon that could consume it too early.
+#[allow(clippy::too_many_arguments)]
 fn try_replay_windowed(
     platform: &Platform,
     input: &TraceInput,
@@ -292,10 +367,12 @@ fn try_replay_windowed(
     hosts: &[HostId],
     config: &ReplayConfig,
     record_spans: bool,
+    profile: bool,
 ) -> Result<Option<ReplayReport>, String> {
     if config.engine != ReplayEngine::Smpi || record_spans {
         return Ok(None);
     }
+    let run_sw = Stopwatch::start(profile);
     let smpi_cfg = smpi_config(config);
     let plan = match plan_subshards(scan, platform, hosts, config.threads, |b| {
         smpi_cfg.is_eager(b)
@@ -335,6 +412,7 @@ fn try_replay_windowed(
         .collect();
     let results: Mutex<Vec<(usize, Result<IslandDone, String>)>> =
         Mutex::new(Vec::with_capacity(nshards));
+    let profiles: Mutex<Vec<WorkerProfile>> = Mutex::new(Vec::with_capacity(nshards));
 
     std::thread::scope(|s| {
         for (index, shard) in plan.shards.iter().enumerate() {
@@ -345,11 +423,18 @@ fn try_replay_windowed(
                 .collect();
             let (mins, horizon, windows, barrier, inboxes, results) =
                 (&mins, &horizon, &windows, &barrier, &inboxes, &results);
+            let profiles = &profiles;
             let (mailbox_envelopes, mailbox_arrivals) = (&mailbox_envelopes, &mailbox_arrivals);
             let (plan, smpi_cfg) = (&plan, &smpi_cfg);
             let fault = Arc::clone(&fault);
             let all_ranks = Arc::clone(&all_ranks);
             s.spawn(move || {
+                let wall = Stopwatch::start(profile);
+                let mut work_s = 0.0f64;
+                let mut barrier_s = 0.0f64;
+                let mut mailbox_s = 0.0f64;
+                let mut advances = 0u64;
+                let prep = Stopwatch::start(profile);
                 // Peer ranks keep their global ids (the shard world
                 // spans the whole component), so the identity remap of
                 // `PartitionOpSource` only contributes fault parking.
@@ -383,12 +468,15 @@ fn try_replay_windowed(
                     hooks,
                 );
                 run.restrict_links(&shard.links);
+                work_s += prep.elapsed_s();
                 loop {
                     let next = run
                         .next_pending_time()
                         .map_or(f64::INFINITY, |t| t.as_secs());
                     mins[index].store(next.to_bits(), Ordering::SeqCst);
+                    let bw = Stopwatch::start(profile);
                     barrier.wait();
+                    barrier_s += bw.elapsed_s();
                     if index == 0 {
                         let m = mins
                             .iter()
@@ -400,12 +488,18 @@ fn try_replay_windowed(
                             windows.fetch_add(1, Ordering::SeqCst);
                         }
                     }
+                    let bw = Stopwatch::start(profile);
                     barrier.wait();
+                    barrier_s += bw.elapsed_s();
                     let h = f64::from_bits(horizon.load(Ordering::SeqCst));
                     if !h.is_finite() {
                         break;
                     }
+                    let sw = Stopwatch::start(profile);
                     run.advance(Time::from_secs(h));
+                    work_s += sw.elapsed_s();
+                    advances += 1;
+                    let mb = Stopwatch::start(profile);
                     let (envs, arrs) = run.drain_cross_outbox();
                     mailbox_envelopes.fetch_add(envs.len() as u64, Ordering::SeqCst);
                     mailbox_arrivals.fetch_add(arrs.len() as u64, Ordering::SeqCst);
@@ -417,7 +511,11 @@ fn try_replay_windowed(
                         let dst = plan.rank_shard[a.dst as usize] as usize;
                         inboxes[dst].lock().expect("inbox poisoned").1.push(a);
                     }
+                    mailbox_s += mb.elapsed_s();
+                    let bw = Stopwatch::start(profile);
                     barrier.wait();
+                    barrier_s += bw.elapsed_s();
+                    let mb = Stopwatch::start(profile);
                     let (mut envs, mut arrs) =
                         std::mem::take(&mut *inboxes[index].lock().expect("inbox poisoned"));
                     // Deterministic injection order regardless of which
@@ -434,7 +532,9 @@ fn try_replay_windowed(
                     for a in &arrs {
                         run.inject_cross_arrival(a);
                     }
+                    mailbox_s += mb.elapsed_s();
                 }
+                let fin = Stopwatch::start(profile);
                 let outcome = run
                     .finalize()
                     .map(|(res, obs)| IslandDone {
@@ -443,13 +543,27 @@ fn try_replay_windowed(
                         events: res.events,
                         obs,
                     })
-                    .map_err(|e| {
-                        format!("shard {index} (global ranks {:?}): {e}", shard.ranks)
-                    });
+                    .map_err(|e| format!("shard {index} (global ranks {:?}): {e}", shard.ranks));
+                work_s += fin.elapsed_s();
                 results
                     .lock()
                     .expect("results poisoned")
                     .push((index, outcome));
+                if profile {
+                    profiles
+                        .lock()
+                        .expect("profiles poisoned")
+                        .push(WorkerProfile {
+                            worker: index,
+                            islands: 1,
+                            ranks: shard.ranks.len(),
+                            work_s,
+                            barrier_s,
+                            mailbox_s,
+                            wall_s: wall.elapsed_s(),
+                            advances,
+                        });
+                }
             });
         }
     });
@@ -474,14 +588,25 @@ fn try_replay_windowed(
         })
         .collect();
     let mut report = merge_islands(config, ranks, &pseudo_islands, shards_done);
+    let window_rounds = windows.into_inner();
     report.pdes = Some(PdesStats {
         shards: nshards,
-        windows: windows.into_inner(),
+        windows: window_rounds,
         mailbox_envelopes: mailbox_envelopes.into_inner(),
         mailbox_arrivals: mailbox_arrivals.into_inner(),
         lookahead_s: plan.lookahead_s,
         window_s: window,
     });
+    if profile {
+        let mut worker_profiles = profiles.into_inner().expect("profiles poisoned");
+        worker_profiles.sort_by_key(|w| w.worker);
+        report.profile = Some(ReplayProfile {
+            mode: "windowed",
+            wall_s: run_sw.elapsed_s(),
+            windows: window_rounds,
+            workers: worker_profiles,
+        });
+    }
     Ok(Some(report))
 }
 
@@ -668,6 +793,7 @@ fn merge_islands(
         metrics,
         spans,
         pdes: None,
+        profile: None,
     }
 }
 

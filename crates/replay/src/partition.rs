@@ -308,7 +308,8 @@ pub fn plan_subshards(
         return Err("trace contains collectives, which couple all ranks each phase".into());
     }
     // Host groups, keyed by smallest member rank for determinism.
-    let mut groups: std::collections::BTreeMap<HostId, Vec<u32>> = std::collections::BTreeMap::new();
+    let mut groups: std::collections::BTreeMap<HostId, Vec<u32>> =
+        std::collections::BTreeMap::new();
     for r in 0..scan.ranks {
         groups.entry(hosts[r as usize]).or_default().push(r);
     }

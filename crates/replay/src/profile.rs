@@ -1,0 +1,221 @@
+//! Wall-clock profiling of replay execution.
+//!
+//! Where [`simkernel::obs`] answers "what did the *simulated* machine
+//! do", this module answers "where did the *host* spend wall time while
+//! computing that answer": per-worker work time, barrier-wait time,
+//! cross-shard mailbox stall, horizon advances, and the load-imbalance
+//! ratio across workers. None of it feeds back into simulated times,
+//! metrics, manifests, or exports — a profiled run's deterministic
+//! outputs are byte-identical to an unprofiled run's (the differential
+//! tests assert this), and when profiling is off no host clock is read
+//! at all (see [`simkernel::telemetry::Stopwatch`]).
+
+/// Wall-time breakdown of one replay worker thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerProfile {
+    /// Worker index (stable across runs; workers are spawned in
+    /// assignment order).
+    pub worker: usize,
+    /// Islands (island mode) or sub-shards (windowed mode) this worker
+    /// executed. The sequential path reports one pseudo-island.
+    pub islands: usize,
+    /// Global ranks this worker simulated.
+    pub ranks: usize,
+    /// Seconds spent doing simulation work: preparing engines, advancing
+    /// them, and finalizing results.
+    pub work_s: f64,
+    /// Seconds spent blocked on window barriers waiting for peers.
+    pub barrier_s: f64,
+    /// Seconds spent draining, sorting, and injecting cross-shard
+    /// mailbox traffic (windowed mode only).
+    pub mailbox_s: f64,
+    /// Wall-clock seconds from worker start to worker exit.
+    pub wall_s: f64,
+    /// `advance(horizon)` calls issued (one per island per window round;
+    /// one per island in free-running mode).
+    pub advances: u64,
+}
+
+/// Wall-clock profile of one replay run, attached to
+/// [`crate::ReplayReport::profile`] by the profiled entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayProfile {
+    /// Which execution path ran: `"sequential"`, `"islands"`, or
+    /// `"windowed"`.
+    pub mode: &'static str,
+    /// Wall-clock seconds of the whole replay section (scan, partition,
+    /// worker execution, merge).
+    pub wall_s: f64,
+    /// Window rounds executed (0 when free-running).
+    pub windows: u64,
+    /// Per-worker breakdowns, in worker-index order.
+    pub workers: Vec<WorkerProfile>,
+}
+
+impl ReplayProfile {
+    /// A single-worker profile for the sequential path, where all wall
+    /// time is work time.
+    pub fn sequential(wall_s: f64, ranks: usize) -> Self {
+        ReplayProfile {
+            mode: "sequential",
+            wall_s,
+            windows: 0,
+            workers: vec![WorkerProfile {
+                worker: 0,
+                islands: 1,
+                ranks,
+                work_s: wall_s,
+                barrier_s: 0.0,
+                mailbox_s: 0.0,
+                wall_s,
+                advances: 1,
+            }],
+        }
+    }
+
+    /// Load-imbalance ratio: max worker work time over mean worker work
+    /// time (1.0 = perfectly balanced; 1.0 for empty/idle runs).
+    pub fn imbalance(&self) -> f64 {
+        let n = self.workers.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let total: f64 = self.workers.iter().map(|w| w.work_s).sum();
+        let mean = total / n as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        let max = self.workers.iter().map(|w| w.work_s).fold(0.0, f64::max);
+        max / mean
+    }
+
+    /// Deterministic-shape JSON rendering (field set and order are
+    /// fixed; the wall-clock *values* are inherently run-dependent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.workers.len() * 160);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!("  \"wall_s\": {},\n", json_f64(self.wall_s)));
+        out.push_str(&format!("  \"windows\": {},\n", self.windows));
+        out.push_str(&format!(
+            "  \"imbalance\": {},\n",
+            json_f64(self.imbalance())
+        ));
+        out.push_str("  \"workers\": [\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"worker\": {}, \"islands\": {}, \"ranks\": {}, \"work_s\": {}, \"barrier_s\": {}, \"mailbox_s\": {}, \"wall_s\": {}, \"advances\": {}}}{}\n",
+                w.worker,
+                w.islands,
+                w.ranks,
+                json_f64(w.work_s),
+                json_f64(w.barrier_s),
+                json_f64(w.mailbox_s),
+                json_f64(w.wall_s),
+                w.advances,
+                if i + 1 < self.workers.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table for `titreplay inspect --profile`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(256 + self.workers.len() * 96);
+        out.push_str(&format!(
+            "replay profile: mode={} wall={:.3}ms windows={} imbalance={:.2}\n",
+            self.mode,
+            self.wall_s * 1e3,
+            self.windows,
+            self.imbalance()
+        ));
+        out.push_str(
+            "  worker  islands  ranks     work_ms  barrier_ms  mailbox_ms     wall_ms  advances\n",
+        );
+        for w in &self.workers {
+            out.push_str(&format!(
+                "  {:>6}  {:>7}  {:>5}  {:>10.3}  {:>10.3}  {:>10.3}  {:>10.3}  {:>8}\n",
+                w.worker,
+                w.islands,
+                w.ranks,
+                w.work_s * 1e3,
+                w.barrier_s * 1e3,
+                w.mailbox_s * 1e3,
+                w.wall_s * 1e3,
+                w.advances
+            ));
+        }
+        out
+    }
+}
+
+/// Finite plain-decimal float rendering for the profile JSON.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker(i: usize, work: f64) -> WorkerProfile {
+        WorkerProfile {
+            worker: i,
+            islands: 1,
+            ranks: 4,
+            work_s: work,
+            barrier_s: 0.001,
+            mailbox_s: 0.0,
+            wall_s: work + 0.001,
+            advances: 3,
+        }
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let p = ReplayProfile {
+            mode: "islands",
+            wall_s: 0.4,
+            windows: 0,
+            workers: vec![worker(0, 0.3), worker(1, 0.1)],
+        };
+        assert!((p.imbalance() - 1.5).abs() < 1e-12);
+        assert_eq!(ReplayProfile::sequential(0.0, 2).imbalance(), 1.0);
+    }
+
+    #[test]
+    fn json_shape_is_fixed() {
+        let p = ReplayProfile {
+            mode: "windowed",
+            wall_s: 0.25,
+            windows: 7,
+            workers: vec![worker(0, 0.2), worker(1, 0.21)],
+        };
+        let j = p.to_json();
+        assert!(j.contains("\"mode\": \"windowed\""));
+        assert!(j.contains("\"windows\": 7"));
+        assert!(j.contains("\"worker\": 0"));
+        assert!(j.contains("\"worker\": 1"));
+        assert!(j.contains("\"imbalance\":"));
+        assert!(j.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn text_table_lists_every_worker() {
+        let p = ReplayProfile {
+            mode: "islands",
+            wall_s: 0.4,
+            windows: 0,
+            workers: vec![worker(0, 0.3), worker(1, 0.1)],
+        };
+        let t = p.render_text();
+        assert!(t.contains("mode=islands"));
+        assert!(t.contains("barrier_ms"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

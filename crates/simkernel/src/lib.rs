@@ -35,6 +35,7 @@ pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use activity::{ActivityId, ActivityState};

@@ -633,8 +633,9 @@ pub fn write_file(trace: &Trace, path: &Path, sig: Option<(u64, u64)>) -> Result
         std::process::id(),
         TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     ));
-    let result = write_file_at(trace, &tmp, sig)
-        .and_then(|()| std::fs::rename(&tmp, path).map_err(|e| FileError::Io(path.to_path_buf(), e)));
+    let result = write_file_at(trace, &tmp, sig).and_then(|()| {
+        std::fs::rename(&tmp, path).map_err(|e| FileError::Io(path.to_path_buf(), e))
+    });
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
@@ -1018,7 +1019,11 @@ mod tests {
             .unwrap()
             .map(|e| e.unwrap().file_name().into_string().unwrap())
             .collect();
-        assert_eq!(names, vec!["clean.titb".to_string()], "temp files must be renamed away");
+        assert_eq!(
+            names,
+            vec!["clean.titb".to_string()],
+            "temp files must be renamed away"
+        );
     }
 }
 

@@ -203,15 +203,24 @@ mod tests {
 
     #[test]
     fn oversized_body_is_refused() {
-        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
         assert!(read_request(raw.as_bytes()).is_err());
     }
 
     #[test]
     fn response_roundtrip() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "application/json", &[("x-titserved-cache", "hit")], b"{}")
-            .unwrap();
+        write_response(
+            &mut out,
+            200,
+            "application/json",
+            &[("x-titserved-cache", "hit")],
+            b"{}",
+        )
+        .unwrap();
         let resp = read_response(&out[..]).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.headers.get("x-titserved-cache").unwrap(), "hit");

@@ -74,8 +74,9 @@ impl WhatIfQuery {
                     .map_err(|e| format!("cannot read platform {path}: {e}"))?;
                 PlatformSpec::from_json(&json).map_err(|e| format!("bad platform spec: {e}"))?
             }
-            Some(inline @ Value::Object(_)) => PlatformSpec::from_value(inline)
-                .map_err(|e| format!("bad platform spec: {e}"))?,
+            Some(inline @ Value::Object(_)) => {
+                PlatformSpec::from_value(inline).map_err(|e| format!("bad platform spec: {e}"))?
+            }
             _ => return Err("query needs a 'platform' (inline spec or path string)".into()),
         };
         let config = parse_config(v.get("config").unwrap_or(&Value::Null))?;
@@ -132,11 +133,10 @@ fn parse_config(v: &Value) -> Result<ReplayConfig, String> {
                 }
             },
             "threads" => {
-                config.threads = val
-                    .as_f64()
-                    .filter(|t| *t >= 1.0 && t.fract() == 0.0)
-                    .ok_or("'threads' must be an integer >= 1")?
-                    as usize;
+                config.threads =
+                    val.as_f64()
+                        .filter(|t| *t >= 1.0 && t.fract() == 0.0)
+                        .ok_or("'threads' must be an integer >= 1")? as usize;
             }
             "window_s" => {
                 let w = val.as_f64().ok_or("'window_s' must be a number")?;
@@ -201,6 +201,21 @@ impl TraceStore {
     /// True when no trace is held.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Approximate resident bytes of the decoded traces held hot: the
+    /// per-entry action storage (`actions * sizeof(Action)`) plus the
+    /// per-rank index. Good enough to watch unbounded growth; not an
+    /// allocator-accurate figure.
+    pub fn approx_bytes(&self) -> u64 {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .values()
+            .map(|e| {
+                e.trace.len() as u64 * std::mem::size_of::<Action>() as u64
+                    + u64::from(e.trace.ranks()) * std::mem::size_of::<usize>() as u64
+            })
+            .sum()
     }
 
     /// Resolves `path` to a shared decoded trace, loading (and, for
@@ -279,7 +294,12 @@ pub fn execute(q: &WhatIfQuery, resolved: &ResolvedTrace) -> Result<String, Stri
 
 /// Summarises a trace without replaying it (the `/inspect` endpoint):
 /// the CLI `titreplay inspect` counters as deterministic JSON.
-pub fn inspect(path: &str, ranks: u32, store: &TraceStore, sidecar: bool) -> Result<String, String> {
+pub fn inspect(
+    path: &str,
+    ranks: u32,
+    store: &TraceStore,
+    sidecar: bool,
+) -> Result<String, String> {
     let resolved = store.resolve(path, ranks, sidecar)?;
     let t = &resolved.trace;
     let mut sends = 0u64;

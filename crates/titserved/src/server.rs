@@ -24,8 +24,10 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use tit_replay::querykey::QueryKey;
+use tit_replay::simkernel::telemetry::{Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS_S};
 
 use crate::http;
 use crate::query::{self, TraceStore, WhatIfQuery};
@@ -37,6 +39,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Whether merged-text loads may read/write `.titb` side-cars.
     pub sidecar: bool,
+    /// Whether to emit the structured single-line access log on stderr
+    /// (one line per request: id, method, path, status, cache
+    /// disposition, bytes, wall duration).
+    pub access_log: bool,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +50,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
             sidecar: true,
+            access_log: true,
         }
     }
 }
@@ -123,6 +130,92 @@ pub struct Stats {
     pub workers_busy: AtomicUsize,
 }
 
+/// Wall-clock telemetry of the running service: per-endpoint request
+/// counters and latency histograms, cache-disposition counters, and
+/// pool-level gauges, all registered in one Prometheus-text
+/// [`Registry`]. Counters are advanced at the same sites as the
+/// matching [`Stats`] fields; gauges are snapshot from [`Stats`] at
+/// scrape time so the hot path pays no double bookkeeping.
+struct Telemetry {
+    registry: Registry,
+    req_predict: Arc<Counter>,
+    req_inspect: Arc<Counter>,
+    req_stats: Arc<Counter>,
+    req_metrics: Arc<Counter>,
+    req_healthz: Arc<Counter>,
+    req_other: Arc<Counter>,
+    lat_predict: Arc<Histogram>,
+    lat_inspect: Arc<Histogram>,
+    lat_stats: Arc<Histogram>,
+    cache_hit: Arc<Counter>,
+    cache_miss: Arc<Counter>,
+    cache_joined: Arc<Counter>,
+    executions: Arc<Counter>,
+    errors: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+    workers_busy: Arc<Gauge>,
+}
+
+impl Telemetry {
+    fn new() -> Telemetry {
+        let mut r = Registry::new();
+        const REQ: &str = "titserved_requests_total";
+        const REQ_HELP: &str = "Requests received, by endpoint.";
+        const LAT: &str = "titserved_request_duration_seconds";
+        const LAT_HELP: &str = "Wall-clock request latency, by endpoint.";
+        const CACHE: &str = "titserved_cache_total";
+        const CACHE_HELP: &str = "Predict cache dispositions (miss = replay executed).";
+        Telemetry {
+            req_predict: r.counter_with(REQ, Some("endpoint=\"/predict\""), REQ_HELP),
+            req_inspect: r.counter_with(REQ, Some("endpoint=\"/inspect\""), REQ_HELP),
+            req_stats: r.counter_with(REQ, Some("endpoint=\"/stats\""), REQ_HELP),
+            req_metrics: r.counter_with(REQ, Some("endpoint=\"/metrics\""), REQ_HELP),
+            req_healthz: r.counter_with(REQ, Some("endpoint=\"/healthz\""), REQ_HELP),
+            req_other: r.counter_with(REQ, Some("endpoint=\"other\""), REQ_HELP),
+            lat_predict: r.histogram_with(
+                LAT,
+                Some("endpoint=\"/predict\""),
+                LAT_HELP,
+                &LATENCY_BUCKETS_S,
+            ),
+            lat_inspect: r.histogram_with(
+                LAT,
+                Some("endpoint=\"/inspect\""),
+                LAT_HELP,
+                &LATENCY_BUCKETS_S,
+            ),
+            lat_stats: r.histogram_with(
+                LAT,
+                Some("endpoint=\"/stats\""),
+                LAT_HELP,
+                &LATENCY_BUCKETS_S,
+            ),
+            cache_hit: r.counter_with(CACHE, Some("disposition=\"hit\""), CACHE_HELP),
+            cache_miss: r.counter_with(CACHE, Some("disposition=\"miss\""), CACHE_HELP),
+            cache_joined: r.counter_with(CACHE, Some("disposition=\"joined\""), CACHE_HELP),
+            executions: r.counter(
+                "titserved_executions_total",
+                "Replay executions actually run.",
+            ),
+            errors: r.counter(
+                "titserved_errors_total",
+                "Requests answered with status >= 400.",
+            ),
+            queue_depth: r.gauge(
+                "titserved_queue_depth",
+                "Executions waiting for a worker permit.",
+            ),
+            in_flight: r.gauge(
+                "titserved_in_flight",
+                "Predict requests currently inside the handler.",
+            ),
+            workers_busy: r.gauge("titserved_workers_busy", "Workers currently replaying."),
+            registry: r,
+        }
+    }
+}
+
 /// Shared server state: memo table, trace store, pool, stats.
 pub struct ServerState {
     config: ServerConfig,
@@ -131,6 +224,9 @@ pub struct ServerState {
     pool: Pool,
     /// Public so callers embedding the server can export the counters.
     pub stats: Stats,
+    telemetry: Telemetry,
+    started: Instant,
+    next_request_id: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -143,13 +239,17 @@ impl ServerState {
             memo: Mutex::new(HashMap::new()),
             pool,
             stats: Stats::default(),
+            telemetry: Telemetry::new(),
+            started: Instant::now(),
+            next_request_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         }
     }
 
     /// Handles one `/predict` body; returns (status, cache-disposition,
-    /// response body).
-    fn predict(&self, body: &[u8]) -> (u16, &'static str, String) {
+    /// response body). `request_id` travels into worker-pool execution
+    /// so a replay failure is logged with the request that triggered it.
+    fn predict(&self, body: &[u8], request_id: u64) -> (u16, &'static str, String) {
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         let parsed = std::str::from_utf8(body)
             .map_err(|_| "body is not UTF-8".to_string())
@@ -183,22 +283,32 @@ impl ServerState {
         match role {
             Role::Hit(body) => {
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.cache_hit.inc();
                 (200, "hit", body.as_ref().clone())
             }
             Role::Join(inflight) => {
                 self.stats.joined.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.cache_joined.inc();
                 match inflight.wait() {
                     Ok(body) => (200, "joined", body.as_ref().clone()),
                     Err(e) => (500, "joined", error_body(&e)),
                 }
             }
             Role::Run(inflight) => {
+                self.telemetry.cache_miss.inc();
                 self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
                 self.pool.acquire();
                 self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 self.stats.workers_busy.fetch_add(1, Ordering::Relaxed);
                 self.stats.executions.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.executions.inc();
                 let result = query::execute(&q, &resolved).map(Arc::new);
+                if let Err(e) = &result {
+                    // Attribute the failure to the request that ran it —
+                    // the joined waiters see the same error body, but the
+                    // log names the execution's originator.
+                    eprintln!("titserved: rid={request_id} replay execution failed: {e}");
+                }
                 self.stats.workers_busy.fetch_sub(1, Ordering::Relaxed);
                 self.pool.release();
                 let mut memo = self.memo.lock().unwrap();
@@ -222,7 +332,10 @@ impl ServerState {
         }
     }
 
-    /// Renders `/stats` as deterministic JSON.
+    /// Renders `/stats` as JSON. The counter fields are deterministic
+    /// under a deterministic request sequence; `uptime_s` and the
+    /// approximate cache byte sizes are the only wall-clock/host-side
+    /// figures (they make the two unbounded caches' growth visible).
     fn stats_body(&self) -> String {
         let queries = self.stats.queries.load(Ordering::Relaxed);
         let hits = self.stats.cache_hits.load(Ordering::Relaxed);
@@ -233,27 +346,56 @@ impl ServerState {
         } else {
             served_without_replay as f64 / queries as f64
         };
+        let (memo_entries, memo_bytes) = {
+            let memo = self.memo.lock().unwrap();
+            let bytes: u64 = memo
+                .values()
+                .map(|slot| match slot {
+                    MemoSlot::Ready(body) => body.len() as u64,
+                    MemoSlot::Pending(_) => 0,
+                })
+                .sum();
+            (memo.len(), bytes)
+        };
         format!(
             "{{\n  \"queries\": {queries},\n  \"cache_hits\": {hits},\n  \"joined\": {joined},\n  \
              \"executions\": {},\n  \"errors\": {},\n  \"hit_rate\": {hit_rate:.6},\n  \
              \"in_flight\": {},\n  \"queue_depth\": {},\n  \"workers\": {},\n  \
-             \"workers_busy\": {},\n  \"memo_entries\": {},\n  \"trace_cache_entries\": {}\n}}",
+             \"workers_busy\": {},\n  \"memo_entries\": {memo_entries},\n  \
+             \"trace_cache_entries\": {},\n  \"uptime_s\": {:.3},\n  \
+             \"memo_bytes\": {memo_bytes},\n  \"trace_cache_bytes\": {}\n}}",
             self.stats.executions.load(Ordering::Relaxed),
             self.stats.errors.load(Ordering::Relaxed),
             self.stats.in_flight.load(Ordering::Relaxed),
             self.stats.queue_depth.load(Ordering::Relaxed),
             self.config.workers,
             self.stats.workers_busy.load(Ordering::Relaxed),
-            self.memo.lock().unwrap().len(),
             self.store.len(),
+            self.started.elapsed().as_secs_f64(),
+            self.store.approx_bytes(),
         )
+    }
+
+    /// Renders `/metrics` in the Prometheus text exposition format.
+    /// Gauges are snapshot from [`Stats`] here, at scrape time.
+    fn metrics_body(&self) -> String {
+        let t = &self.telemetry;
+        t.queue_depth
+            .set(self.stats.queue_depth.load(Ordering::Relaxed) as i64);
+        t.in_flight
+            .set(self.stats.in_flight.load(Ordering::Relaxed) as i64);
+        t.workers_busy
+            .set(self.stats.workers_busy.load(Ordering::Relaxed) as i64);
+        t.registry.render_prometheus()
     }
 }
 
 fn error_body(msg: &str) -> String {
     format!(
         "{{\n  \"error\": \"{}\"\n}}",
-        msg.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', " ")
+        msg.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', " ")
     )
 }
 
@@ -274,7 +416,9 @@ impl Server {
 
     /// The bound address (read the ephemeral port from here).
     pub fn addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("bound listener has an address")
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
     }
 
     /// Shared state handle (stats inspection from embedding code).
@@ -303,16 +447,35 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, addr: Sock
         Ok(Some(r)) => r,
         Ok(None) => return,
         Err(e) => {
-            let _ = http::write_response(&mut stream, 400, "application/json", &[], error_body(&e.to_string()).as_bytes());
+            let _ = http::write_response(
+                &mut stream,
+                400,
+                "application/json",
+                &[],
+                error_body(&e.to_string()).as_bytes(),
+            );
             return;
         }
     };
-    let (status, cache, body): (u16, &str, String) = match (request.method.as_str(), request.path.as_str()) {
+    let rid = state.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let started = Instant::now();
+    let t = &state.telemetry;
+    let route = (request.method.as_str(), request.path.as_str());
+    match route {
+        ("POST", "/predict") => t.req_predict.inc(),
+        ("POST", "/inspect") => t.req_inspect.inc(),
+        ("GET", "/stats") => t.req_stats.inc(),
+        ("GET", "/metrics") => t.req_metrics.inc(),
+        ("GET", "/healthz") => t.req_healthz.inc(),
+        _ => t.req_other.inc(),
+    }
+    let (status, cache, body): (u16, &str, String) = match route {
         ("GET", "/healthz") => (200, "none", "ok\n".to_string()),
         ("GET", "/stats") => (200, "none", state.stats_body()),
+        ("GET", "/metrics") => (200, "none", state.metrics_body()),
         ("POST", "/predict") => {
             state.stats.in_flight.fetch_add(1, Ordering::Relaxed);
-            let out = state.predict(&request.body);
+            let out = state.predict(&request.body, rid);
             state.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
             out
         }
@@ -340,15 +503,38 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, addr: Sock
         ("POST" | "GET", _) => (404, "none", error_body("no such endpoint")),
         _ => (405, "none", error_body("method not allowed")),
     };
+    let elapsed_s = started.elapsed().as_secs_f64();
+    match route {
+        ("POST", "/predict") => t.lat_predict.observe(elapsed_s),
+        ("POST", "/inspect") => t.lat_inspect.observe(elapsed_s),
+        ("GET", "/stats") => t.lat_stats.observe(elapsed_s),
+        _ => {}
+    }
     if status >= 400 {
         state.stats.errors.fetch_add(1, Ordering::Relaxed);
+        t.errors.inc();
     }
-    let headers: &[(&str, &str)] = if cache == "none" {
-        &[]
+    let rid_header = rid.to_string();
+    let mut headers: Vec<(&str, &str)> = vec![("x-titserved-request-id", rid_header.as_str())];
+    if cache != "none" {
+        headers.push(("x-titserved-cache", cache));
+    }
+    let content_type = if request.path == "/metrics" {
+        "text/plain; version=0.0.4"
     } else {
-        &[("x-titserved-cache", cache)]
+        "application/json"
     };
-    let _ = http::write_response(&mut stream, status, "application/json", headers, body.as_bytes());
+    let _ = http::write_response(&mut stream, status, content_type, &headers, body.as_bytes());
+    if state.config.access_log {
+        // Structured single-line access log: one line per request.
+        eprintln!(
+            "titserved: rid={rid} method={} path={} status={status} cache={cache} bytes={} dur_ms={:.3}",
+            request.method,
+            request.path,
+            body.len(),
+            elapsed_s * 1e3
+        );
+    }
 }
 
 /// Parses an `/inspect` body: `{"trace": "...", "ranks": N}`.

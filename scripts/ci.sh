@@ -7,6 +7,7 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all -- --check
 # Smoke mode: each bench target runs its bodies once, no sampling.
 cargo bench -p bench -- --test
 
@@ -256,6 +257,24 @@ cmp <(norm_pdes_metrics "$ingest_dir/ring.metrics.1.json") \
     || { echo "windowed ring metrics differ from sequential" >&2; exit 1; }
 echo "PDES_SMOKE ok (LU fallback byte-identical; ring windowed replay engaged, simulated_time_s $r_seq identical at 1 and 4 threads)"
 
+# Telemetry smoke: a profiled inspect of the certified ring must print
+# the per-worker wall-clock breakdown for the windowed engine, report
+# the same simulated time as the replay above, and write the JSON twin.
+"$rep" inspect --trace "$ring_trace" --ranks 8 --platform "$ingest_dir/xbar.json" \
+    --threads 4 --rate 1e9 --profile --profile-json "$ingest_dir/ring.profile.json" \
+    >"$ingest_dir/ring.profile.out"
+grep -q '^replay profile: mode=windowed' "$ingest_dir/ring.profile.out" \
+    || { echo "profiled inspect did not engage the windowed engine" >&2; exit 1; }
+prof_workers=$(grep -cE '^ +[0-9]+ +[0-9]+ +[0-9]+ ' "$ingest_dir/ring.profile.out" || true)
+[ "${prof_workers:-0}" -ge 2 ] \
+    || { echo "profile table has ${prof_workers:-0} worker rows, expected >= 2" >&2; exit 1; }
+prof_sim=$(awk '$1 == "profile_simulated_time_s" {printf "%s", $2}' "$ingest_dir/ring.profile.out")
+[ "$prof_sim" = "$r_seq" ] \
+    || { echo "profiled replay simulated time ($prof_sim) != unprofiled ($r_seq)" >&2; exit 1; }
+grep -q '"mode": "windowed"' "$ingest_dir/ring.profile.json" \
+    || { echo "profile JSON missing windowed mode" >&2; exit 1; }
+echo "TELEMETRY_SMOKE ok ($prof_workers profiled workers, simulated time unchanged)"
+
 # Re-run the replay-facing suites with parallel replay as the ambient
 # default, so every differential test also exercises the worker pool.
 TITR_REPLAY_THREADS=4 cargo test -q -p tit-replay \
@@ -305,6 +324,21 @@ serve_http GET /stats >"$ingest_dir/serve.stats.json"
 grep -q '"executions": 1' "$ingest_dir/serve.stats.json" \
     && grep -q '"cache_hits": 1' "$ingest_dir/serve.stats.json" \
     || { echo "serve stats disagree: $(cat "$ingest_dir/serve.stats.json")" >&2; exit 1; }
+# Prometheus scrape: the two predicts above must show up as advanced
+# request/cache counters and a populated latency histogram.
+serve_http GET /metrics >"$ingest_dir/serve.metrics.txt"
+metric() { awk -v s="$1" '$1 == s {printf "%s", $2}' "$ingest_dir/serve.metrics.txt"; }
+grep -q '^# TYPE titserved_requests_total counter$' "$ingest_dir/serve.metrics.txt" \
+    && grep -q '^# TYPE titserved_request_duration_seconds histogram$' "$ingest_dir/serve.metrics.txt" \
+    || { echo "metrics scrape missing TYPE headers" >&2; exit 1; }
+m_predict=$(metric 'titserved_requests_total{endpoint="/predict"}')
+m_exec=$(metric 'titserved_executions_total')
+m_hit=$(metric 'titserved_cache_total{disposition="hit"}')
+m_lat=$(metric 'titserved_request_duration_seconds_count{endpoint="/predict"}')
+[ "${m_predict:-0}" -eq 2 ] && [ "${m_exec:-0}" -eq 1 ] && [ "${m_hit:-0}" -eq 1 ] \
+    || { echo "metrics counters wrong (predict=$m_predict exec=$m_exec hit=$m_hit)" >&2; exit 1; }
+[ "${m_lat:-0}" -eq 2 ] \
+    || { echo "latency histogram not populated (count=$m_lat)" >&2; exit 1; }
 "$rep" --platform "$plat" --ranks 8 --rate 2e9 --trace "$ingest_dir/lu.trace" \
     --manifest "$ingest_dir/serve.cli.json" >/dev/null 2>&1
 norm_manifest() { sed '/"wall_time_s"/d' "$1"; }
@@ -313,4 +347,4 @@ cmp <(norm_manifest "$ingest_dir/serve.1.json") <(norm_manifest "$ingest_dir/ser
 serve_http POST /shutdown >/dev/null
 wait "$serve_pid" \
     || { echo "titserved did not shut down cleanly" >&2; exit 1; }
-echo "SERVE_SMOKE ok (memoized second query byte-identical, manifest matches CLI)"
+echo "SERVE_SMOKE ok (memoized second query byte-identical, manifest matches CLI, /metrics counters advanced)"

@@ -193,10 +193,9 @@ fn lu_aggregation_is_bit_identical() {
     let platform = tit_replay::platform::clusters::graphene();
     for engine in [ReplayEngine::Smpi, ReplayEngine::Msg] {
         for fel in [FelImpl::Heap, FelImpl::Ladder] {
-            let base = replay_observed(&platform, &trace, &cfg(engine, fel, 1, false), true)
-                .unwrap();
-            let agg =
-                replay_observed(&platform, &trace, &cfg(engine, fel, 1, true), true).unwrap();
+            let base =
+                replay_observed(&platform, &trace, &cfg(engine, fel, 1, false), true).unwrap();
+            let agg = replay_observed(&platform, &trace, &cfg(engine, fel, 1, true), true).unwrap();
             assert_agg_identical(&base, &agg, &format!("LU {engine:?} {fel:?}"));
         }
     }

@@ -164,6 +164,58 @@ fn windowed_execution_matches_free_running() {
     }
 }
 
+/// Wall-clock profiling is observational only: a profiled run carries
+/// a per-worker breakdown whose components fit inside the measured
+/// wall interval, and every simulated output bit matches the
+/// unprofiled run.
+#[test]
+fn profiled_replay_is_consistent_and_changes_nothing() {
+    use tit_replay::replay::replay_input_profiled;
+    use tit_replay::titrace::TraceInput;
+
+    let platform = cabinets(4, 4);
+    let input = TraceInput::Memory(Arc::new(halo_trace(4, 4, 10, 1 << 12)));
+    for window_s in [None, Some(1e-3)] {
+        let mut config = cfg(ReplayEngine::Smpi, 4);
+        config.window_s = window_s;
+        let plain = replay_input_profiled(&platform, &input, 16, &config, true, false).unwrap();
+        assert!(
+            plain.profile.is_none(),
+            "unprofiled run must not carry a profile"
+        );
+        let profiled = replay_input_profiled(&platform, &input, 16, &config, true, true).unwrap();
+        assert_identical(&plain, &profiled, "profile on vs off");
+
+        let prof = profiled.profile.expect("profiled run carries a profile");
+        assert_eq!(prof.mode, "islands");
+        assert!(prof.wall_s > 0.0, "wall clock must have advanced");
+        assert!(prof.workers.len() >= 2, "profile: {prof:?}");
+        assert!(prof.imbalance() >= 1.0, "profile: {prof:?}");
+        if window_s.is_some() {
+            assert!(prof.windows > 0, "window schedule must count rounds");
+        }
+        let ranks: usize = prof.workers.iter().map(|w| w.ranks).sum();
+        assert_eq!(ranks, 16, "workers must cover every rank once");
+        for w in &prof.workers {
+            // The sections were timed inside the per-worker wall
+            // interval, so work + wait must fit within it (small slack
+            // for the uninstrumented loop glue between sections).
+            let parts = w.work_s + w.barrier_s + w.mailbox_s;
+            assert!(parts > 0.0, "worker {} timed nothing", w.worker);
+            assert!(
+                parts <= w.wall_s + 5e-3,
+                "worker {}: work {} + barrier {} + mailbox {} exceeds wall {}",
+                w.worker,
+                w.work_s,
+                w.barrier_s,
+                w.mailbox_s,
+                w.wall_s
+            );
+            assert!(w.advances > 0, "worker {} never advanced", w.worker);
+        }
+    }
+}
+
 /// A deadlocked partition reports the failure instead of hanging the
 /// worker pool — including under a window barrier schedule.
 #[test]

@@ -39,7 +39,15 @@ fn spec(host_speed: f64) -> PlatformSpec {
 }
 
 fn start_server(workers: usize) -> (String, std::thread::JoinHandle<()>) {
-    let server = Server::bind("127.0.0.1:0", ServerConfig { workers, sidecar: true }).unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            sidecar: true,
+            access_log: false,
+        },
+    )
+    .unwrap();
     let addr = format!("127.0.0.1:{}", server.addr().port());
     let handle = std::thread::spawn(move || server.run().unwrap());
     (addr, handle)
@@ -92,6 +100,17 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
+/// Reads one sample's value out of a Prometheus text scrape.
+fn metric_value(metrics: &str, series: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix(series)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or_else(|| panic!("metrics missing series {series}:\n{metrics}"))
+}
+
 #[test]
 fn concurrent_identical_queries_execute_once_and_byte_match_the_cli() {
     let dir = temp_dir("dedup");
@@ -120,7 +139,72 @@ fn concurrent_identical_queries_execute_once_and_byte_match_the_cli() {
     let stats = client::get(&addr, "/stats").unwrap();
     let stats = String::from_utf8(stats.body).unwrap();
     assert!(stats.contains("\"executions\": 1"), "stats: {stats}");
-    assert!(stats.contains(&format!("\"queries\": {N}")), "stats: {stats}");
+    assert!(
+        stats.contains(&format!("\"queries\": {N}")),
+        "stats: {stats}"
+    );
+    // The two unbounded caches report their growth.
+    assert!(stats.contains("\"uptime_s\":"), "stats: {stats}");
+    assert!(stats.contains("\"memo_bytes\":"), "stats: {stats}");
+    assert!(stats.contains("\"trace_cache_bytes\":"), "stats: {stats}");
+    // Every response names the request that produced it.
+    for r in &responses {
+        assert!(
+            r.headers.contains_key("x-titserved-request-id"),
+            "missing request id header"
+        );
+    }
+
+    // The Prometheus scrape tells the same story in valid
+    // text-exposition shape.
+    let scrape = client::get(&addr, "/metrics").unwrap();
+    assert_eq!(scrape.status, 200);
+    assert!(
+        scrape
+            .headers
+            .get("content-type")
+            .is_some_and(|c| c.starts_with("text/plain")),
+        "metrics content type: {:?}",
+        scrape.headers.get("content-type")
+    );
+    let metrics = String::from_utf8(scrape.body).unwrap();
+    for header in [
+        "# TYPE titserved_requests_total counter",
+        "# TYPE titserved_request_duration_seconds histogram",
+        "# TYPE titserved_cache_total counter",
+        "# TYPE titserved_queue_depth gauge",
+    ] {
+        assert!(
+            metrics.contains(header),
+            "metrics missing {header}:\n{metrics}"
+        );
+    }
+    // Every non-comment line is `series value` with a parseable value.
+    for line in metrics.lines().filter(|l| !l.starts_with('#')) {
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(value.parse::<f64>().is_ok(), "bad sample line: {line:?}");
+    }
+    let predict_series = "titserved_requests_total{endpoint=\"/predict\"}";
+    assert_eq!(metric_value(&metrics, predict_series), N as f64);
+    assert_eq!(metric_value(&metrics, "titserved_executions_total"), 1.0);
+    assert_eq!(
+        metric_value(&metrics, "titserved_cache_total{disposition=\"miss\"}"),
+        1.0
+    );
+    let hits_before = metric_value(&metrics, "titserved_cache_total{disposition=\"hit\"}");
+    let joined_before = metric_value(&metrics, "titserved_cache_total{disposition=\"joined\"}");
+    assert_eq!(hits_before + joined_before, (N - 1) as f64);
+    // The latency histogram saw all six predicts; cumulative buckets
+    // close at the count.
+    let lat_count = "titserved_request_duration_seconds_count{endpoint=\"/predict\"}";
+    assert_eq!(metric_value(&metrics, lat_count), N as f64);
+    assert_eq!(
+        metric_value(
+            &metrics,
+            "titserved_request_duration_seconds_bucket{endpoint=\"/predict\",le=\"+Inf\"}"
+        ),
+        N as f64
+    );
 
     // The response byte-matches a direct CLI-path manifest modulo the
     // wall-time line.
@@ -136,6 +220,31 @@ fn concurrent_identical_queries_execute_once_and_byte_match_the_cli() {
     let stats = String::from_utf8(client::get(&addr, "/stats").unwrap().body).unwrap();
     assert!(stats.contains("\"executions\": 1"), "stats: {stats}");
 
+    // Counters are monotone: the repeat advanced the predict counter
+    // and the hit counter, nothing regressed.
+    let metrics2 = String::from_utf8(client::get(&addr, "/metrics").unwrap().body).unwrap();
+    assert_eq!(metric_value(&metrics2, predict_series), (N + 1) as f64);
+    assert_eq!(metric_value(&metrics2, "titserved_executions_total"), 1.0);
+    assert_eq!(
+        metric_value(&metrics2, "titserved_cache_total{disposition=\"hit\"}"),
+        hits_before + 1.0
+    );
+    for line in metrics.lines().filter(|l| !l.starts_with('#')) {
+        let series = line.rsplit_once(' ').unwrap().0;
+        if series.contains("_total")
+            || series.contains("_bucket")
+            || series.contains("_count")
+            || series.contains("_sum")
+        {
+            let before = metric_value(&metrics, series);
+            let after = metric_value(&metrics2, series);
+            assert!(
+                after >= before,
+                "series {series} regressed: {before} -> {after}"
+            );
+        }
+    }
+
     client::post(&addr, "/shutdown", "").unwrap();
     handle.join().unwrap();
 }
@@ -150,12 +259,18 @@ fn distinct_questions_run_distinct_replays_but_share_the_trace() {
     let slow = client::predict(&addr, &query_body(&trace, &spec(5e8), 2e9)).unwrap();
     assert_eq!(fast.status, 200);
     assert_eq!(slow.status, 200);
-    assert_ne!(fast.body, slow.body, "different platforms, different predictions");
+    assert_ne!(
+        fast.body, slow.body,
+        "different platforms, different predictions"
+    );
 
     let stats = String::from_utf8(client::get(&addr, "/stats").unwrap().body).unwrap();
     assert!(stats.contains("\"executions\": 2"), "stats: {stats}");
     // One decoded trace served both questions.
-    assert!(stats.contains("\"trace_cache_entries\": 1"), "stats: {stats}");
+    assert!(
+        stats.contains("\"trace_cache_entries\": 1"),
+        "stats: {stats}"
+    );
     assert!(stats.contains("\"memo_entries\": 2"), "stats: {stats}");
 
     client::post(&addr, "/shutdown", "").unwrap();

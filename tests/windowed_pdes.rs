@@ -318,10 +318,11 @@ fn allreduce_128_falls_back_identically() {
 /// pre-posted (`Irecv`/`Isend`/`WaitAll`) or the send-first
 /// (`Isend`/`Recv`/`Wait`) shape.
 fn arb_ring() -> impl Strategy<Value = (u32, u32, u64, f64, bool)> {
-    (4u32..9, 1u32..8, 6u32..16, 1e3f64..1e6, any::<bool>())
-        .prop_map(|(ranks, iters, log_bytes, compute, preposted)| {
+    (4u32..9, 1u32..8, 6u32..16, 1e3f64..1e6, any::<bool>()).prop_map(
+        |(ranks, iters, log_bytes, compute, preposted)| {
             (ranks, iters, 1u64 << log_bytes, compute, preposted)
-        })
+        },
+    )
 }
 
 proptest! {
